@@ -1,0 +1,492 @@
+// Package sofos_test holds the benchmark harness: one benchmark per
+// experiment of EXPERIMENTS.md (E1-E8, covering every panel of the paper's
+// Figure 3 and the demo scenario of §4), plus micro-benchmarks for the
+// substrate layers (store, engine, materializer, roll-up, selection).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks print their result tables once (on the first
+// iteration) so a bench run doubles as a report generator; cmd/sofos-bench
+// produces the full formatted report.
+package sofos_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"sofos/internal/cost"
+	"sofos/internal/datasets"
+	"sofos/internal/engine"
+	"sofos/internal/experiments"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/rewrite"
+	"sofos/internal/selection"
+	"sofos/internal/store"
+	"sofos/internal/views"
+	"sofos/internal/workload"
+)
+
+// benchEnv caches one experiment environment per dataset across benchmarks.
+var benchEnvs = map[string]*experiments.Env{}
+
+func env(b *testing.B, dataset string, scale, wl int) *experiments.Env {
+	b.Helper()
+	key := fmt.Sprintf("%s/%d/%d", dataset, scale, wl)
+	if e, ok := benchEnvs[key]; ok {
+		return e
+	}
+	e, err := experiments.NewEnv(dataset, scale, 1, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEnvs[key] = e
+	return e
+}
+
+// --- E1: Full lattice exploration (Fig. 3 panel ①) ---
+
+func BenchmarkE1FullLattice(b *testing.B) {
+	envs := []*experiments.Env{
+		env(b, "lubm", 2, 10),
+		env(b, "dbpedia", 40, 10),
+		env(b, "swdf", 5, 10),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E1FullLattice(envs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E2: Cost model comparison (Fig. 3 panel ②) ---
+
+func BenchmarkE2CostModels(b *testing.B) {
+	for _, ds := range []struct {
+		name  string
+		scale int
+	}{{"lubm", 1}, {"dbpedia", 25}, {"swdf", 4}} {
+		b.Run(ds.name, func(b *testing.B) {
+			e := env(b, ds.name, ds.scale, 20)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.E2CostModels(e, 3, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- E3: Budget sweep / space-time trade-off (Fig. 3 panel ③) ---
+
+func BenchmarkE3BudgetSweep(b *testing.B) {
+	e := env(b, "dbpedia", 25, 15)
+	models, err := e.System.AnalyticModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E3BudgetSweep(e, models[2:3], []int{0, 2, 4, 8, 16}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Query performance analyzer (Fig. 3 panel ④) ---
+
+func BenchmarkE4QueryAnalyzer(b *testing.B) {
+	e := env(b, "dbpedia", 25, 15)
+	models, err := e.System.AnalyticModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E4QueryAnalyzer(e, models[2], 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E5: Cost model fidelity (rank correlation vs measured times) ---
+
+func BenchmarkE5CostFidelity(b *testing.B) {
+	e := env(b, "lubm", 1, 10)
+	models, err := e.System.AnalyticModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.E5CostFidelity(e, models, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E6: Learned cost model training ---
+
+func BenchmarkE6LearnedModel(b *testing.B) {
+	e := env(b, "lubm", 1, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.E6LearnedTraining(e, cost.TrainConfig{
+			ProbesPerView: 2, Seed: int64(i + 1), Epochs: 100,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: Memory-budget selection variant ---
+
+func BenchmarkE7MemoryBudget(b *testing.B) {
+	e := env(b, "dbpedia", 25, 15)
+	models, err := e.System.AnalyticModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E7MemoryBudget(e, models[2], nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: Hands-on challenge (greedy vs exhaustive optimum) ---
+
+func BenchmarkE8Challenge(b *testing.B) {
+	e := env(b, "swdf", 4, 10)
+	models, err := e.System.AnalyticModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E8Challenge(e, models, 2, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E9: Workload skew sensitivity ---
+
+func BenchmarkE9WorkloadSkew(b *testing.B) {
+	e := env(b, "dbpedia", 25, 15)
+	models, err := e.System.AnalyticModels(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E9WorkloadSkew(e, models[2], 3, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E10: Estimated vs exact cost model offline paths ---
+
+func BenchmarkE10EstimatedModel(b *testing.B) {
+	e := env(b, "dbpedia", 25, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.E10EstimatedModel(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkStoreInsert measures dictionary-encoded triple insertion.
+func BenchmarkStoreInsert(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := store.NewGraph()
+		for t := 0; t < 1000; t++ {
+			g.MustAdd(rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://ex.org/s%d", t%100)),
+				P: rdf.NewIRI(fmt.Sprintf("http://ex.org/p%d", t%10)),
+				O: rdf.NewInteger(int64(t)),
+			})
+		}
+	}
+}
+
+// BenchmarkStoreMatch measures indexed pattern matching on a loaded graph.
+func BenchmarkStoreMatch(b *testing.B) {
+	g, _, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, ok := g.Dict().Lookup(rdf.NewIRI("http://dbpedia.org/property/language"))
+	if !ok {
+		b.Fatal("predicate missing")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		g.Match(rdf.NoID, p, rdf.NoID, func(_, _, _ rdf.ID) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkEngineAggregateQuery measures the full SPARQL pipeline on the
+// facet template query.
+func BenchmarkEngineAggregateQuery(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(g)
+	q := f.TemplateQuery()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkMaterializeFromBase measures computing + encoding one view from G.
+func BenchmarkMaterializeFromBase(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := f.View(f.FullMask())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := views.NewCatalog(g, f)
+		if _, err := c.Materialize(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRollUp measures the ancestor roll-up fast path (ablation for the
+// DESIGN.md roll-up design choice: computing children from a materialized
+// parent instead of from G).
+func BenchmarkRollUp(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	top, err := views.Compute(engine.New(g), f.View(f.FullMask()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	child := f.View(facet.MaskFromBits(0, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := views.RollUp(top, child); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRollUpVsBaseAblation contrasts the two materialization paths for
+// the same child view: from the base graph vs from the top view.
+func BenchmarkRollUpVsBaseAblation(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	child := f.View(facet.MaskFromBits(0, 1))
+	b.Run("from-base", func(b *testing.B) {
+		eng := engine.New(g)
+		for i := 0; i < b.N; i++ {
+			if _, err := views.Compute(eng, child); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("from-top-rollup", func(b *testing.B) {
+		top, err := views.Compute(engine.New(g), f.View(f.FullMask()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := views.RollUp(top, child); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGreedySelection measures HRU greedy over a 16-view lattice.
+func BenchmarkGreedySelection(b *testing.B) {
+	e := env(b, "dbpedia", 25, 10)
+	p, err := e.System.Provider()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &cost.AggValuesModel{Provider: p}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := selection.Greedy(e.System.Lattice, m, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnswerViaViewVsBase is the headline result at micro scale: the
+// same workload query answered through a materialized view and on the base
+// graph.
+func BenchmarkAnswerViaViewVsBase(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := f.View(facet.MaskFromBits(2)).AnalyticalQuery() // per-language totals
+	b.Run("via-view", func(b *testing.B) {
+		c := views.NewCatalog(g, f)
+		if _, err := c.Materialize(f.View(facet.MaskFromBits(2))); err != nil {
+			b.Fatal(err)
+		}
+		rw := rewrite.New(c)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ans, err := rw.Answer(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !ans.UsedView() {
+				b.Fatal("fell back to base")
+			}
+		}
+	})
+	b.Run("via-base", func(b *testing.B) {
+		eng := engine.New(g)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkJoinOrderAblation contrasts greedy selectivity-based join
+// ordering against naive text-order execution on the facet template query
+// (ablation for the DESIGN.md planner design choice).
+func BenchmarkJoinOrderAblation(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := f.TemplateQuery()
+	b.Run("greedy-order", func(b *testing.B) {
+		eng := engine.New(g)
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive-order", func(b *testing.B) {
+		eng := engine.NewWithOptions(g, engine.Options{NaiveOrder: true})
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotSaveLoad measures graph snapshot round-trips.
+func BenchmarkSnapshotSaveLoad(b *testing.B) {
+	g, _, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := g.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := store.Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkViewRefresh measures incremental refresh after a small base
+// mutation versus drop-and-rematerialize.
+func BenchmarkViewRefresh(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := f.View(facet.MaskFromBits(0, 1))
+	b.Run("refresh", func(b *testing.B) {
+		c := views.NewCatalog(g.Clone(), f)
+		if _, err := c.Materialize(v); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://dbpedia.org/resource/bench%d", i)),
+				P: rdf.NewIRI("http://dbpedia.org/property/population"),
+				O: rdf.NewInteger(int64(i)),
+			}
+			if _, err := c.Insert(tr); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c.Refresh(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("drop-rematerialize", func(b *testing.B) {
+		c := views.NewCatalog(g.Clone(), f)
+		if _, err := c.Materialize(v); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr := rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://dbpedia.org/resource/bench%d", i)),
+				P: rdf.NewIRI("http://dbpedia.org/property/population"),
+				O: rdf.NewInteger(int64(i)),
+			}
+			if _, err := c.Insert(tr); err != nil {
+				b.Fatal(err)
+			}
+			c.Drop(v)
+			if _, err := c.Materialize(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkWorkloadGeneration measures query generation throughput.
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("swdf", 4, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := workload.Generate(g, f, workload.Config{Size: 50, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

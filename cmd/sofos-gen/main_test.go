@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sofos/internal/rdf"
+)
+
+func TestListDatasets(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-list"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"lubm", "dbpedia", "swdf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateNTriplesParseable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-dataset", "lubm", "-scale", "1", "-seed", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	triples, err := rdf.ParseString(b.String())
+	if err != nil {
+		t.Fatalf("generated N-Triples do not parse: %v", err)
+	}
+	if len(triples) == 0 {
+		t.Fatal("no triples generated")
+	}
+}
+
+func TestGenerateTurtleParseable(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-dataset", "swdf", "-scale", "2", "-format", "ttl", "-facet"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "@prefix") {
+		t.Errorf("no prefixes in turtle output:\n%.300s", out)
+	}
+	if !strings.Contains(out, "# facet:") {
+		t.Error("facet header missing")
+	}
+	triples, err := rdf.ParseString(out)
+	if err != nil {
+		t.Fatalf("generated Turtle does not parse: %v", err)
+	}
+	if len(triples) == 0 {
+		t.Fatal("no triples generated")
+	}
+}
+
+func TestGenerateToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.nt")
+	var b strings.Builder
+	if err := run([]string{"-dataset", "dbpedia", "-scale", "3", "-out", path}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wrote") {
+		t.Errorf("confirmation missing: %s", b.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rdf.ParseString(string(data)); err != nil {
+		t.Fatalf("file contents do not parse: %v", err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-dataset", "unknown"}, &b); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if err := run([]string{"-dataset", "lubm", "-format", "json"}, &b); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

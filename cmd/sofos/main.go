@@ -1,0 +1,423 @@
+// Command sofos is the demonstration walkthrough of the SOFOS system as a
+// CLI: each subcommand reproduces one panel of the GUI in Figure 3 of the
+// paper.
+//
+//	sofos lattice  -dataset dbpedia            # panel ①: full lattice view
+//	sofos inspect  -dataset dbpedia -view lang+year   # click a lattice node
+//	sofos select   -dataset dbpedia -model aggvalues -k 3   # panel ②
+//	sofos compare  -dataset dbpedia -k 3       # panel ② across all models
+//	sofos analyze  -dataset dbpedia -k 3       # panel ④: per-query analysis
+//	sofos query    -dataset dbpedia -k 3 -q 'SELECT ...'    # ad-hoc query
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sofos/internal/benchkit"
+	"sofos/internal/core"
+	"sofos/internal/cost"
+	"sofos/internal/datasets"
+	"sofos/internal/experiments"
+	"sofos/internal/facet"
+	"sofos/internal/selection"
+	"sofos/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sofos:", err)
+		os.Exit(1)
+	}
+}
+
+// commonFlags are shared by all subcommands.
+type commonFlags struct {
+	dataset string
+	scale   int
+	seed    int64
+	k       int
+	model   string
+}
+
+func addCommon(fs *flag.FlagSet) *commonFlags {
+	c := &commonFlags{}
+	fs.StringVar(&c.dataset, "dataset", "dbpedia", "dataset: lubm, dbpedia, swdf")
+	fs.IntVar(&c.scale, "scale", 0, "dataset scale (0 = default)")
+	fs.Int64Var(&c.seed, "seed", 1, "seed")
+	fs.IntVar(&c.k, "k", 3, "view budget")
+	fs.StringVar(&c.model, "model", "aggvalues", "cost model: random, triples, aggvalues, nodes")
+	return c
+}
+
+// buildSystem constructs the system for the flags.
+func buildSystem(c *commonFlags) (*core.System, error) {
+	g, f, err := datasets.BuildWithFacet(c.dataset, c.scale, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.New(g, f)
+}
+
+// pickModel resolves a model name.
+func pickModel(s *core.System, c *commonFlags) (cost.Model, error) {
+	models, err := s.AnalyticModels(c.seed)
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range models {
+		if m.Name() == c.model {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown model %q (use random, triples, aggvalues, or nodes)", c.model)
+}
+
+const usage = `usage: sofos <command> [flags]
+
+commands:
+  lattice   show the full view lattice of a dataset's facet (panel ①)
+  inspect   show the materialized contents of one view (lattice node click)
+  select    run view selection under one cost model and materialize (panel ②)
+  compare   compare all cost models at a budget on a workload (panel ②)
+  analyze   per-query performance with and without views (panel ④)
+  query     answer one SPARQL query, preferring materialized views
+  workload  generate a reproducible query workload and write it to a file
+  replay    replay a saved workload against a model's selection
+
+run 'sofos <command> -h' for flags.`
+
+func run(args []string, w io.Writer) error {
+	if len(args) == 0 {
+		fmt.Fprintln(w, usage)
+		return nil
+	}
+	switch args[0] {
+	case "lattice":
+		return cmdLattice(args[1:], w)
+	case "inspect":
+		return cmdInspect(args[1:], w)
+	case "select":
+		return cmdSelect(args[1:], w)
+	case "compare":
+		return cmdCompare(args[1:], w)
+	case "analyze":
+		return cmdAnalyze(args[1:], w)
+	case "query":
+		return cmdQuery(args[1:], w)
+	case "workload":
+		return cmdWorkload(args[1:], w)
+	case "replay":
+		return cmdReplay(args[1:], w)
+	case "-h", "--help", "help":
+		fmt.Fprintln(w, usage)
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q\n%s", args[0], usage)
+	}
+}
+
+// cmdLattice prints the full lattice statistics (panel ①).
+func cmdLattice(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("lattice", flag.ContinueOnError)
+	c := addCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	p, err := s.Provider()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s\n|G| = %d triples, facet dims = %v, lattice = %d views\n\n",
+		s.Facet, s.Graph.Len(), s.Facet.Dims, s.Lattice.Size())
+	t := benchkit.NewTable("Full lattice", "level", "view", "groups", "enc.triples", "nodes", "bytes")
+	for lev, vs := range s.Lattice.Levels() {
+		for _, v := range vs {
+			st := p.MustStats(v.Mask)
+			t.AddRow(fmt.Sprint(lev), v.ID(), fmt.Sprint(st.Groups),
+				fmt.Sprint(st.Triples), fmt.Sprint(st.Nodes), benchkit.FmtBytes(st.Bytes))
+		}
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nmaterializing the full lattice would add %d triples (%.2fx the graph)\n",
+		p.TotalTriples(), 1+float64(p.TotalTriples())/float64(s.Graph.Len()))
+	return nil
+}
+
+// cmdInspect shows one view's contents, like clicking a lattice node.
+func cmdInspect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	c := addCommon(fs)
+	viewID := fs.String("view", "", "view id: dimension names joined by '+', or 'apex'")
+	limit := fs.Int("limit", 10, "max groups to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	var v facet.View
+	if *viewID == "apex" || *viewID == "" {
+		v = s.Facet.View(0)
+	} else {
+		v, err = s.Facet.ViewByDims(strings.Split(*viewID, "+")...)
+		if err != nil {
+			return err
+		}
+	}
+	mat, err := s.Catalog.Materialize(v)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "view %s: %d groups, %d encoding triples, %d nodes\nquery:\n%s\n\n",
+		v, mat.Data.NumGroups(), mat.Triples, mat.Nodes, v.Query())
+	header := append(append([]string{}, v.Dims()...), s.Facet.Agg.String())
+	t := benchkit.NewTable("contents (first groups)", header...)
+	for i, g := range mat.Data.Groups {
+		if i >= *limit {
+			break
+		}
+		row := make([]string, 0, len(header))
+		for _, kv := range g.Key {
+			row = append(row, kv.String())
+		}
+		row = append(row, g.Agg.String())
+		t.AddRow(row...)
+	}
+	return t.Render(w)
+}
+
+// cmdSelect runs one model's selection and materializes it.
+func cmdSelect(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("select", flag.ContinueOnError)
+	c := addCommon(fs)
+	memBudget := fs.Int64("memory", 0, "byte budget instead of view count (0 = use -k)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	m, err := pickModel(s, c)
+	if err != nil {
+		return err
+	}
+	var selResult *selection.Selection
+	if *memBudget > 0 {
+		selResult, err = s.SelectViewsByMemory(m, *memBudget)
+	} else {
+		selResult, err = s.SelectViews(m, c.k)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "model %s selected %d views:\n", m.Name(), len(selResult.Masks()))
+	for _, mask := range selResult.Masks() {
+		v := s.Facet.View(mask)
+		mat, err := s.Catalog.Materialize(v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  %-30s cost=%-12s groups=%-6d triples=%-6d (%s)\n",
+			v.ID(), benchkit.FmtFloat(m.Cost(v)), mat.Data.NumGroups(), mat.Triples,
+			benchkit.FmtDuration(mat.Elapsed))
+	}
+	fmt.Fprintf(w, "G+ now has %d triples (amplification %.2fx)\n",
+		s.Catalog.Expanded().Len(), s.Catalog.StorageAmplification())
+	return nil
+}
+
+// cmdCompare runs the full model comparison (panel ②).
+func cmdCompare(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	c := addCommon(fs)
+	wl := fs.Int("workload", 30, "workload size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := experiments.NewEnv(c.dataset, c.scale, c.seed, *wl)
+	if err != nil {
+		return err
+	}
+	t, err := experiments.E2CostModels(env, c.k, nil)
+	if err != nil {
+		return err
+	}
+	return t.Render(w)
+}
+
+// cmdAnalyze runs the per-query analyzer (panel ④).
+func cmdAnalyze(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("analyze", flag.ContinueOnError)
+	c := addCommon(fs)
+	wl := fs.Int("workload", 20, "workload size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	env, err := experiments.NewEnv(c.dataset, c.scale, c.seed, *wl)
+	if err != nil {
+		return err
+	}
+	m, err := pickModel(env.System, c)
+	if err != nil {
+		return err
+	}
+	t, err := experiments.E4QueryAnalyzer(env, m, c.k)
+	if err != nil {
+		return err
+	}
+	return t.Render(w)
+}
+
+// cmdWorkload generates a reproducible workload and writes it out.
+func cmdWorkload(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("workload", flag.ContinueOnError)
+	c := addCommon(fs)
+	n := fs.Int("n", 30, "number of queries")
+	filterProb := fs.Float64("filters", 0.25, "per-dimension FILTER probability")
+	out := fs.String("out", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	wl, err := s.GenerateWorkload(workload.Config{Size: *n, Seed: c.seed, FilterProb: *filterProb})
+	if err != nil {
+		return err
+	}
+	dest := w
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("creating %s: %w", *out, err)
+		}
+		defer f.Close()
+		dest = f
+	}
+	if err := wl.Save(dest); err != nil {
+		return err
+	}
+	if *out != "" {
+		st := wl.Summarize()
+		fmt.Fprintf(w, "wrote %d queries (%d with filters) to %s\n", st.Queries, st.WithFilters, *out)
+	}
+	return nil
+}
+
+// cmdReplay loads a saved workload and runs it under a model's selection.
+func cmdReplay(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	c := addCommon(fs)
+	file := fs.String("queries", "", "workload file written by 'sofos workload'")
+	workers := fs.Int("workers", 1, "concurrent query workers")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("replay requires -queries <file>")
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*file)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	wl, err := workload.Load(f, s.Facet)
+	if err != nil {
+		return err
+	}
+	m, err := pickModel(s, c)
+	if err != nil {
+		return err
+	}
+	sel, err := s.SelectViews(m, c.k)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Materialize(sel); err != nil {
+		return err
+	}
+	rep, err := s.RunWorkloadParallel(wl, *workers)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replayed %d queries under %s (k=%d, %d workers)\n",
+		rep.Timing.N(), m.Name(), c.k, *workers)
+	fmt.Fprintf(w, "mean %s  p50 %s  p95 %s  hit rate %.0f%%  amplification %.2fx\n",
+		benchkit.FmtDuration(rep.Timing.Mean()),
+		benchkit.FmtDuration(rep.Timing.P50()),
+		benchkit.FmtDuration(rep.Timing.P95()),
+		rep.HitRate()*100,
+		s.Catalog.StorageAmplification())
+	return nil
+}
+
+// cmdQuery answers one ad-hoc query with views materialized by a model.
+func cmdQuery(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("query", flag.ContinueOnError)
+	c := addCommon(fs)
+	q := fs.String("q", "", "SPARQL query text (empty: run the facet's template query)")
+	limit := fs.Int("limit", 15, "max rows to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	m, err := pickModel(s, c)
+	if err != nil {
+		return err
+	}
+	sel, err := s.SelectViews(m, c.k)
+	if err != nil {
+		return err
+	}
+	if _, err := s.Materialize(sel); err != nil {
+		return err
+	}
+	text := *q
+	if text == "" {
+		text = s.Facet.View(s.Facet.FullMask()).AnalyticalQuery().String()
+	}
+	ans, err := s.AnswerString(text)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "answered via %s in %s (%d rows)\n",
+		ans.ViaLabel(), benchkit.FmtDuration(ans.Elapsed), len(ans.Result.Rows))
+	if ans.Reason != "" {
+		fmt.Fprintf(w, "fallback reason: %s\n", ans.Reason)
+	}
+	if ans.Rewritten != nil {
+		fmt.Fprintf(w, "rewritten query:\n%s\n", ans.Rewritten)
+	}
+	t := benchkit.NewTable("results", ans.Result.Vars...)
+	for i, row := range ans.Result.Rows {
+		if i >= *limit {
+			break
+		}
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}

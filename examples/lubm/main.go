@@ -1,0 +1,68 @@
+// LUBM scenario: the Univ-Bench COUNT facet (publications per university,
+// department, and faculty rank). Runs the full cost-model comparison of the
+// demo's panel ② — all analytic models at budget k on a generated workload —
+// and prints the trade-off table.
+//
+//	go run ./examples/lubm
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sofos/internal/benchkit"
+	"sofos/internal/core"
+	"sofos/internal/datasets"
+	"sofos/internal/workload"
+)
+
+func main() {
+	g, f, err := datasets.BuildWithFacet("lubm", 2, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	system, err := core.New(g, f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("LUBM graph: %d triples\nfacet: %s\n\n", g.Len(), f)
+
+	w, err := system.GenerateWorkload(workload.Config{Size: 30, Seed: 99, FilterProb: 0.3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := w.Summarize()
+	fmt.Printf("workload: %d queries (%d with filters), grouping-level histogram %v\n\n",
+		st.Queries, st.WithFilters, st.GroupLevelHistogram)
+
+	models, err := system.AnalyticModels(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reports, err := system.CompareModels(models, 3, w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := benchkit.NewTable("cost model comparison (k=3)",
+		"model", "views", "added triples", "amplification", "mean", "p95", "hit rate", "speedup")
+	for _, r := range reports {
+		views := ""
+		for i, v := range r.SelectedViews {
+			if i > 0 {
+				views += " "
+			}
+			views += v
+		}
+		table.AddRow(r.Model, views,
+			fmt.Sprint(r.AddedTriples),
+			benchkit.FmtFloat(r.Amplification),
+			benchkit.FmtDuration(r.Mean),
+			benchkit.FmtDuration(r.P95),
+			fmt.Sprintf("%.0f%%", r.HitRate*100),
+			fmt.Sprintf("%.2fx", r.SpeedupVsBase))
+	}
+	if err := table.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package algebra
+
+import (
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+)
+
+// Accumulator incrementally computes one aggregate over the values of a
+// group. Result returns the aggregate as an RDF literal; it returns an
+// unbound value for empty MIN/MAX/AVG groups and for type errors, mirroring
+// SPARQL's error-as-unbound aggregate semantics.
+type Accumulator interface {
+	Add(v Value)
+	Result() Value
+}
+
+// NewAccumulator builds the accumulator for an aggregate select item.
+func NewAccumulator(item sparql.SelectItem) Accumulator {
+	switch item.Agg {
+	case sparql.AggCount:
+		if item.AggDistinct {
+			return &countDistinctAcc{seen: make(map[rdf.Term]struct{})}
+		}
+		return &countAcc{}
+	case sparql.AggSum:
+		return &sumAcc{}
+	case sparql.AggAvg:
+		return &avgAcc{}
+	case sparql.AggMin:
+		return &minMaxAcc{min: true}
+	case sparql.AggMax:
+		return &minMaxAcc{}
+	default:
+		return &sampleAcc{}
+	}
+}
+
+// countAcc counts bound values (or all rows for COUNT(*), where the caller
+// feeds a bound placeholder per row).
+type countAcc struct{ n int64 }
+
+func (a *countAcc) Add(v Value) {
+	if v.Bound {
+		a.n++
+	}
+}
+
+func (a *countAcc) Result() Value { return Bind(rdf.NewInteger(a.n)) }
+
+// countDistinctAcc counts distinct bound terms.
+type countDistinctAcc struct {
+	seen map[rdf.Term]struct{}
+}
+
+func (a *countDistinctAcc) Add(v Value) {
+	if v.Bound {
+		a.seen[v.Term] = struct{}{}
+	}
+}
+
+func (a *countDistinctAcc) Result() Value {
+	return Bind(rdf.NewInteger(int64(len(a.seen))))
+}
+
+// sumAcc sums numeric values. Non-numeric input poisons the group (unbound
+// result), matching SPARQL aggregate error semantics. An empty SUM is 0.
+type sumAcc struct {
+	sum float64
+	errored
+}
+
+// errored is a mixin tracking whether a type error occurred.
+type errored struct{ failed bool }
+
+func (a *sumAcc) Add(v Value) {
+	if a.failed || !v.Bound {
+		return
+	}
+	f, ok := NumericValue(v.Term)
+	if !ok {
+		a.failed = true
+		return
+	}
+	a.sum += f
+}
+
+func (a *sumAcc) Result() Value {
+	if a.failed {
+		return Unbound
+	}
+	return Bind(FormatFloat(a.sum))
+}
+
+// avgAcc averages numeric values; empty groups yield unbound.
+type avgAcc struct {
+	sum float64
+	n   int64
+	errored
+}
+
+func (a *avgAcc) Add(v Value) {
+	if a.failed || !v.Bound {
+		return
+	}
+	f, ok := NumericValue(v.Term)
+	if !ok {
+		a.failed = true
+		return
+	}
+	a.sum += f
+	a.n++
+}
+
+func (a *avgAcc) Result() Value {
+	if a.failed || a.n == 0 {
+		return Unbound
+	}
+	return Bind(FormatFloat(a.sum / float64(a.n)))
+}
+
+// minMaxAcc tracks the minimum or maximum value under SortCompare order for
+// non-numeric terms and numeric order for numerics.
+type minMaxAcc struct {
+	min  bool
+	best Value
+	errored
+}
+
+func (a *minMaxAcc) Add(v Value) {
+	if a.failed || !v.Bound {
+		return
+	}
+	if !a.best.Bound {
+		a.best = v
+		return
+	}
+	c, err := Compare(a.best.Term, v.Term)
+	if err != nil {
+		// Fall back to total sort order for heterogeneous groups.
+		c = SortCompare(a.best, v)
+	}
+	if (a.min && c > 0) || (!a.min && c < 0) {
+		a.best = v
+	}
+}
+
+func (a *minMaxAcc) Result() Value {
+	if a.failed {
+		return Unbound
+	}
+	return a.best
+}
+
+// sampleAcc keeps the first bound value; used for plain variables that are
+// implicitly grouped (never reached for validated queries but kept safe).
+type sampleAcc struct{ v Value }
+
+func (a *sampleAcc) Add(v Value) {
+	if !a.v.Bound && v.Bound {
+		a.v = v
+	}
+}
+
+func (a *sampleAcc) Result() Value { return a.v }
+
+// MergeAggregates combines two already-aggregated values of the same kind,
+// used when rolling up a materialized view to a coarser granularity:
+// SUM⊕SUM, COUNT⊕COUNT (by summation), MIN⊕MIN, MAX⊕MAX. AVG is not
+// directly mergeable — the caller must merge (SUM, COUNT) pairs — so AVG
+// returns a type error here.
+func MergeAggregates(kind sparql.AggKind, a, b rdf.Term) (rdf.Term, error) {
+	switch kind {
+	case sparql.AggSum, sparql.AggCount:
+		fa, err := ParseNumeric(a)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		fb, err := ParseNumeric(b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return FormatFloat(fa + fb), nil
+	case sparql.AggMin, sparql.AggMax:
+		c, err := Compare(a, b)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		if (kind == sparql.AggMin && c <= 0) || (kind == sparql.AggMax && c >= 0) {
+			return a, nil
+		}
+		return b, nil
+	default:
+		return rdf.Term{}, TypeErrorf("aggregate %v is not mergeable", kind)
+	}
+}

@@ -1,0 +1,214 @@
+package algebra
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+)
+
+func item(agg sparql.AggKind, distinct bool) sparql.SelectItem {
+	return sparql.SelectItem{Var: "a", Agg: agg, AggVar: "u", AggDistinct: distinct}
+}
+
+func feed(acc Accumulator, terms ...rdf.Term) Value {
+	for _, t := range terms {
+		acc.Add(Bind(t))
+	}
+	return acc.Result()
+}
+
+func TestCountAccumulator(t *testing.T) {
+	acc := NewAccumulator(item(sparql.AggCount, false))
+	got := feed(acc, rdf.NewInteger(1), rdf.NewLiteral("x"), rdf.NewIRI("http://a"))
+	if !got.Bound || got.Term.Value != "3" {
+		t.Errorf("COUNT = %s", got)
+	}
+	// Unbound values are not counted.
+	acc2 := NewAccumulator(item(sparql.AggCount, false))
+	acc2.Add(Unbound)
+	acc2.Add(Bind(rdf.NewInteger(1)))
+	if r := acc2.Result(); r.Term.Value != "1" {
+		t.Errorf("COUNT with unbound = %s", r)
+	}
+	// Empty count is 0.
+	if r := NewAccumulator(item(sparql.AggCount, false)).Result(); r.Term.Value != "0" {
+		t.Errorf("empty COUNT = %s", r)
+	}
+}
+
+func TestCountDistinctAccumulator(t *testing.T) {
+	acc := NewAccumulator(item(sparql.AggCount, true))
+	got := feed(acc, rdf.NewInteger(1), rdf.NewInteger(1), rdf.NewInteger(2))
+	if got.Term.Value != "2" {
+		t.Errorf("COUNT DISTINCT = %s", got)
+	}
+}
+
+func TestSumAccumulator(t *testing.T) {
+	acc := NewAccumulator(item(sparql.AggSum, false))
+	got := feed(acc, rdf.NewInteger(5), rdf.NewDecimal(2.5), rdf.NewInteger(-3))
+	if got.Term.Value != "4.5" {
+		t.Errorf("SUM = %s", got)
+	}
+	// Empty sum is 0.
+	if r := NewAccumulator(item(sparql.AggSum, false)).Result(); r.Term.Value != "0" {
+		t.Errorf("empty SUM = %s", r)
+	}
+	// Non-numeric poisons.
+	acc2 := NewAccumulator(item(sparql.AggSum, false))
+	got = feed(acc2, rdf.NewInteger(1), rdf.NewLiteral("oops"))
+	if got.Bound {
+		t.Errorf("poisoned SUM = %s, want unbound", got)
+	}
+}
+
+func TestAvgAccumulator(t *testing.T) {
+	acc := NewAccumulator(item(sparql.AggAvg, false))
+	got := feed(acc, rdf.NewInteger(2), rdf.NewInteger(4), rdf.NewInteger(6))
+	if got.Term.Value != "4" {
+		t.Errorf("AVG = %s", got)
+	}
+	if r := NewAccumulator(item(sparql.AggAvg, false)).Result(); r.Bound {
+		t.Errorf("empty AVG = %s, want unbound", r)
+	}
+	acc2 := NewAccumulator(item(sparql.AggAvg, false))
+	if r := feed(acc2, rdf.NewLiteral("x")); r.Bound {
+		t.Errorf("poisoned AVG = %s", r)
+	}
+}
+
+func TestMinMaxAccumulators(t *testing.T) {
+	minAcc := NewAccumulator(item(sparql.AggMin, false))
+	got := feed(minAcc, rdf.NewInteger(5), rdf.NewInteger(2), rdf.NewInteger(9))
+	if got.Term.Value != "2" {
+		t.Errorf("MIN = %s", got)
+	}
+	maxAcc := NewAccumulator(item(sparql.AggMax, false))
+	got = feed(maxAcc, rdf.NewInteger(5), rdf.NewInteger(2), rdf.NewInteger(9))
+	if got.Term.Value != "9" {
+		t.Errorf("MAX = %s", got)
+	}
+	// Strings compare lexically.
+	sAcc := NewAccumulator(item(sparql.AggMin, false))
+	got = feed(sAcc, rdf.NewLiteral("pear"), rdf.NewLiteral("apple"))
+	if got.Term.Value != "apple" {
+		t.Errorf("MIN strings = %s", got)
+	}
+	// Empty MIN is unbound.
+	if r := NewAccumulator(item(sparql.AggMin, false)).Result(); r.Bound {
+		t.Errorf("empty MIN = %s", r)
+	}
+	// Heterogeneous types fall back to total order without crashing.
+	hAcc := NewAccumulator(item(sparql.AggMax, false))
+	got = feed(hAcc, rdf.NewInteger(1), rdf.NewIRI("http://z"))
+	if !got.Bound {
+		t.Error("heterogeneous MAX should still produce a value")
+	}
+}
+
+func TestSampleAccumulator(t *testing.T) {
+	acc := NewAccumulator(sparql.SelectItem{Var: "x"})
+	acc.Add(Unbound)
+	acc.Add(Bind(rdf.NewLiteral("first")))
+	acc.Add(Bind(rdf.NewLiteral("second")))
+	if r := acc.Result(); r.Term.Value != "first" {
+		t.Errorf("sample = %s", r)
+	}
+}
+
+func TestMergeAggregates(t *testing.T) {
+	sum, err := MergeAggregates(sparql.AggSum, rdf.NewInteger(5), rdf.NewDecimal(2.5))
+	if err != nil || sum.Value != "7.5" {
+		t.Errorf("merge SUM = %s, %v", sum, err)
+	}
+	cnt, err := MergeAggregates(sparql.AggCount, rdf.NewInteger(5), rdf.NewInteger(3))
+	if err != nil || cnt.Value != "8" {
+		t.Errorf("merge COUNT = %s, %v", cnt, err)
+	}
+	mn, err := MergeAggregates(sparql.AggMin, rdf.NewInteger(5), rdf.NewInteger(3))
+	if err != nil || mn.Value != "3" {
+		t.Errorf("merge MIN = %s, %v", mn, err)
+	}
+	mx, err := MergeAggregates(sparql.AggMax, rdf.NewInteger(5), rdf.NewInteger(3))
+	if err != nil || mx.Value != "5" {
+		t.Errorf("merge MAX = %s, %v", mx, err)
+	}
+	if _, err := MergeAggregates(sparql.AggAvg, rdf.NewInteger(1), rdf.NewInteger(2)); err == nil {
+		t.Error("merge AVG should fail (needs SUM/COUNT pair)")
+	}
+	if _, err := MergeAggregates(sparql.AggSum, rdf.NewLiteral("x"), rdf.NewInteger(1)); err == nil {
+		t.Error("merge SUM over non-numeric should fail")
+	}
+	if _, err := MergeAggregates(sparql.AggMin, rdf.NewInteger(1), rdf.NewIRI("http://x")); err == nil {
+		t.Error("merge MIN over incomparable should fail")
+	}
+}
+
+// TestSumMergeEquivalenceProperty: merging partial sums equals summing all
+// values — the roll-up correctness property the materializer relies on.
+func TestSumMergeEquivalenceProperty(t *testing.T) {
+	prop := func(xs []int16, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		k := int(split) % len(xs)
+		accAll := NewAccumulator(item(sparql.AggSum, false))
+		accA := NewAccumulator(item(sparql.AggSum, false))
+		accB := NewAccumulator(item(sparql.AggSum, false))
+		for i, x := range xs {
+			v := Bind(rdf.NewInteger(int64(x)))
+			accAll.Add(v)
+			if i < k {
+				accA.Add(v)
+			} else {
+				accB.Add(v)
+			}
+		}
+		merged, err := MergeAggregates(sparql.AggSum, accA.Result().Term, accB.Result().Term)
+		if err != nil {
+			return false
+		}
+		fa, _ := ParseNumeric(merged)
+		fb, _ := ParseNumeric(accAll.Result().Term)
+		return fa == fb
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMinMaxMergeEquivalenceProperty mirrors the SUM property for MIN/MAX.
+func TestMinMaxMergeEquivalenceProperty(t *testing.T) {
+	prop := func(xs []int16, split uint8, useMin bool) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		kind := sparql.AggMax
+		if useMin {
+			kind = sparql.AggMin
+		}
+		k := 1 + int(split)%(len(xs)-1)
+		accAll := NewAccumulator(item(kind, false))
+		accA := NewAccumulator(item(kind, false))
+		accB := NewAccumulator(item(kind, false))
+		for i, x := range xs {
+			v := Bind(rdf.NewInteger(int64(x)))
+			accAll.Add(v)
+			if i < k {
+				accA.Add(v)
+			} else {
+				accB.Add(v)
+			}
+		}
+		merged, err := MergeAggregates(kind, accA.Result().Term, accB.Result().Term)
+		if err != nil {
+			return false
+		}
+		return merged.Value == accAll.Result().Term.Value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package algebra implements the value semantics and logical operators of
+// the SOFOS query engine: SPARQL-style expression evaluation with effective
+// boolean values, numeric type promotion, and the five aggregation
+// accumulators {SUM, AVG, COUNT, MAX, MIN} of the paper.
+package algebra
+
+import (
+	"fmt"
+	"strconv"
+
+	"sofos/internal/rdf"
+)
+
+// Value is a possibly-unbound term, the unit of data flowing between
+// operators. Unbound values arise from OPTIONAL patterns.
+type Value struct {
+	Term  rdf.Term
+	Bound bool
+}
+
+// Bind wraps a term as a bound value.
+func Bind(t rdf.Term) Value { return Value{Term: t, Bound: true} }
+
+// Unbound is the canonical unbound value.
+var Unbound = Value{}
+
+// String renders the value for display; unbound renders as "UNDEF".
+func (v Value) String() string {
+	if !v.Bound {
+		return "UNDEF"
+	}
+	return v.Term.String()
+}
+
+// ErrTypeError marks evaluation type errors. Per SPARQL semantics a type
+// error in a FILTER makes the constraint false rather than failing the whole
+// query, so the executor treats it as a sentinel.
+type typeError struct{ msg string }
+
+func (e *typeError) Error() string { return "algebra: type error: " + e.msg }
+
+// TypeErrorf builds a type error.
+func TypeErrorf(format string, args ...any) error {
+	return &typeError{msg: fmt.Sprintf(format, args...)}
+}
+
+// IsTypeError reports whether err is an evaluation type error.
+func IsTypeError(err error) bool {
+	_, ok := err.(*typeError)
+	return ok
+}
+
+// NumericValue extracts a float from a term when its datatype is numeric or
+// a year (xsd:gYear participates in numeric comparison so temporal dimensions
+// can be range-filtered, which the SOFOS workloads rely on).
+func NumericValue(t rdf.Term) (float64, bool) {
+	if t.Kind != rdf.KindLiteral {
+		return 0, false
+	}
+	switch t.Datatype {
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble, rdf.XSDGYear:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return 0, false
+		}
+		return f, true
+	}
+	return 0, false
+}
+
+// EffectiveBool computes the SPARQL effective boolean value of a term:
+// booleans by value, numbers by non-zero, strings by non-empty; everything
+// else is a type error.
+func EffectiveBool(t rdf.Term) (bool, error) {
+	if t.Kind != rdf.KindLiteral {
+		return false, TypeErrorf("no effective boolean value for %s", t)
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return t.Value == "true" || t.Value == "1", nil
+	case rdf.XSDInteger, rdf.XSDDecimal, rdf.XSDDouble:
+		f, err := strconv.ParseFloat(t.Value, 64)
+		if err != nil {
+			return false, TypeErrorf("malformed numeric %q", t.Value)
+		}
+		return f != 0, nil
+	case "", rdf.XSDString:
+		return t.Value != "", nil
+	}
+	if t.Lang != "" {
+		return t.Value != "", nil
+	}
+	return false, TypeErrorf("no effective boolean value for %s", t)
+}
+
+// Compare orders two terms, returning -1, 0, or +1. Numeric literals compare
+// by value; strings (plain or lang-tagged) by code point; other literals by
+// lexical form when datatypes match; IRIs and blanks support only
+// equality-style comparison (ordering them is a type error per SPARQL).
+func Compare(a, b rdf.Term) (int, error) {
+	if fa, ok := NumericValue(a); ok {
+		if fb, ok := NumericValue(b); ok {
+			switch {
+			case fa < fb:
+				return -1, nil
+			case fa > fb:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		return 0, TypeErrorf("cannot compare %s with %s", a, b)
+	}
+	if a.Kind == rdf.KindLiteral && b.Kind == rdf.KindLiteral {
+		aStr := a.Datatype == "" || a.Datatype == rdf.XSDString || a.Lang != ""
+		bStr := b.Datatype == "" || b.Datatype == rdf.XSDString || b.Lang != ""
+		if aStr && bStr || a.Datatype == b.Datatype {
+			switch {
+			case a.Value < b.Value:
+				return -1, nil
+			case a.Value > b.Value:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+		return 0, TypeErrorf("cannot compare %s with %s", a, b)
+	}
+	return 0, TypeErrorf("cannot order %s and %s", a, b)
+}
+
+// Equal tests RDF term equality with numeric value equality for numerics
+// ("5"^^integer equals "5.0"^^decimal).
+func Equal(a, b rdf.Term) (bool, error) {
+	if fa, aok := NumericValue(a); aok {
+		if fb, bok := NumericValue(b); bok {
+			return fa == fb, nil
+		}
+	}
+	if a.Kind != b.Kind {
+		return false, nil
+	}
+	return a == b ||
+		(a.Kind == rdf.KindLiteral && a.Value == b.Value &&
+			a.EffectiveDatatype() == b.EffectiveDatatype() && a.Lang == b.Lang), nil
+}
+
+// SortCompare is a total order for ORDER BY: unbound < blanks < IRIs <
+// literals, with numeric literals compared by value when possible. Unlike
+// Compare it never errors, falling back to lexical order.
+func SortCompare(a, b Value) int {
+	if !a.Bound || !b.Bound {
+		switch {
+		case !a.Bound && !b.Bound:
+			return 0
+		case !a.Bound:
+			return -1
+		default:
+			return 1
+		}
+	}
+	ra, rb := sortRank(a.Term), sortRank(b.Term)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	if c, err := Compare(a.Term, b.Term); err == nil {
+		return c
+	}
+	switch {
+	case a.Term.Value < b.Term.Value:
+		return -1
+	case a.Term.Value > b.Term.Value:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sortRank orders term kinds for ORDER BY.
+func sortRank(t rdf.Term) int {
+	switch t.Kind {
+	case rdf.KindBlank:
+		return 0
+	case rdf.KindIRI:
+		return 1
+	default:
+		return 2
+	}
+}

@@ -1,0 +1,176 @@
+package algebra
+
+import (
+	"testing"
+
+	"sofos/internal/rdf"
+)
+
+func TestNumericValue(t *testing.T) {
+	cases := []struct {
+		term rdf.Term
+		want float64
+		ok   bool
+	}{
+		{rdf.NewInteger(5), 5, true},
+		{rdf.NewDouble(2.5), 2.5, true},
+		{rdf.NewDecimal(1.25), 1.25, true},
+		{rdf.NewYear(2019), 2019, true},
+		{rdf.NewLiteral("5"), 0, false},
+		{rdf.NewIRI("http://5"), 0, false},
+		{rdf.NewTypedLiteral("abc", rdf.XSDInteger), 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := NumericValue(tc.term)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("NumericValue(%s) = %v,%v; want %v,%v", tc.term, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestEffectiveBool(t *testing.T) {
+	cases := []struct {
+		term    rdf.Term
+		want    bool
+		wantErr bool
+	}{
+		{rdf.NewBoolean(true), true, false},
+		{rdf.NewBoolean(false), false, false},
+		{rdf.NewInteger(0), false, false},
+		{rdf.NewInteger(7), true, false},
+		{rdf.NewDouble(0.0), false, false},
+		{rdf.NewLiteral(""), false, false},
+		{rdf.NewLiteral("x"), true, false},
+		{rdf.NewLangLiteral("x", "en"), true, false},
+		{rdf.NewIRI("http://x"), false, true},
+		{rdf.NewBlank("b"), false, true},
+		{rdf.NewYear(2019), false, true},
+		{rdf.NewTypedLiteral("zz", rdf.XSDInteger), false, true},
+	}
+	for _, tc := range cases {
+		got, err := EffectiveBool(tc.term)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("EffectiveBool(%s) err = %v, wantErr %v", tc.term, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("EffectiveBool(%s) = %v, want %v", tc.term, got, tc.want)
+		}
+		if err != nil && !IsTypeError(err) {
+			t.Errorf("EffectiveBool(%s) error not a type error: %v", tc.term, err)
+		}
+	}
+}
+
+func TestCompareNumericPromotion(t *testing.T) {
+	c, err := Compare(rdf.NewInteger(5), rdf.NewDouble(5.0))
+	if err != nil || c != 0 {
+		t.Errorf("5 vs 5.0: %d, %v", c, err)
+	}
+	c, err = Compare(rdf.NewInteger(4), rdf.NewDecimal(4.5))
+	if err != nil || c != -1 {
+		t.Errorf("4 vs 4.5: %d, %v", c, err)
+	}
+	c, err = Compare(rdf.NewYear(2020), rdf.NewYear(2019))
+	if err != nil || c != 1 {
+		t.Errorf("2020 vs 2019: %d, %v", c, err)
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	c, err := Compare(rdf.NewLiteral("apple"), rdf.NewLiteral("banana"))
+	if err != nil || c != -1 {
+		t.Errorf("apple vs banana: %d, %v", c, err)
+	}
+	c, err = Compare(rdf.NewLangLiteral("a", "en"), rdf.NewLiteral("a"))
+	if err != nil || c != 0 {
+		t.Errorf("lang vs plain: %d, %v", c, err)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	pairs := [][2]rdf.Term{
+		{rdf.NewInteger(1), rdf.NewLiteral("x")},
+		{rdf.NewIRI("http://a"), rdf.NewIRI("http://b")},
+		{rdf.NewLiteral("x"), rdf.NewBlank("b")},
+		{rdf.NewBoolean(true), rdf.NewYear(2019)},
+	}
+	for _, p := range pairs {
+		if _, err := Compare(p[0], p[1]); err == nil {
+			t.Errorf("Compare(%s, %s) succeeded, want type error", p[0], p[1])
+		} else if !IsTypeError(err) {
+			t.Errorf("Compare error not a type error: %v", err)
+		}
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	eq, err := Equal(rdf.NewInteger(5), rdf.NewDecimal(5.0))
+	if err != nil || !eq {
+		t.Errorf("5 = 5.0 numeric equality failed: %v %v", eq, err)
+	}
+	eq, err = Equal(rdf.NewIRI("http://a"), rdf.NewIRI("http://a"))
+	if err != nil || !eq {
+		t.Error("IRI self-equality failed")
+	}
+	eq, err = Equal(rdf.NewIRI("http://a"), rdf.NewLiteral("http://a"))
+	if err != nil || eq {
+		t.Error("IRI = literal should be false")
+	}
+	eq, err = Equal(rdf.NewLiteral("x"), rdf.NewTypedLiteral("x", rdf.XSDString))
+	if err != nil || !eq {
+		t.Error("plain vs explicit xsd:string equality failed")
+	}
+	eq, err = Equal(rdf.NewLangLiteral("x", "en"), rdf.NewLangLiteral("x", "fr"))
+	if err != nil || eq {
+		t.Error("different language tags should not be equal")
+	}
+}
+
+func TestSortCompareTotalOrder(t *testing.T) {
+	vals := []Value{
+		Unbound,
+		Bind(rdf.NewBlank("a")),
+		Bind(rdf.NewIRI("http://a")),
+		Bind(rdf.NewIRI("http://b")),
+		Bind(rdf.NewInteger(1)),
+		Bind(rdf.NewInteger(2)),
+	}
+	for i := range vals {
+		if SortCompare(vals[i], vals[i]) != 0 {
+			t.Errorf("value %d not equal to itself", i)
+		}
+		for j := i + 1; j < len(vals); j++ {
+			if SortCompare(vals[i], vals[j]) >= 0 {
+				t.Errorf("vals[%d]=%s should sort before vals[%d]=%s", i, vals[i], j, vals[j])
+			}
+			if SortCompare(vals[j], vals[i]) <= 0 {
+				t.Errorf("reverse comparison inconsistent at %d,%d", i, j)
+			}
+		}
+	}
+	// Heterogeneous literals fall back to lexical order without error.
+	a, b := Bind(rdf.NewLiteral("x")), Bind(rdf.NewBoolean(true))
+	if SortCompare(a, b) == 0 && a.Term != b.Term {
+		t.Error("heterogeneous literals compared equal")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	if Unbound.String() != "UNDEF" {
+		t.Errorf("Unbound.String = %q", Unbound.String())
+	}
+	if Bind(rdf.NewInteger(3)).String() == "" {
+		t.Error("bound value renders empty")
+	}
+}
+
+func TestTypeErrorf(t *testing.T) {
+	err := TypeErrorf("bad %s", "thing")
+	if !IsTypeError(err) {
+		t.Error("TypeErrorf not recognized")
+	}
+	if IsTypeError(nil) {
+		t.Error("nil recognized as type error")
+	}
+}

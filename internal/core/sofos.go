@@ -1,0 +1,347 @@
+// Package core wires SOFOS together, implementing the architecture of
+// Figure 2 of the paper: an offline module (view selection + view
+// materialization) and an online module (query processing via rewriting,
+// with performance comparison). It is the public face every example, CLI,
+// and benchmark drives.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sofos/internal/benchkit"
+	"sofos/internal/cost"
+	"sofos/internal/facet"
+	"sofos/internal/rewrite"
+	"sofos/internal/selection"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+	"sofos/internal/views"
+	"sofos/internal/workload"
+)
+
+// System is one SOFOS instance: a knowledge graph G, an analytical facet F,
+// the induced view lattice V(F), the expanded graph G+ with the currently
+// materialized views, and the rewriting-based answerer.
+type System struct {
+	Graph    *store.Graph
+	Facet    *facet.Facet
+	Lattice  *facet.Lattice
+	Catalog  *views.Catalog
+	Rewriter *rewrite.Rewriter
+
+	provider *cost.Provider // lazily computed full-lattice statistics
+}
+
+// New builds a system over a graph and facet.
+func New(g *store.Graph, f *facet.Facet) (*System, error) {
+	l, err := facet.NewLattice(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	catalog := views.NewCatalog(g, f)
+	return &System{
+		Graph:    g,
+		Facet:    f,
+		Lattice:  l,
+		Catalog:  catalog,
+		Rewriter: rewrite.New(catalog),
+	}, nil
+}
+
+// Provider computes (once) and returns the full-lattice statistics: every
+// view's group/triple/node counts. This is the demo's "Full Lattice"
+// exploration step and the substrate of the analytic cost models.
+func (s *System) Provider() (*cost.Provider, error) {
+	if s.provider != nil {
+		return s.provider, nil
+	}
+	p, err := cost.NewProvider(s.Graph, s.Lattice)
+	if err != nil {
+		return nil, err
+	}
+	s.provider = p
+	return p, nil
+}
+
+// AnalyticModels returns the provider-backed cost models plus the random
+// baseline — every model that needs no training. Use TrainLearned for the
+// sixth.
+func (s *System) AnalyticModels(randomSeed int64) ([]cost.Model, error) {
+	p, err := s.Provider()
+	if err != nil {
+		return nil, err
+	}
+	return []cost.Model{
+		&cost.RandomModel{Seed: randomSeed},
+		&cost.TriplesModel{Provider: p},
+		&cost.AggValuesModel{Provider: p},
+		&cost.NodesModel{Provider: p},
+	}, nil
+}
+
+// TrainLearned trains the learned cost model on measured view times.
+func (s *System) TrainLearned(cfg cost.TrainConfig) (*cost.TrainResult, error) {
+	return cost.TrainLearnedModel(s.Graph, s.Lattice, cfg)
+}
+
+// EstimatedModel returns the statistics-only cost estimator — the model
+// that prices views without the full-lattice precomputation the analytic
+// models require.
+func (s *System) EstimatedModel() cost.Model {
+	return cost.NewEstimatedModel(s.Facet, s.Graph.Snapshot())
+}
+
+// SelectViews runs the greedy selection under a view-count budget.
+func (s *System) SelectViews(m cost.Model, k int) (*selection.Selection, error) {
+	return selection.Greedy(s.Lattice, m, k)
+}
+
+// SelectViewsByMemory runs the memory-budget greedy variant, sizing views by
+// their exact encoding bytes from the provider.
+func (s *System) SelectViewsByMemory(m cost.Model, budgetBytes int64) (*selection.Selection, error) {
+	p, err := s.Provider()
+	if err != nil {
+		return nil, err
+	}
+	return selection.GreedyMemory(s.Lattice, m, budgetBytes, func(v facet.View) int64 {
+		return p.MustStats(v.Mask).Bytes
+	})
+}
+
+// Materialize materializes every view of a selection into G+.
+func (s *System) Materialize(sel *selection.Selection) ([]*views.Materialized, error) {
+	out := make([]*views.Materialized, 0, len(sel.Views))
+	for _, v := range sel.Views {
+		m, err := s.Catalog.Materialize(v)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// Reset drops all materialized views, restoring G+ to G.
+func (s *System) Reset() { s.Catalog.Reset() }
+
+// Answer answers one analytical query through the online module.
+func (s *System) Answer(q *sparql.Query) (*rewrite.Answer, error) {
+	return s.Rewriter.Answer(q)
+}
+
+// AnswerString parses and answers a query.
+func (s *System) AnswerString(src string) (*rewrite.Answer, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return s.Answer(q)
+}
+
+// GenerateWorkload builds a random workload over the system's facet.
+func (s *System) GenerateWorkload(cfg workload.Config) (*workload.Workload, error) {
+	return workload.Generate(s.Graph, s.Facet, cfg)
+}
+
+// QueryOutcome records one workload query's execution.
+type QueryOutcome struct {
+	Index   int
+	Text    string
+	Via     string // answering source: view ID or "base"
+	Reason  string // fallback reason when Via == "base"
+	Rows    int
+	Elapsed time.Duration
+}
+
+// WorkloadReport aggregates a workload run.
+type WorkloadReport struct {
+	PerQuery []QueryOutcome
+	Timing   benchkit.Timing
+	ViewHits int
+}
+
+// HitRate is the fraction of queries answered from views.
+func (r *WorkloadReport) HitRate() float64 {
+	if len(r.PerQuery) == 0 {
+		return 0
+	}
+	return float64(r.ViewHits) / float64(len(r.PerQuery))
+}
+
+// RunWorkload answers every workload query against the current catalog state
+// and collects per-query outcomes — the "Query performance analyzer" panel.
+func (s *System) RunWorkload(w *workload.Workload) (*WorkloadReport, error) {
+	rep := &WorkloadReport{}
+	for i, q := range w.Queries {
+		ans, err := s.Answer(q.Parsed)
+		if err != nil {
+			return nil, fmt.Errorf("core: workload query %d: %w", i, err)
+		}
+		if ans.UsedView() {
+			rep.ViewHits++
+		}
+		rep.Timing.Add(ans.Elapsed)
+		rep.PerQuery = append(rep.PerQuery, QueryOutcome{
+			Index:   i,
+			Text:    q.Text,
+			Via:     ans.ViaLabel(),
+			Reason:  ans.Reason,
+			Rows:    len(ans.Result.Rows),
+			Elapsed: ans.Elapsed,
+		})
+	}
+	return rep, nil
+}
+
+// RunWorkloadParallel answers the workload with the given number of
+// concurrent workers. The catalog is read-only during a run (the store
+// supports concurrent readers), so this measures the system's multi-client
+// throughput. Results are in workload order, as with RunWorkload.
+func (s *System) RunWorkloadParallel(w *workload.Workload, workers int) (*WorkloadReport, error) {
+	if workers <= 1 {
+		return s.RunWorkload(w)
+	}
+	type slot struct {
+		outcome QueryOutcome
+		err     error
+	}
+	results := make([]slot, len(w.Queries))
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for wk := 0; wk < workers; wk++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := range jobs {
+				q := w.Queries[i]
+				ans, err := s.Answer(q.Parsed)
+				if err != nil {
+					results[i].err = fmt.Errorf("core: workload query %d: %w", i, err)
+					continue
+				}
+				results[i].outcome = QueryOutcome{
+					Index:   i,
+					Text:    q.Text,
+					Via:     ans.ViaLabel(),
+					Reason:  ans.Reason,
+					Rows:    len(ans.Result.Rows),
+					Elapsed: ans.Elapsed,
+				}
+			}
+		}()
+	}
+	for i := range w.Queries {
+		jobs <- i
+	}
+	close(jobs)
+	for wk := 0; wk < workers; wk++ {
+		<-done
+	}
+	rep := &WorkloadReport{}
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.outcome.Via != "base" {
+			rep.ViewHits++
+		}
+		rep.Timing.Add(r.outcome.Elapsed)
+		rep.PerQuery = append(rep.PerQuery, r.outcome)
+	}
+	return rep, nil
+}
+
+// ModelReport is one row of the cost-model comparison (panel ② of the GUI):
+// how a model's k-view selection performs on a workload.
+type ModelReport struct {
+	Model         string
+	SelectedViews []string
+	AddedTriples  int
+	Amplification float64
+	Mean, P50     time.Duration
+	P95           time.Duration
+	HitRate       float64
+	SpeedupVsBase float64 // base mean / this mean
+	Report        *WorkloadReport
+}
+
+// CompareModels runs the full offline+online pipeline for every model at
+// budget k against one workload, including a no-views baseline, and reports
+// the trade-offs. The catalog is reset between models so runs are
+// independent.
+func (s *System) CompareModels(models []cost.Model, k int, w *workload.Workload) ([]ModelReport, error) {
+	s.Reset()
+	baseRep, err := s.RunWorkload(w)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline run: %w", err)
+	}
+	baseMean := baseRep.Timing.Mean()
+	out := []ModelReport{{
+		Model:         "no-views",
+		Amplification: 1,
+		Mean:          baseMean,
+		P50:           baseRep.Timing.P50(),
+		P95:           baseRep.Timing.P95(),
+		SpeedupVsBase: 1,
+		Report:        baseRep,
+	}}
+	for _, m := range models {
+		sel, err := s.SelectViews(m, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: selecting with %s: %w", m.Name(), err)
+		}
+		if _, err := s.Materialize(sel); err != nil {
+			return nil, fmt.Errorf("core: materializing for %s: %w", m.Name(), err)
+		}
+		rep, err := s.RunWorkload(w)
+		if err != nil {
+			return nil, fmt.Errorf("core: workload under %s: %w", m.Name(), err)
+		}
+		mr := ModelReport{
+			Model:         m.Name(),
+			AddedTriples:  s.Catalog.AddedTriples(),
+			Amplification: s.Catalog.StorageAmplification(),
+			Mean:          rep.Timing.Mean(),
+			P50:           rep.Timing.P50(),
+			P95:           rep.Timing.P95(),
+			HitRate:       rep.HitRate(),
+			Report:        rep,
+		}
+		for _, v := range sel.Views {
+			mr.SelectedViews = append(mr.SelectedViews, v.ID())
+		}
+		if mr.Mean > 0 {
+			mr.SpeedupVsBase = float64(baseMean) / float64(mr.Mean)
+		}
+		out = append(out, mr)
+		s.Reset()
+	}
+	return out, nil
+}
+
+// LatticeReport describes the full lattice (panel ① of the GUI).
+type LatticeReport struct {
+	Views       int
+	Levels      [][]facet.View
+	TotalGroups int
+	TotalAdded  int // triples if the whole lattice were materialized
+	BaseTriples int
+}
+
+// DescribeLattice produces the full-lattice statistics table.
+func (s *System) DescribeLattice() (*LatticeReport, error) {
+	p, err := s.Provider()
+	if err != nil {
+		return nil, err
+	}
+	rep := &LatticeReport{
+		Views:       s.Lattice.Size(),
+		Levels:      s.Lattice.Levels(),
+		BaseTriples: s.Graph.Len(),
+	}
+	for _, st := range p.AllStats() {
+		rep.TotalGroups += st.Groups
+		rep.TotalAdded += st.Triples
+	}
+	return rep, nil
+}

@@ -1,0 +1,123 @@
+package cost
+
+import (
+	"math"
+
+	"sofos/internal/facet"
+	"sofos/internal/store"
+)
+
+// EstimatedModel approximates the number of aggregated values of a view from
+// graph statistics alone — no lattice precomputation. It is this repo's step
+// toward the "native graph-aware model" the paper calls for: where the
+// analytic models need every view's exact contents (an expensive offline
+// pass, the Provider), this model prices a view in O(|dims|) from predicate
+// statistics.
+//
+// The estimate combines the independence assumption (group count ≈ product
+// of dimension domain sizes) with the upper bound given by the pattern's
+// pre-aggregation row count:
+//
+//	Ĉ(V) = min( Π_{d ∈ dims(V)} |dom(d)| , rows(P) )
+//
+// where |dom(d)| is the distinct-object (or subject) count of the predicate
+// binding dimension d, and rows(P) is a join-cardinality estimate of the
+// facet pattern.
+type EstimatedModel struct {
+	facet    *facet.Facet
+	domains  []float64 // per-dimension domain-size estimates
+	rows     float64   // pattern row estimate (upper bound on groups)
+	baseCost float64
+}
+
+// NewEstimatedModel builds the model from a statistics snapshot.
+func NewEstimatedModel(f *facet.Facet, stats *store.Stats) *EstimatedModel {
+	m := &EstimatedModel{facet: f}
+	m.domains = make([]float64, len(f.Dims))
+	for i, d := range f.Dims {
+		m.domains[i] = domainSize(f, stats, d)
+	}
+	m.rows = patternRowEstimate(f, stats)
+	m.baseCost = m.rows
+	return m
+}
+
+// domainSize estimates a dimension's value-domain size from the statistics
+// of the predicate binding it.
+func domainSize(f *facet.Facet, stats *store.Stats, varName string) float64 {
+	for _, tp := range f.Pattern.Triples {
+		if tp.P.IsVar {
+			continue
+		}
+		for _, ps := range stats.Predicates {
+			if ps.Predicate.Value != tp.P.Term.Value {
+				continue
+			}
+			if tp.O.IsVar && tp.O.Var == varName {
+				return float64(ps.DistinctObjects)
+			}
+			if tp.S.IsVar && tp.S.Var == varName {
+				return float64(ps.DistinctSubjects)
+			}
+		}
+	}
+	return float64(stats.Triples) // unknown binding: pessimistic
+}
+
+// patternRowEstimate estimates the pre-aggregation binding count of the
+// facet pattern with the classic independence heuristic: the star join's
+// row count is driven by its largest predicate extension, expanded by the
+// average fan-out of each additional pattern.
+func patternRowEstimate(f *facet.Facet, stats *store.Stats) float64 {
+	rows := 1.0
+	for _, tp := range f.Pattern.Triples {
+		if tp.P.IsVar {
+			rows *= math.Sqrt(float64(stats.Triples) + 1)
+			continue
+		}
+		count := float64(stats.PredicateCount(tp.P.Term.Value))
+		if count == 0 {
+			return 1
+		}
+		// Each pattern multiplies rows by its average fan-out per already
+		// bound subject; for star patterns this is count / distinctSubjects.
+		var ds float64
+		for _, ps := range stats.Predicates {
+			if ps.Predicate.Value == tp.P.Term.Value {
+				ds = float64(ps.DistinctSubjects)
+			}
+		}
+		if ds == 0 {
+			ds = 1
+		}
+		if rows == 1 {
+			rows = count
+		} else {
+			rows *= count / ds
+		}
+	}
+	return rows
+}
+
+// Name implements Model.
+func (m *EstimatedModel) Name() string { return "estimated" }
+
+// Cost implements Model.
+func (m *EstimatedModel) Cost(v facet.View) float64 {
+	groups := 1.0
+	for i := range m.facet.Dims {
+		if v.Mask&(1<<i) != 0 {
+			groups *= m.domains[i]
+		}
+	}
+	if groups > m.rows {
+		groups = m.rows
+	}
+	return groups
+}
+
+// BaseCost implements Model.
+func (m *EstimatedModel) BaseCost() float64 { return m.baseCost }
+
+// interface guard: EstimatedModel must satisfy Model like the other six.
+var _ Model = (*EstimatedModel)(nil)

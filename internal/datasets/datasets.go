@@ -1,0 +1,87 @@
+// Package datasets provides deterministic synthetic generators for the three
+// demonstration datasets of §4 of the SOFOS paper — LUBM, DBpedia, and the
+// Semantic Web Dogfood (SWDF) — together with the analytical facet each
+// dataset is queried through.
+//
+// The originals are external artifacts (the LUBM UBA generator, DBpedia
+// dumps, the SWDF crawl); these generators reproduce their schema shape,
+// join structure, and value skew at a configurable scale so the lattice
+// sizes and cost-model stress points match, while keeping the repository
+// self-contained and the experiments reproducible (see DESIGN.md §2).
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sofos/internal/facet"
+	"sofos/internal/store"
+)
+
+// Spec describes one dataset: how to build its graph and its query facet.
+type Spec struct {
+	Name         string
+	Description  string
+	DefaultScale int
+	// Build generates the graph at the given scale with the given seed.
+	Build func(scale int, seed int64) (*store.Graph, error)
+	// Facet returns the dataset's analytical facet.
+	Facet func() (*facet.Facet, error)
+}
+
+// All returns the three demo datasets in presentation order.
+func All() []Spec {
+	return []Spec{LUBMSpec(), DBpediaSpec(), SWDFSpec()}
+}
+
+// ByName finds a dataset spec case-sensitively by its Name.
+func ByName(name string) (Spec, bool) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// Names lists the dataset names, sorted.
+func Names() []string {
+	var out []string
+	for _, s := range All() {
+		out = append(out, s.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BuildWithFacet builds both the graph and facet of a named dataset.
+func BuildWithFacet(name string, scale int, seed int64) (*store.Graph, *facet.Facet, error) {
+	spec, ok := ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("datasets: unknown dataset %q (have %v)", name, Names())
+	}
+	if scale <= 0 {
+		scale = spec.DefaultScale
+	}
+	g, err := spec.Build(scale, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := spec.Facet()
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, f, nil
+}
+
+// zipfIndex draws an index in [0, n) with a Zipf-like skew: real dimension
+// values (languages, venues, ranks) are heavily skewed, which is what
+// separates the cost models' behaviour from the uniform case.
+func zipfIndex(rng *rand.Rand, n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	z := rand.NewZipf(rng, s, 1, uint64(n-1))
+	return int(z.Uint64())
+}

@@ -1,0 +1,111 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+)
+
+// DBpedia-like namespace for the population knowledge graph of the paper's
+// Figure 1 and Example 1.1.
+const dbpNS = "http://dbpedia.org/property/"
+
+// DBpediaSpec returns the DBpedia-style dataset: countries on continents,
+// with population observations per (country, language, year). This is the
+// paper's running example — "what is the total amount of French-speaking
+// population in the American continent?" is a facet query over it.
+func DBpediaSpec() Spec {
+	return Spec{
+		Name:         "dbpedia",
+		Description:  "Country/language/year population observations (Fig. 1)",
+		DefaultScale: 40,
+		Build:        buildDBpedia,
+		Facet:        dbpediaFacet,
+	}
+}
+
+// dbpContinents are the continent dimension values.
+var dbpContinents = []string{"Europe", "Asia", "Africa", "America", "Oceania"}
+
+// dbpLanguages is the language pool; Zipf assignment makes a few languages
+// (English, French, Spanish) official in many countries — the skew the
+// paper's example exploits.
+var dbpLanguages = []string{
+	"English", "French", "Spanish", "Arabic", "Portuguese", "German",
+	"Russian", "Mandarin", "Hindi", "Swahili", "Italian", "Dutch",
+	"Turkish", "Japanese", "Korean", "Greek",
+}
+
+// buildDBpedia generates `scale` countries with 1-4 official languages each
+// and population observations for each (language, year) combination.
+func buildDBpedia(scale int, seed int64) (*store.Graph, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("datasets: dbpedia scale %d must be positive", scale)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := store.NewGraph()
+	dbp := func(local string) rdf.Term { return rdf.NewIRI(dbpNS + local) }
+	res := func(format string, args ...any) rdf.Term {
+		return rdf.NewIRI("http://dbpedia.org/resource/" + fmt.Sprintf(format, args...))
+	}
+	years := []int{2015, 2016, 2017, 2018, 2019}
+	nameP, contP := dbp("name"), dbp("continent")
+	countryP, langP, yearP, popP := dbp("country"), dbp("language"), dbp("year"), dbp("population")
+	obsID := 0
+	for c := 0; c < scale; c++ {
+		country := res("Country%d", c)
+		g.MustAdd(rdf.Triple{S: country, P: nameP, O: rdf.NewLiteral(fmt.Sprintf("Country%d", c))})
+		continent := dbpContinents[zipfIndex(rng, len(dbpContinents), 1.2)]
+		g.MustAdd(rdf.Triple{S: country, P: contP, O: rdf.NewLiteral(continent)})
+		// Base population in the millions, log-uniform-ish.
+		basePop := int64(1+rng.Intn(90)) * 1_000_000
+		nLangs := 1 + rng.Intn(4)
+		used := map[int]bool{}
+		for li := 0; li < nLangs; li++ {
+			idx := zipfIndex(rng, len(dbpLanguages), 1.3)
+			if used[idx] {
+				continue
+			}
+			used[idx] = true
+			lang := dbpLanguages[idx]
+			// Speaker share of the country's population for this language.
+			share := 0.2 + rng.Float64()*0.8
+			for _, y := range years {
+				// Slight yearly growth so MIN/MAX/AVG are non-trivial.
+				growth := 1 + 0.01*float64(y-years[0])*rng.Float64()
+				pop := int64(float64(basePop) * share * growth)
+				obs := res("obs%d", obsID)
+				obsID++
+				g.MustAdd(rdf.Triple{S: obs, P: countryP, O: country})
+				g.MustAdd(rdf.Triple{S: obs, P: langP, O: rdf.NewLiteral(lang)})
+				g.MustAdd(rdf.Triple{S: obs, P: yearP, O: rdf.NewYear(y)})
+				g.MustAdd(rdf.Triple{S: obs, P: popP, O: rdf.NewInteger(pop)})
+			}
+		}
+	}
+	return g, nil
+}
+
+// dbpediaFacet is the population facet of Example 1.1: total population per
+// (country, continent, language, year) — a SUM aggregation over a
+// 4-dimension lattice of 16 views. Queries like "total French-speaking
+// population in America" are roll-ups with FILTERs over it.
+func dbpediaFacet() (*facet.Facet, error) {
+	q, err := sparql.Parse(`PREFIX dbp: <` + dbpNS + `>
+SELECT ?country ?continent ?lang ?year (SUM(?pop) AS ?total) WHERE {
+  ?obs dbp:country ?c .
+  ?c dbp:name ?country .
+  ?c dbp:continent ?continent .
+  ?obs dbp:language ?lang .
+  ?obs dbp:year ?year .
+  ?obs dbp:population ?pop .
+} GROUP BY ?country ?continent ?lang ?year`)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: dbpedia facet: %w", err)
+	}
+	return facet.FromQuery("dbpedia-pop", q)
+}

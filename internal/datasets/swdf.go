@@ -1,0 +1,111 @@
+package datasets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+)
+
+// SWDF-like namespace for the Semantic Web Dogfood conference-metadata
+// graph (conferences, editions, papers, authors, affiliations).
+const swdfNS = "http://data.semanticweb.org/ns/swc/ontology#"
+
+// SWDFSpec returns the Semantic Web Dogfood dataset: conference series with
+// yearly editions, papers presented at editions, authors with affiliation
+// countries, and page counts per paper. The facet averages paper length per
+// (series, year, affiliation country) — an AVG aggregation, exercising the
+// (SUM, COUNT)-carrying roll-up machinery.
+func SWDFSpec() Spec {
+	return Spec{
+		Name:         "swdf",
+		Description:  "Semantic Web Dogfood: conferences, papers, authors",
+		DefaultScale: 6,
+		Build:        buildSWDF,
+		Facet:        swdfFacet,
+	}
+}
+
+// swdfSeries are the conference series names (ISWC, ESWC, ... ).
+var swdfSeries = []string{"ISWC", "ESWC", "WWW", "SIGMOD", "VLDB", "CIKM", "KDD", "EDBT"}
+
+// swdfCountries is the affiliation-country pool.
+var swdfCountries = []string{
+	"USA", "Germany", "Greece", "Denmark", "Italy", "France",
+	"UK", "Netherlands", "China", "Japan", "Austria", "Spain",
+}
+
+// buildSWDF generates `scale` conference series.
+func buildSWDF(scale int, seed int64) (*store.Graph, error) {
+	if scale <= 0 {
+		return nil, fmt.Errorf("datasets: swdf scale %d must be positive", scale)
+	}
+	if scale > len(swdfSeries) {
+		scale = len(swdfSeries)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := store.NewGraph()
+	swc := func(local string) rdf.Term { return rdf.NewIRI(swdfNS + local) }
+	res := func(format string, args ...any) rdf.Term {
+		return rdf.NewIRI("http://data.semanticweb.org/" + fmt.Sprintf(format, args...))
+	}
+	seriesP, yearP, presentedP := swc("series"), swc("year"), swc("presentedAt")
+	authorP, countryP, pagesP := swc("author"), swc("affiliationCountry"), swc("pages")
+	// A shared author pool across conferences: community overlap, as in the
+	// real Dogfood crawl.
+	nAuthors := 40 * scale
+	authors := make([]rdf.Term, nAuthors)
+	for a := 0; a < nAuthors; a++ {
+		authors[a] = res("person/author%d", a)
+		country := swdfCountries[zipfIndex(rng, len(swdfCountries), 1.2)]
+		g.MustAdd(rdf.Triple{S: authors[a], P: countryP, O: rdf.NewLiteral(country)})
+	}
+	for s := 0; s < scale; s++ {
+		serName := swdfSeries[s]
+		for _, year := range []int{2016, 2017, 2018, 2019} {
+			ed := res("conference/%s/%d", serName, year)
+			g.MustAdd(rdf.Triple{S: ed, P: seriesP, O: rdf.NewLiteral(serName)})
+			g.MustAdd(rdf.Triple{S: ed, P: yearP, O: rdf.NewYear(year)})
+			nPapers := 15 + rng.Intn(20)
+			for p := 0; p < nPapers; p++ {
+				paper := res("paper/%s%d-%d", serName, year, p)
+				g.MustAdd(rdf.Triple{S: paper, P: presentedP, O: ed})
+				g.MustAdd(rdf.Triple{S: paper, P: pagesP, O: rdf.NewInteger(int64(4 + rng.Intn(14)))})
+				nAuth := 1 + zipfIndex(rng, 5, 1.5)
+				seen := map[int]bool{}
+				for a := 0; a < nAuth; a++ {
+					ai := rng.Intn(nAuthors)
+					if seen[ai] {
+						continue
+					}
+					seen[ai] = true
+					g.MustAdd(rdf.Triple{S: paper, P: authorP, O: authors[ai]})
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// swdfFacet averages paper page counts per (conference series, year,
+// author-affiliation country): an AVG over a 3-dimension lattice. A paper
+// contributes once per author, matching SPARQL bag semantics for the
+// pattern — identical on base and view paths.
+func swdfFacet() (*facet.Facet, error) {
+	q, err := sparql.Parse(`PREFIX swc: <` + swdfNS + `>
+SELECT ?series ?year ?country (AVG(?pages) AS ?avgPages) WHERE {
+  ?paper swc:presentedAt ?ed .
+  ?ed swc:series ?series .
+  ?ed swc:year ?year .
+  ?paper swc:author ?auth .
+  ?auth swc:affiliationCountry ?country .
+  ?paper swc:pages ?pages .
+} GROUP BY ?series ?year ?country`)
+	if err != nil {
+		return nil, fmt.Errorf("datasets: swdf facet: %w", err)
+	}
+	return facet.FromQuery("swdf-pages", q)
+}

@@ -1,0 +1,583 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sofos/internal/algebra"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+)
+
+// Query aliases sparql.Query so engine callers need not import both
+// packages for the common parse-then-execute flow.
+type Query = sparql.Query
+
+// ParseQuery parses a SPARQL query in the SOFOS fragment.
+func ParseQuery(src string) (*Query, error) { return sparql.Parse(src) }
+
+// Options tune engine behaviour; the zero value is the production default.
+type Options struct {
+	// NaiveOrder disables greedy selectivity-based join ordering, executing
+	// triple patterns in query text order. Exists for the join-ordering
+	// ablation benchmark; results are identical, only performance differs.
+	NaiveOrder bool
+}
+
+// Engine executes queries against one graph.
+type Engine struct {
+	graph *store.Graph
+	opts  Options
+}
+
+// New returns an engine over g with default options.
+func New(g *store.Graph) *Engine { return &Engine{graph: g} }
+
+// NewWithOptions returns an engine with explicit options.
+func NewWithOptions(g *store.Graph, opts Options) *Engine {
+	return &Engine{graph: g, opts: opts}
+}
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *store.Graph { return e.graph }
+
+// ExecStats records work counters for performance analysis; SOFOS's online
+// module reports these alongside wall-clock time.
+type ExecStats struct {
+	PatternScans     int           // triple-pattern index lookups issued
+	IntermediateRows int64         // binding rows produced across all joins
+	ResultRows       int           // final rows returned
+	Elapsed          time.Duration // wall time of Execute
+}
+
+// Result is a solution sequence: named columns over rows of values.
+type Result struct {
+	Vars  []string
+	Rows  [][]algebra.Value
+	Stats ExecStats
+}
+
+// Sorted returns the rows rendered and sorted lexicographically — a
+// canonical form for result comparison in tests and rewrite validation.
+func (r *Result) Sorted() []string {
+	out := make([]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "\t"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Execute parses nothing: it runs an already-parsed query.
+func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
+	start := time.Now()
+	plan, err := compile(e.graph, q, e.opts)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.run(plan)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.Elapsed = time.Since(start)
+	res.Stats.ResultRows = len(res.Rows)
+	return res, nil
+}
+
+// ExecuteString parses and runs a query in one step.
+func (e *Engine) ExecuteString(src string) (*Result, error) {
+	q, err := sparql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q)
+}
+
+// Explain compiles the query and returns its physical plan.
+func (e *Engine) Explain(q *sparql.Query) (*Plan, error) {
+	return compile(e.graph, q, e.opts)
+}
+
+// binding is a working row of slot values; NoID means unbound. Aggregate
+// and expression evaluation decode IDs through the graph dictionary.
+type binding []rdf.ID
+
+// run executes a compiled plan.
+func (e *Engine) run(p *Plan) (*Result, error) {
+	q := p.query
+	res := &Result{}
+	if p.empty {
+		res.Vars = projectionVars(q)
+		if q.HasAggregates() && len(q.GroupBy) == 0 {
+			// Aggregates over an empty solution sequence produce one row
+			// (e.g. COUNT = 0).
+			row, keep := e.aggregateEmptyRow(q)
+			if keep {
+				res.Rows = append(res.Rows, row)
+			}
+		}
+		return res, nil
+	}
+
+	var rows []binding
+	var stats ExecStats
+	var err error
+	cap := rowCap(p)
+	if len(p.unions) > 0 {
+		// Bag union: concatenate the branch solution sequences.
+		for i := range p.unions {
+			br := &p.unions[i]
+			if br.empty {
+				continue
+			}
+			brCap := 0
+			if cap > 0 {
+				if len(rows) >= cap {
+					break
+				}
+				brCap = cap - len(rows)
+			}
+			brRows, err := e.runBranch(br, p, brCap, &stats)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, brRows...)
+		}
+	} else {
+		branch := p.main
+		rows, err = e.runBranch(&branch, p, cap, &stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out, err := e.finish(rows, p)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = stats
+	return out, nil
+}
+
+// rowCap returns the maximum number of solution rows worth producing for a
+// query, or 0 for unlimited. LIMIT can only terminate the join early when no
+// downstream operator (aggregation, DISTINCT, ORDER BY, optional left-joins,
+// late filters) could reorder or drop rows.
+func rowCap(p *Plan) int {
+	q := p.query
+	if q.Limit < 0 || q.HasAggregates() || len(q.GroupBy) > 0 ||
+		q.Distinct || len(q.OrderBy) > 0 || len(p.main.optionals) > 0 || len(p.main.lateFilter) > 0 {
+		return 0
+	}
+	for i := range p.unions {
+		if len(p.unions[i].optionals) > 0 || len(p.unions[i].lateFilter) > 0 {
+			return 0
+		}
+	}
+	return q.Limit + q.Offset
+}
+
+// runBranch executes one conjunctive branch: required steps, then optional
+// left-joins, then late filters. A non-zero cap bounds the produced rows
+// (LIMIT pushdown).
+func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats) ([]binding, error) {
+	rows := []binding{make(binding, len(p.vars))}
+	// VALUES clauses: cross product of the inline bindings.
+	for _, ib := range br.inline {
+		var next []binding
+		for _, row := range rows {
+			for _, id := range ib.ids {
+				nr := append(binding(nil), row...)
+				nr[ib.slot] = id
+				next = append(next, nr)
+			}
+		}
+		rows = next
+	}
+	rows, err := e.runSteps(rows, p, br.steps, cap, stats)
+	if err != nil {
+		return nil, err
+	}
+	for i := range br.optionals {
+		rows, err = e.runOptional(rows, p, &br.optionals[i], stats)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(br.lateFilter) > 0 {
+		kept := rows[:0]
+		for _, row := range rows {
+			if e.filtersPass(row, p, br.lateFilter) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// runSteps performs the binding-propagation join over the plan steps. A
+// non-zero cap stops producing rows on the final step once cap rows exist —
+// safe because every filter is attached to some step and nothing downstream
+// drops rows when the planner passes a cap (see rowCap).
+func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats *ExecStats) ([]binding, error) {
+	for si, st := range steps {
+		if len(rows) == 0 {
+			return rows, nil
+		}
+		last := si == len(steps)-1
+		var next []binding
+		for _, row := range rows {
+			if cap > 0 && last && len(next) >= cap {
+				break
+			}
+			stats.PatternScans++
+			e.matchPattern(row, st.pat, func(extended binding) bool {
+				if len(st.filters) == 0 || e.filtersPass(extended, p, st.filters) {
+					next = append(next, extended)
+					stats.IntermediateRows++
+				}
+				return !(cap > 0 && last && len(next) >= cap)
+			})
+		}
+		rows = next
+	}
+	return rows, nil
+}
+
+// runOptional left-joins each row with the optional block.
+func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *ExecStats) ([]binding, error) {
+	var out []binding
+	for _, row := range rows {
+		matches, err := e.runSteps([]binding{row}, p, op.steps, 0, stats)
+		if err != nil {
+			return nil, err
+		}
+		if len(op.lateFilter) > 0 {
+			kept := matches[:0]
+			for _, m := range matches {
+				if e.filtersPass(m, p, op.lateFilter) {
+					kept = append(kept, m)
+				}
+			}
+			matches = kept
+		}
+		if len(matches) == 0 {
+			// No match: keep the row with the optional's own slots unbound.
+			clean := append(binding(nil), row...)
+			for _, s := range op.ownSlots {
+				clean[s] = rdf.NoID
+			}
+			out = append(out, clean)
+			continue
+		}
+		out = append(out, matches...)
+	}
+	return out, nil
+}
+
+// matchPattern extends row with every graph match of the pattern, invoking
+// yield with a fresh extended row.
+func (e *Engine) matchPattern(row binding, cp compiledPattern, yield func(binding) bool) {
+	if cp.s.missing || cp.p.missing || cp.o.missing {
+		return // a constant term absent from the graph can never match
+	}
+	resolve := func(ct compiledTerm) rdf.ID {
+		if !ct.isVar {
+			return ct.id
+		}
+		return row[ct.slot] // NoID when unbound -> wildcard
+	}
+	s, p, o := resolve(cp.s), resolve(cp.p), resolve(cp.o)
+	e.graph.Match(s, p, o, func(ms, mp, mo rdf.ID) bool {
+		extended := append(binding(nil), row...)
+		if !bindComponent(extended, cp.s, ms) ||
+			!bindComponent(extended, cp.p, mp) ||
+			!bindComponent(extended, cp.o, mo) {
+			return true // shared-variable mismatch (e.g. ?x ?p ?x): skip
+		}
+		return yield(extended)
+	})
+}
+
+// bindComponent writes a matched ID into the row slot for variable
+// components, returning false on conflict with an existing binding.
+func bindComponent(row binding, ct compiledTerm, id rdf.ID) bool {
+	if !ct.isVar {
+		return true
+	}
+	if row[ct.slot] != rdf.NoID && row[ct.slot] != id {
+		return false
+	}
+	row[ct.slot] = id
+	return true
+}
+
+// filtersPass evaluates all filters against the row.
+func (e *Engine) filtersPass(row binding, p *Plan, filters []sparql.Expr) bool {
+	resolve := e.resolver(row, p)
+	for _, f := range filters {
+		if !algebra.EvalBool(f, resolve) {
+			return false
+		}
+	}
+	return true
+}
+
+// resolver adapts a binding row to the algebra.Resolver interface.
+func (e *Engine) resolver(row binding, p *Plan) algebra.Resolver {
+	return func(name string) algebra.Value {
+		s, ok := p.slots[name]
+		if !ok || row[s] == rdf.NoID {
+			return algebra.Unbound
+		}
+		return algebra.Bind(e.graph.Dict().Term(row[s]))
+	}
+}
+
+// projectionVars lists the output column names of a query.
+func projectionVars(q *sparql.Query) []string {
+	out := make([]string, len(q.Select))
+	for i, si := range q.Select {
+		out[i] = si.Var
+	}
+	return out
+}
+
+// finish applies grouping/aggregation, HAVING, projection, DISTINCT,
+// ORDER BY and LIMIT/OFFSET to the joined rows.
+func (e *Engine) finish(rows []binding, p *Plan) (*Result, error) {
+	q := p.query
+	res := &Result{Vars: projectionVars(q)}
+
+	if q.HasAggregates() || len(q.GroupBy) > 0 {
+		if err := e.finishAggregate(rows, p, res); err != nil {
+			return nil, err
+		}
+	} else {
+		for _, row := range rows {
+			out := make([]algebra.Value, len(q.Select))
+			for i, si := range q.Select {
+				s, ok := p.slots[si.Var]
+				if ok && row[s] != rdf.NoID {
+					out[i] = algebra.Bind(e.graph.Dict().Term(row[s]))
+				}
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	if q.Distinct {
+		res.Rows = dedupRows(res.Rows)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := orderRows(res, q); err != nil {
+			return nil, err
+		}
+	}
+	applyLimitOffset(res, q)
+	return res, nil
+}
+
+// groupState carries per-group accumulators.
+type groupState struct {
+	key  []algebra.Value // values of GroupBy vars
+	accs []algebra.Accumulator
+}
+
+// finishAggregate groups rows and computes aggregates.
+func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result) error {
+	q := p.query
+	groupSlots := make([]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		s, ok := p.slots[v]
+		if !ok {
+			return fmt.Errorf("engine: GROUP BY variable ?%s has no slot", v)
+		}
+		groupSlots[i] = s
+	}
+	aggItems := q.Aggregates()
+	groups := make(map[string]*groupState)
+	var orderKeys []string // deterministic group output order (first seen)
+
+	var keyBuf strings.Builder
+	for _, row := range rows {
+		keyBuf.Reset()
+		for _, s := range groupSlots {
+			fmt.Fprintf(&keyBuf, "%d,", row[s])
+		}
+		key := keyBuf.String()
+		g, ok := groups[key]
+		if !ok {
+			g = &groupState{}
+			for _, s := range groupSlots {
+				if row[s] != rdf.NoID {
+					g.key = append(g.key, algebra.Bind(e.graph.Dict().Term(row[s])))
+				} else {
+					g.key = append(g.key, algebra.Unbound)
+				}
+			}
+			for _, item := range aggItems {
+				g.accs = append(g.accs, algebra.NewAccumulator(item))
+			}
+			groups[key] = g
+			orderKeys = append(orderKeys, key)
+		}
+		for i, item := range aggItems {
+			if item.AggVar == "" { // COUNT(*)
+				g.accs[i].Add(algebra.Bind(rdf.NewBoolean(true)))
+				continue
+			}
+			s, ok := p.slots[item.AggVar]
+			if !ok || row[s] == rdf.NoID {
+				g.accs[i].Add(algebra.Unbound)
+				continue
+			}
+			g.accs[i].Add(algebra.Bind(e.graph.Dict().Term(row[s])))
+		}
+	}
+
+	// Aggregates without GROUP BY over an empty input yield a single group.
+	if len(rows) == 0 && len(q.GroupBy) == 0 {
+		row, keep := e.aggregateEmptyRow(q)
+		if keep {
+			res.Rows = append(res.Rows, row)
+		}
+		return nil
+	}
+
+	groupIdx := make(map[string]int, len(q.GroupBy))
+	for i, v := range q.GroupBy {
+		groupIdx[v] = i
+	}
+	for _, key := range orderKeys {
+		g := groups[key]
+		// Build the projected row plus a resolver for HAVING.
+		aggVals := make(map[string]algebra.Value, len(aggItems))
+		ai := 0
+		out := make([]algebra.Value, len(q.Select))
+		for i, si := range q.Select {
+			if si.Agg == sparql.AggNone {
+				out[i] = g.key[groupIdx[si.Var]]
+			} else {
+				v := g.accs[ai].Result()
+				aggVals[si.Var] = v
+				out[i] = v
+				ai++
+			}
+		}
+		if q.Having != nil {
+			resolve := func(name string) algebra.Value {
+				if v, ok := aggVals[name]; ok {
+					return v
+				}
+				if gi, ok := groupIdx[name]; ok {
+					return g.key[gi]
+				}
+				return algebra.Unbound
+			}
+			if !algebra.EvalBool(q.Having, resolve) {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return nil
+}
+
+// aggregateEmptyRow produces the single aggregate row over an empty input
+// (COUNT()=0, SUM()=0, MIN/MAX/AVG unbound); keep is false when HAVING
+// rejects it.
+func (e *Engine) aggregateEmptyRow(q *sparql.Query) ([]algebra.Value, bool) {
+	out := make([]algebra.Value, len(q.Select))
+	aggVals := make(map[string]algebra.Value)
+	for i, si := range q.Select {
+		acc := algebra.NewAccumulator(si)
+		v := acc.Result()
+		out[i] = v
+		aggVals[si.Var] = v
+	}
+	if q.Having != nil {
+		resolve := func(name string) algebra.Value { return aggVals[name] }
+		if !algebra.EvalBool(q.Having, resolve) {
+			return nil, false
+		}
+	}
+	return out, true
+}
+
+// dedupRows removes duplicate rows by rendered key, preserving order.
+func dedupRows(rows [][]algebra.Value) [][]algebra.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	var b strings.Builder
+	for _, row := range rows {
+		b.Reset()
+		for _, v := range row {
+			b.WriteString(v.String())
+			b.WriteByte('\x00')
+		}
+		k := b.String()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// orderRows sorts the result per ORDER BY.
+func orderRows(res *Result, q *sparql.Query) error {
+	idx := make(map[string]int, len(res.Vars))
+	for i, v := range res.Vars {
+		idx[v] = i
+	}
+	conds := make([]struct {
+		col  int
+		desc bool
+	}, len(q.OrderBy))
+	for i, oc := range q.OrderBy {
+		col, ok := idx[oc.Var]
+		if !ok {
+			return fmt.Errorf("engine: ORDER BY variable ?%s not in projection", oc.Var)
+		}
+		conds[i] = struct {
+			col  int
+			desc bool
+		}{col, oc.Desc}
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, c := range conds {
+			cmp := algebra.SortCompare(res.Rows[i][c.col], res.Rows[j][c.col])
+			if cmp != 0 {
+				if c.desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// applyLimitOffset trims the rows per OFFSET/LIMIT.
+func applyLimitOffset(res *Result, q *sparql.Query) {
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+}

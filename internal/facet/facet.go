@@ -1,0 +1,251 @@
+// Package facet implements analytical facets and the lattice of views they
+// induce (§3 of the SOFOS paper).
+//
+// A facet F = ⟨X, P, agg(u)⟩ describes the information to aggregate: X is the
+// ordered set of grouping (dimension) variables, P a SPARQL graph pattern,
+// u the measure variable, and agg one of {SUM, AVG, COUNT, MAX, MIN}. Every
+// subset X' ⊆ X defines a view V = ⟨X', P, agg(u)⟩ aggregating at a coarser
+// granularity; the 2^|X| views ordered by ⊆ form the view lattice V(F).
+package facet
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"sofos/internal/sparql"
+)
+
+// MaxDims bounds the number of dimension variables: the lattice has 2^d
+// views, and the demo's facets have 3-6 dimensions.
+const MaxDims = 16
+
+// Facet is an analytical facet F = ⟨X, P, agg(u)⟩.
+type Facet struct {
+	Name     string              // identifier used in view IRIs and reports
+	Dims     []string            // X: ordered dimension variable names
+	Measure  string              // u: the aggregated variable ("" for COUNT(*))
+	Agg      sparql.AggKind      // the aggregation expression
+	Pattern  sparql.GroupPattern // P
+	Prefixes map[string]string   // prefixes for rendering queries
+}
+
+// New validates and constructs a facet.
+func New(name string, dims []string, measure string, agg sparql.AggKind, pattern sparql.GroupPattern, prefixes map[string]string) (*Facet, error) {
+	f := &Facet{Name: name, Dims: dims, Measure: measure, Agg: agg, Pattern: pattern, Prefixes: prefixes}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FromQuery derives a facet from a template analytical query: GROUP BY
+// variables become the dimensions, the (single) aggregate becomes agg(u),
+// and the WHERE clause becomes P.
+func FromQuery(name string, q *sparql.Query) (*Facet, error) {
+	aggs := q.Aggregates()
+	if len(aggs) != 1 {
+		return nil, fmt.Errorf("facet: template query must have exactly one aggregate, got %d", len(aggs))
+	}
+	if len(q.GroupBy) == 0 {
+		return nil, fmt.Errorf("facet: template query must have GROUP BY dimensions")
+	}
+	return New(name, append([]string(nil), q.GroupBy...), aggs[0].AggVar, aggs[0].Agg, q.Where.Clone(), q.Prefixes)
+}
+
+// Validate checks structural invariants.
+func (f *Facet) Validate() error {
+	if f.Name == "" {
+		return fmt.Errorf("facet: empty name")
+	}
+	if len(f.Dims) == 0 {
+		return fmt.Errorf("facet %s: no dimension variables", f.Name)
+	}
+	if len(f.Dims) > MaxDims {
+		return fmt.Errorf("facet %s: %d dimensions exceed the maximum %d", f.Name, len(f.Dims), MaxDims)
+	}
+	if f.Agg == sparql.AggNone {
+		return fmt.Errorf("facet %s: missing aggregate", f.Name)
+	}
+	if f.Measure == "" && f.Agg != sparql.AggCount {
+		return fmt.Errorf("facet %s: %s requires a measure variable", f.Name, f.Agg)
+	}
+	patternVars := map[string]bool{}
+	for _, v := range f.Pattern.Vars() {
+		patternVars[v] = true
+	}
+	seen := map[string]bool{}
+	for _, d := range f.Dims {
+		if !patternVars[d] {
+			return fmt.Errorf("facet %s: dimension ?%s does not occur in the pattern", f.Name, d)
+		}
+		if seen[d] {
+			return fmt.Errorf("facet %s: duplicate dimension ?%s", f.Name, d)
+		}
+		if d == f.Measure {
+			return fmt.Errorf("facet %s: measure ?%s cannot also be a dimension", f.Name, d)
+		}
+		seen[d] = true
+	}
+	if f.Measure != "" && !patternVars[f.Measure] {
+		return fmt.Errorf("facet %s: measure ?%s does not occur in the pattern", f.Name, f.Measure)
+	}
+	return nil
+}
+
+// FullMask is the mask of the finest view (all dimensions).
+func (f *Facet) FullMask() Mask { return Mask(1<<len(f.Dims)) - 1 }
+
+// DimIndex returns the position of a dimension variable, or -1.
+func (f *Facet) DimIndex(name string) int {
+	for i, d := range f.Dims {
+		if d == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TemplateQuery renders the facet's own analytical query (the finest view's
+// query): SELECT X agg(u) WHERE P GROUP BY X.
+func (f *Facet) TemplateQuery() *sparql.Query {
+	return f.View(f.FullMask()).Query()
+}
+
+// String summarizes the facet.
+func (f *Facet) String() string {
+	return fmt.Sprintf("facet %s: ⟨{?%s}, P(%d patterns), %s(?%s)⟩",
+		f.Name, strings.Join(f.Dims, ", ?"), len(f.Pattern.Triples), f.Agg, f.Measure)
+}
+
+// Mask identifies a view within a facet's lattice: bit i set means Dims[i]
+// is kept as a grouping variable.
+type Mask uint32
+
+// Level is the number of kept dimensions.
+func (m Mask) Level() int { return bits.OnesCount32(uint32(m)) }
+
+// Subset reports whether m's dimensions are a subset of o's.
+func (m Mask) Subset(o Mask) bool { return m&o == m }
+
+// View is one node of the lattice: the facet restricted to the dimension
+// subset encoded by Mask.
+type View struct {
+	Facet *Facet
+	Mask  Mask
+}
+
+// View constructs the view for a mask.
+func (f *Facet) View(m Mask) View { return View{Facet: f, Mask: m} }
+
+// ViewByDims constructs the view keeping exactly the named dimensions.
+func (f *Facet) ViewByDims(dims ...string) (View, error) {
+	var m Mask
+	for _, d := range dims {
+		i := f.DimIndex(d)
+		if i < 0 {
+			return View{}, fmt.Errorf("facet %s: unknown dimension ?%s", f.Name, d)
+		}
+		m |= 1 << i
+	}
+	return f.View(m), nil
+}
+
+// Dims returns the kept dimension variables in facet order.
+func (v View) Dims() []string {
+	var out []string
+	for i, d := range v.Facet.Dims {
+		if v.Mask&(1<<i) != 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Level returns the number of kept dimensions (the lattice level).
+func (v View) Level() int { return v.Mask.Level() }
+
+// ID is a stable identifier like "country+lang" or "apex" for the empty
+// view, unique within the facet.
+func (v View) ID() string {
+	dims := v.Dims()
+	if len(dims) == 0 {
+		return "apex"
+	}
+	return strings.Join(dims, "+")
+}
+
+// IRI returns the view's IRI in the sofos namespace, used to tag its
+// materialized triples inside the expanded graph G+.
+func (v View) IRI() string {
+	return fmt.Sprintf("http://sofos.ics.forth.gr/view/%s/%s", v.Facet.Name, v.ID())
+}
+
+// Covers reports whether v can answer queries targeting w: v keeps a
+// superset of w's dimensions, so w is a roll-up of v.
+func (v View) Covers(w View) bool {
+	return v.Facet == w.Facet && w.Mask.Subset(v.Mask)
+}
+
+// Query builds the view's defining query ⟨X', P, agg(u)⟩:
+// SELECT X' (agg(?u) AS ?__agg) WHERE P GROUP BY X'. For the apex view
+// (no dimensions) the GROUP BY is omitted. The pattern P is kept whole so
+// that group multiplicities — and therefore roll-up results — are identical
+// at every level of the lattice.
+func (v View) Query() *sparql.Query {
+	dims := v.Dims()
+	q := &sparql.Query{
+		Prefixes: v.Facet.Prefixes,
+		Where:    v.Facet.Pattern.Clone(),
+		Limit:    -1,
+	}
+	for _, d := range dims {
+		q.Select = append(q.Select, sparql.SelectItem{Var: d})
+	}
+	q.Select = append(q.Select, sparql.SelectItem{
+		Var: AggAlias, Agg: v.Facet.Agg, AggVar: v.Facet.Measure,
+	})
+	if v.Facet.Agg == sparql.AggAvg {
+		// AVG views also carry SUM and COUNT so coarser views can be rolled
+		// up exactly from finer ones.
+		q.Select = append(q.Select,
+			sparql.SelectItem{Var: SumAlias, Agg: sparql.AggSum, AggVar: v.Facet.Measure},
+			sparql.SelectItem{Var: CountAlias, Agg: sparql.AggCount, AggVar: v.Facet.Measure},
+		)
+	}
+	q.GroupBy = dims
+	return q
+}
+
+// Aliases used by view-defining queries and the G+ encoding.
+const (
+	AggAlias   = "__agg"
+	SumAlias   = "__sum"
+	CountAlias = "__count"
+)
+
+// AnalyticalQuery builds the user-facing analytical query at this view's
+// granularity: SELECT X' (agg(?u) AS ?__agg) WHERE P GROUP BY X'. Unlike
+// Query it never adds the AVG roll-up companions, so it always has exactly
+// one aggregate — the form workload queries and rewriting probes take.
+func (v View) AnalyticalQuery() *sparql.Query {
+	dims := v.Dims()
+	q := &sparql.Query{
+		Prefixes: v.Facet.Prefixes,
+		Where:    v.Facet.Pattern.Clone(),
+		Limit:    -1,
+	}
+	for _, d := range dims {
+		q.Select = append(q.Select, sparql.SelectItem{Var: d})
+	}
+	q.Select = append(q.Select, sparql.SelectItem{
+		Var: AggAlias, Agg: v.Facet.Agg, AggVar: v.Facet.Measure,
+	})
+	q.GroupBy = dims
+	return q
+}
+
+// String renders the view for reports.
+func (v View) String() string {
+	return fmt.Sprintf("%s[%s]", v.Facet.Name, v.ID())
+}

@@ -1,0 +1,127 @@
+package learned
+
+import (
+	"math"
+
+	"sofos/internal/facet"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+)
+
+// Encoder maps views of one facet to fixed-width feature vectors, per the
+// paper's description: "we encode a query into a vector representing the
+// relationships, the attributes, and the type of aggregates in the query,
+// along with statistics about the relationship frequency and the attribute
+// frequency".
+type Encoder struct {
+	facet      *facet.Facet
+	stats      *store.Stats
+	dimDomain  []float64 // log(1+estimated value-domain size) per dimension
+	predFreqs  []float64 // log(1+count) for each pattern predicate
+	logTriples float64
+}
+
+// NewEncoder builds an encoder from the facet and graph statistics.
+func NewEncoder(f *facet.Facet, stats *store.Stats) *Encoder {
+	e := &Encoder{facet: f, stats: stats, logTriples: math.Log1p(float64(stats.Triples))}
+	// Relationship frequencies: one per constant predicate in the pattern.
+	for _, tp := range f.Pattern.Triples {
+		if !tp.P.IsVar {
+			e.predFreqs = append(e.predFreqs, math.Log1p(float64(stats.PredicateCount(tp.P.Term.Value))))
+		}
+	}
+	// Dimension domains: a dimension variable usually appears as the object
+	// of some pattern; the predicate's distinct-object count estimates the
+	// attribute's value-domain size.
+	e.dimDomain = make([]float64, len(f.Dims))
+	for i, d := range f.Dims {
+		e.dimDomain[i] = e.domainEstimate(d)
+	}
+	return e
+}
+
+// domainEstimate finds the distinct-object count of the predicate binding
+// the variable, falling back to distinct subjects or the graph size.
+func (e *Encoder) domainEstimate(varName string) float64 {
+	for _, tp := range e.facet.Pattern.Triples {
+		if tp.P.IsVar {
+			continue
+		}
+		if tp.O.IsVar && tp.O.Var == varName {
+			for _, ps := range e.stats.Predicates {
+				if ps.Predicate.Value == tp.P.Term.Value {
+					return math.Log1p(float64(ps.DistinctObjects))
+				}
+			}
+		}
+		if tp.S.IsVar && tp.S.Var == varName {
+			for _, ps := range e.stats.Predicates {
+				if ps.Predicate.Value == tp.P.Term.Value {
+					return math.Log1p(float64(ps.DistinctSubjects))
+				}
+			}
+		}
+	}
+	return math.Log1p(float64(e.stats.Triples))
+}
+
+// Dim returns the feature-vector width: per-dimension inclusion bits, the
+// level fraction, the estimated log group count, aggregate one-hot, pattern
+// size, graph size, and predicate-frequency statistics (mean, min, max).
+func (e *Encoder) Dim() int {
+	return len(e.facet.Dims) + 1 + 1 + 5 + 1 + 1 + 3
+}
+
+// Encode builds the feature vector of a view.
+func (e *Encoder) Encode(v facet.View) []float64 {
+	nd := len(e.facet.Dims)
+	x := make([]float64, 0, e.Dim())
+	// Per-dimension inclusion bits (the "attributes" of the query).
+	var logGroups float64
+	for i := 0; i < nd; i++ {
+		if v.Mask&(1<<i) != 0 {
+			x = append(x, 1)
+			logGroups += e.dimDomain[i]
+		} else {
+			x = append(x, 0)
+		}
+	}
+	// Level fraction.
+	x = append(x, float64(v.Level())/float64(nd))
+	// Estimated log group count (sum of log domain sizes = log of product).
+	x = append(x, logGroups)
+	// Aggregate type one-hot (the "type of aggregates").
+	for _, k := range []sparql.AggKind{sparql.AggCount, sparql.AggSum, sparql.AggAvg, sparql.AggMin, sparql.AggMax} {
+		if e.facet.Agg == k {
+			x = append(x, 1)
+		} else {
+			x = append(x, 0)
+		}
+	}
+	// Pattern size (the "relationships").
+	x = append(x, float64(len(e.facet.Pattern.Triples)))
+	// Graph size.
+	x = append(x, e.logTriples)
+	// Relationship frequency statistics.
+	mean, minV, maxV := freqStats(e.predFreqs)
+	x = append(x, mean, minV, maxV)
+	return x
+}
+
+// freqStats summarizes the predicate log-frequencies.
+func freqStats(fs []float64) (mean, minV, maxV float64) {
+	if len(fs) == 0 {
+		return 0, 0, 0
+	}
+	minV, maxV = fs[0], fs[0]
+	for _, f := range fs {
+		mean += f
+		if f < minV {
+			minV = f
+		}
+		if f > maxV {
+			maxV = f
+		}
+	}
+	return mean / float64(len(fs)), minV, maxV
+}

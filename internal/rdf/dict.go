@@ -1,0 +1,90 @@
+package rdf
+
+import "fmt"
+
+// ID is a dense dictionary identifier for a term. ID 0 is reserved and never
+// assigned, so it can be used as a "no term" sentinel by callers.
+type ID uint32
+
+// NoID is the reserved sentinel identifier.
+const NoID ID = 0
+
+// Dict interns terms to dense IDs and resolves IDs back to terms. It is the
+// dictionary-encoding layer every store and engine component builds on: all
+// triple indexes and bindings operate on IDs, and terms are only materialized
+// at the edges (parsing and result rendering).
+//
+// Dict is not safe for concurrent mutation; the store serializes access.
+type Dict struct {
+	byTerm map[Term]ID
+	terms  []Term // terms[i] corresponds to ID(i+1)
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byTerm: make(map[Term]ID)}
+}
+
+// Intern returns the ID for the term, assigning a fresh one if needed.
+func (d *Dict) Intern(t Term) ID {
+	if id, ok := d.byTerm[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.byTerm[t] = id
+	return id
+}
+
+// Lookup returns the ID of a term if it has been interned.
+func (d *Dict) Lookup(t Term) (ID, bool) {
+	id, ok := d.byTerm[t]
+	return id, ok
+}
+
+// Term resolves an ID back to its term. It panics on the sentinel or an
+// out-of-range ID, which always indicates a programming error.
+func (d *Dict) Term(id ID) Term {
+	if id == NoID || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("rdf: dictionary lookup of invalid id %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }
+
+// Clone returns an independent copy of the dictionary. The expanded graph G+
+// uses this so materialization does not mutate the base graph's dictionary.
+func (d *Dict) Clone() *Dict {
+	c := &Dict{
+		byTerm: make(map[Term]ID, len(d.byTerm)),
+		terms:  make([]Term, len(d.terms)),
+	}
+	copy(c.terms, d.terms)
+	for t, id := range d.byTerm {
+		c.byTerm[t] = id
+	}
+	return c
+}
+
+// EachTerm calls fn for every interned (id, term) pair in ID order.
+func (d *Dict) EachTerm(fn func(ID, Term) bool) {
+	for i, t := range d.terms {
+		if !fn(ID(i+1), t) {
+			return
+		}
+	}
+}
+
+// EncodedTriple is a dictionary-encoded triple.
+type EncodedTriple [3]ID
+
+// S returns the subject ID.
+func (e EncodedTriple) S() ID { return e[0] }
+
+// P returns the predicate ID.
+func (e EncodedTriple) P() ID { return e[1] }
+
+// O returns the object ID.
+func (e EncodedTriple) O() ID { return e[2] }

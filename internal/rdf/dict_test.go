@@ -1,0 +1,165 @@
+package rdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	a := NewIRI("http://a")
+	b := NewLiteral("b")
+
+	ida := d.Intern(a)
+	idb := d.Intern(b)
+	if ida == NoID || idb == NoID {
+		t.Fatal("interned IDs must not be the sentinel")
+	}
+	if ida == idb {
+		t.Fatal("distinct terms got the same ID")
+	}
+	if again := d.Intern(a); again != ida {
+		t.Errorf("re-intern returned %d, want %d", again, ida)
+	}
+	if got, ok := d.Lookup(a); !ok || got != ida {
+		t.Errorf("Lookup = %d,%v", got, ok)
+	}
+	if _, ok := d.Lookup(NewIRI("http://missing")); ok {
+		t.Error("Lookup of missing term succeeded")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if !d.Term(ida).Equal(a) || !d.Term(idb).Equal(b) {
+		t.Error("Term() did not resolve to original terms")
+	}
+}
+
+func TestDictTermPanicsOnInvalidID(t *testing.T) {
+	d := NewDict()
+	for _, id := range []ID{NoID, 99} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+}
+
+func TestDictClone(t *testing.T) {
+	d := NewDict()
+	a := d.Intern(NewIRI("http://a"))
+	c := d.Clone()
+	if c.Len() != 1 || !c.Term(a).Equal(NewIRI("http://a")) {
+		t.Fatal("clone lost contents")
+	}
+	// Mutating the clone must not affect the original.
+	c.Intern(NewIRI("http://b"))
+	if d.Len() != 1 {
+		t.Error("clone mutation leaked into original")
+	}
+	// And interning in the original must not appear in the clone.
+	d.Intern(NewIRI("http://c"))
+	if _, ok := c.Lookup(NewIRI("http://c")); ok {
+		t.Error("original mutation leaked into clone")
+	}
+}
+
+func TestDictEachTerm(t *testing.T) {
+	d := NewDict()
+	want := []Term{NewIRI("http://a"), NewBlank("b"), NewLiteral("c")}
+	for _, w := range want {
+		d.Intern(w)
+	}
+	var got []Term
+	d.EachTerm(func(id ID, term Term) bool {
+		if d.Term(id) != term {
+			t.Errorf("EachTerm id %d mismatch", id)
+		}
+		got = append(got, term)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("EachTerm visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("EachTerm[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	d.EachTerm(func(ID, Term) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early stop visited %d, want 1", n)
+	}
+}
+
+// TestDictRoundTripProperty checks intern/resolve identity over random terms.
+func TestDictRoundTripProperty(t *testing.T) {
+	d := NewDict()
+	prop := func(kind uint8, value string, dt uint8, lang bool) bool {
+		term := randomTerm(kind, value, dt, lang)
+		id := d.Intern(term)
+		return d.Term(id).Equal(term)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDictStableIDsProperty checks that interning is idempotent and IDs are
+// dense (1..Len).
+func TestDictStableIDsProperty(t *testing.T) {
+	d := NewDict()
+	rng := rand.New(rand.NewSource(7))
+	seen := make(map[Term]ID)
+	for i := 0; i < 2000; i++ {
+		term := randomTerm(uint8(rng.Intn(3)), randString(rng), uint8(rng.Intn(4)), rng.Intn(2) == 0)
+		id := d.Intern(term)
+		if prev, ok := seen[term]; ok && prev != id {
+			t.Fatalf("term %s changed ID %d -> %d", term, prev, id)
+		}
+		seen[term] = id
+		if int(id) < 1 || int(id) > d.Len() {
+			t.Fatalf("ID %d out of dense range 1..%d", id, d.Len())
+		}
+	}
+	if d.Len() != len(seen) {
+		t.Errorf("Len = %d, distinct terms = %d", d.Len(), len(seen))
+	}
+}
+
+// randomTerm builds a term from fuzz inputs, normalizing into valid shapes.
+func randomTerm(kind uint8, value string, dt uint8, lang bool) Term {
+	switch kind % 3 {
+	case 0:
+		return NewIRI("http://ex.org/" + value)
+	case 1:
+		if value == "" {
+			value = "b"
+		}
+		return NewBlank(value)
+	default:
+		dts := []string{"", XSDInteger, XSDDouble, XSDGYear}
+		term := NewTypedLiteral(value, dts[dt%4])
+		if lang && term.Datatype == "" {
+			term.Lang = "en"
+		}
+		return term
+	}
+}
+
+func randString(rng *rand.Rand) string {
+	const alpha = "abcdefgh0123"
+	n := rng.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[rng.Intn(len(alpha))]
+	}
+	return string(b)
+}

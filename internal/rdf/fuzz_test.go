@@ -1,0 +1,48 @@
+package rdf
+
+import "testing"
+
+// FuzzParse checks the N-Triples/Turtle parser never panics and that every
+// successfully parsed document round-trips through the canonical N-Triples
+// serialization.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`<http://s> <http://p> <http://o> .`,
+		`<http://s> <http://p> "lit"@en .`,
+		`_:b <http://p> "5"^^<http://www.w3.org/2001/XMLSchema#integer> .`,
+		`@prefix ex: <http://ex.org/> . ex:a ex:b ex:c .`,
+		`@prefix ex: <http://ex.org/> . ex:a ex:b 42, 3.5, true ; a ex:T .`,
+		`# comment only`,
+		`@base <http://ex.org/> . <s> <p> <o> .`,
+		`<http://s> <http://p> "esc\n\"q\"" .`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		triples, err := ParseString(src)
+		if err != nil {
+			return // invalid input is fine; panics are not
+		}
+		for _, tr := range triples {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("parser produced invalid triple %s: %v", tr, err)
+			}
+		}
+		// Round trip through canonical serialization.
+		text := NTriplesString(triples)
+		again, err := ParseString(text)
+		if err != nil {
+			t.Fatalf("canonical output does not re-parse: %v\n%s", err, text)
+		}
+		if len(again) != len(triples) {
+			t.Fatalf("round trip changed count %d -> %d", len(triples), len(again))
+		}
+		for i := range triples {
+			if again[i] != triples[i] {
+				t.Fatalf("round trip changed triple %d: %s -> %s", i, triples[i], again[i])
+			}
+		}
+	})
+}

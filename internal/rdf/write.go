@@ -1,0 +1,161 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteNTriples serializes triples in canonical N-Triples form, one per line,
+// in the order given.
+func WriteNTriples(w io.Writer, ts []Triple) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	for _, t := range ts {
+		if _, err := bw.WriteString(t.String()); err != nil {
+			return fmt.Errorf("rdf: writing triple: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("rdf: writing triple: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// NTriplesString renders triples to a string (convenience for tests and
+// the CLI inspectors).
+func NTriplesString(ts []Triple) string {
+	var b strings.Builder
+	for _, t := range ts {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TurtleWriter serializes triples in a compact Turtle form with prefix
+// abbreviation and subject grouping. Used by cmd/sofos-gen --format=ttl and
+// the view inspector.
+type TurtleWriter struct {
+	prefixes []prefixPair // longest-first for greedy matching
+}
+
+type prefixPair struct {
+	label, ns string
+}
+
+// NewTurtleWriter builds a writer with the given prefix map.
+func NewTurtleWriter(prefixes map[string]string) *TurtleWriter {
+	tw := &TurtleWriter{}
+	for label, ns := range prefixes {
+		tw.prefixes = append(tw.prefixes, prefixPair{label, ns})
+	}
+	sort.Slice(tw.prefixes, func(i, j int) bool {
+		if len(tw.prefixes[i].ns) != len(tw.prefixes[j].ns) {
+			return len(tw.prefixes[i].ns) > len(tw.prefixes[j].ns)
+		}
+		return tw.prefixes[i].ns < tw.prefixes[j].ns
+	})
+	return tw
+}
+
+// Write serializes the triples grouped by subject, sorted canonically.
+func (tw *TurtleWriter) Write(w io.Writer, ts []Triple) error {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	sorted := make([]Triple, len(ts))
+	copy(sorted, ts)
+	SortTriples(sorted)
+
+	labels := make([]string, 0, len(tw.prefixes))
+	for _, pp := range tw.prefixes {
+		labels = append(labels, pp.label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		ns := ""
+		for _, pp := range tw.prefixes {
+			if pp.label == label {
+				ns = pp.ns
+				break
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "@prefix %s: <%s> .\n", label, ns); err != nil {
+			return fmt.Errorf("rdf: writing prefixes: %w", err)
+		}
+	}
+	if len(labels) > 0 {
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("rdf: writing prefixes: %w", err)
+		}
+	}
+
+	for i := 0; i < len(sorted); {
+		subj := sorted[i].S
+		if _, err := bw.WriteString(tw.renderTerm(subj)); err != nil {
+			return fmt.Errorf("rdf: writing turtle: %w", err)
+		}
+		first := true
+		for i < len(sorted) && sorted[i].S.Equal(subj) {
+			pred := sorted[i].P
+			if first {
+				bw.WriteByte(' ') //nolint:errcheck
+				first = false
+			} else {
+				bw.WriteString(" ;\n\t") //nolint:errcheck
+			}
+			bw.WriteString(tw.renderPredicate(pred)) //nolint:errcheck
+			firstObj := true
+			for i < len(sorted) && sorted[i].S.Equal(subj) && sorted[i].P.Equal(pred) {
+				if firstObj {
+					bw.WriteByte(' ') //nolint:errcheck
+					firstObj = false
+				} else {
+					bw.WriteString(", ") //nolint:errcheck
+				}
+				bw.WriteString(tw.renderTerm(sorted[i].O)) //nolint:errcheck
+				i++
+			}
+		}
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return fmt.Errorf("rdf: writing turtle: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// renderPredicate abbreviates rdf:type to `a`, else defers to renderTerm.
+func (tw *TurtleWriter) renderPredicate(t Term) string {
+	if t.Kind == KindIRI && t.Value == RDFType {
+		return "a"
+	}
+	return tw.renderTerm(t)
+}
+
+// renderTerm abbreviates IRIs with known prefixes.
+func (tw *TurtleWriter) renderTerm(t Term) string {
+	if t.Kind == KindIRI {
+		for _, pp := range tw.prefixes {
+			if strings.HasPrefix(t.Value, pp.ns) {
+				local := t.Value[len(pp.ns):]
+				if isSafeLocal(local) {
+					return pp.label + ":" + local
+				}
+			}
+		}
+	}
+	return t.String()
+}
+
+// isSafeLocal reports whether a local name can be emitted unescaped.
+func isSafeLocal(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !isNameChar(r) || r == '.' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,405 @@
+// Package rewrite implements the online module's query translation (§3.2 of
+// the SOFOS paper): given an analytical query Q targeting a facet F, it
+// identifies the best materialized view that can answer Q, translates Q into
+// a query Q' over the view's blank-node encoding in the expanded graph G+,
+// re-aggregates the precomputed values to Q's granularity, and falls back to
+// the base graph G when no view is usable.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sofos/internal/algebra"
+	"sofos/internal/engine"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+	"sofos/internal/views"
+)
+
+// GroupVar is the variable bound to the group blank node in rewritten
+// queries; AggVar is bound to the stored aggregate value.
+const (
+	GroupVar = "__g"
+	AggVar   = "__v"
+	SumVar   = "__s"
+	CountVar = "__c"
+)
+
+// Answer is the outcome of answering one query.
+type Answer struct {
+	Result    *engine.Result
+	Via       *views.Materialized // nil when answered from the base graph
+	Rewritten *sparql.Query       // the translated query, nil for base answers
+	Reason    string              // why the base graph was used, "" otherwise
+	Elapsed   time.Duration       // total answering time including rewriting
+}
+
+// UsedView reports whether a materialized view served the answer.
+func (a *Answer) UsedView() bool { return a.Via != nil }
+
+// ViaLabel names the answering source for reports.
+func (a *Answer) ViaLabel() string {
+	if a.Via == nil {
+		return "base"
+	}
+	return a.Via.View().ID()
+}
+
+// Rewriter answers facet queries using a catalog of materialized views.
+type Rewriter struct {
+	catalog *views.Catalog
+}
+
+// New returns a rewriter over the catalog.
+func New(c *views.Catalog) *Rewriter { return &Rewriter{catalog: c} }
+
+// analysis is the decomposition of a query against the facet.
+type analysis struct {
+	groupMask  facet.Mask // dims in GROUP BY
+	filterMask facet.Mask // dims referenced by FILTERs
+	agg        sparql.SelectItem
+	reason     string // non-empty: not answerable from views
+}
+
+// analyze checks that q targets the catalog's facet and extracts the
+// dimension sets. A non-empty reason means only the base graph can answer.
+func (r *Rewriter) analyze(q *sparql.Query) analysis {
+	f := r.catalog.Facet()
+	aggs := q.Aggregates()
+	if len(aggs) != 1 {
+		return analysis{reason: "query must have exactly one aggregate"}
+	}
+	a := aggs[0]
+	if a.Agg != f.Agg {
+		return analysis{reason: fmt.Sprintf("aggregate %s differs from facet %s", a.Agg, f.Agg)}
+	}
+	if a.AggVar != f.Measure {
+		return analysis{reason: fmt.Sprintf("measure ?%s differs from facet ?%s", a.AggVar, f.Measure)}
+	}
+	if a.AggDistinct {
+		return analysis{reason: "DISTINCT aggregates cannot be answered from pre-aggregated views"}
+	}
+	if !samePattern(&q.Where, &f.Pattern) {
+		return analysis{reason: "query pattern does not match the facet pattern"}
+	}
+	out := analysis{agg: a}
+	for _, v := range q.GroupBy {
+		i := f.DimIndex(v)
+		if i < 0 {
+			return analysis{reason: fmt.Sprintf("grouping variable ?%s is not a facet dimension", v)}
+		}
+		out.groupMask |= 1 << i
+	}
+	for _, fe := range q.Where.Filters {
+		for _, v := range sparql.ExprVars(fe) {
+			i := f.DimIndex(v)
+			if i < 0 {
+				return analysis{reason: fmt.Sprintf("filter variable ?%s is not a facet dimension", v)}
+			}
+			out.filterMask |= 1 << i
+		}
+	}
+	// VALUES clauses constrain dimensions exactly like filters: the view
+	// must carry the constrained dimension, and the clause is replayed in
+	// the rewritten query.
+	for _, d := range q.Where.Values {
+		i := f.DimIndex(d.Var)
+		if i < 0 {
+			return analysis{reason: fmt.Sprintf("VALUES variable ?%s is not a facet dimension", d.Var)}
+		}
+		out.filterMask |= 1 << i
+	}
+	return out
+}
+
+// samePattern compares two graph patterns' triple sets (filters excluded:
+// query filters specialize the facet).
+func samePattern(q, f *sparql.GroupPattern) bool {
+	if len(q.Triples) != len(f.Triples) || len(q.Optionals) != len(f.Optionals) ||
+		len(q.Unions) != len(f.Unions) {
+		return false
+	}
+	qs := make([]string, len(q.Triples))
+	fs := make([]string, len(f.Triples))
+	for i := range q.Triples {
+		qs[i] = q.Triples[i].String()
+		fs[i] = f.Triples[i].String()
+	}
+	sort.Strings(qs)
+	sort.Strings(fs)
+	for i := range qs {
+		if qs[i] != fs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ChooseView returns the best materialized view able to answer a query
+// needing the given dimensions: the usable view with the fewest groups
+// (the "smallest possible view" rule of §3). ok is false when none usable.
+func (r *Rewriter) ChooseView(required facet.Mask) (*views.Materialized, bool) {
+	var best *views.Materialized
+	for _, m := range r.catalog.Materialized() {
+		if !required.Subset(m.View().Mask) {
+			continue
+		}
+		if best == nil || m.Data.NumGroups() < best.Data.NumGroups() {
+			best = m
+		}
+	}
+	return best, best != nil
+}
+
+// Answer answers q, preferring materialized views.
+func (r *Rewriter) Answer(q *sparql.Query) (*Answer, error) {
+	start := time.Now()
+	an := r.analyze(q)
+	if an.reason != "" {
+		return r.answerBase(q, an.reason, start)
+	}
+	mat, ok := r.ChooseView(an.groupMask | an.filterMask)
+	if !ok {
+		return r.answerBase(q, "no materialized view covers the query dimensions", start)
+	}
+	rq, err := r.translate(q, an, mat)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: translating %s: %w", mat.View(), err)
+	}
+	res, err := r.catalog.ExpandedEngine().Execute(rq)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: executing rewritten query: %w", err)
+	}
+	final, err := postProcess(q, an, res)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{
+		Result:    final,
+		Via:       mat,
+		Rewritten: rq,
+		Elapsed:   time.Since(start),
+	}, nil
+}
+
+// answerBase executes q on the base graph G.
+func (r *Rewriter) answerBase(q *sparql.Query, reason string, start time.Time) (*Answer, error) {
+	res, err := r.catalog.BaseEngine().Execute(q)
+	if err != nil {
+		return nil, fmt.Errorf("rewrite: base execution: %w", err)
+	}
+	return &Answer{Result: res, Reason: reason, Elapsed: time.Since(start)}, nil
+}
+
+// translate builds the rewritten query over the view encoding:
+//
+//	SELECT Xq (reagg(?__v) AS ?alias) WHERE {
+//	    ?__g sofos:inView <view> .
+//	    ?__g sofos:d_x ?x .          for x ∈ Xq ∪ filter dims
+//	    ?__g sofos:agg ?__v .        (aggSum/aggCount for AVG)
+//	    FILTER ...                   original filters
+//	} GROUP BY Xq
+//
+// HAVING, ORDER BY, DISTINCT and LIMIT/OFFSET are applied by postProcess so
+// AVG recombination happens first.
+func (r *Rewriter) translate(q *sparql.Query, an analysis, mat *views.Materialized) (*sparql.Query, error) {
+	f := r.catalog.Facet()
+	v := mat.View()
+	g := sparql.Variable(GroupVar)
+	rq := &sparql.Query{Prefixes: q.Prefixes, Limit: -1}
+	rq.Where.Triples = append(rq.Where.Triples, sparql.TriplePattern{
+		S: g,
+		P: (iri(views.PredInView)),
+		O: (iri(v.IRI())),
+	})
+	needed := an.groupMask | an.filterMask
+	for i, d := range f.Dims {
+		if needed&(1<<i) == 0 {
+			continue
+		}
+		rq.Where.Triples = append(rq.Where.Triples, sparql.TriplePattern{
+			S: g,
+			P: (iri(views.DimPredicate(d))),
+			O: sparql.Variable(d),
+		})
+	}
+	isAvg := f.Agg == sparql.AggAvg
+	if isAvg {
+		rq.Where.Triples = append(rq.Where.Triples,
+			sparql.TriplePattern{S: g, P: (iri(views.PredSum)), O: sparql.Variable(SumVar)},
+			sparql.TriplePattern{S: g, P: (iri(views.PredCount)), O: sparql.Variable(CountVar)},
+		)
+	} else {
+		rq.Where.Triples = append(rq.Where.Triples, sparql.TriplePattern{
+			S: g, P: (iri(views.PredAgg)), O: sparql.Variable(AggVar),
+		})
+	}
+	rq.Where.Filters = append(rq.Where.Filters, q.Where.Filters...)
+	rq.Where.Values = append(rq.Where.Values, q.Where.Values...)
+
+	// Projection: original select order, re-aggregating stored values.
+	for _, si := range q.Select {
+		if si.Agg == sparql.AggNone {
+			rq.Select = append(rq.Select, si)
+			continue
+		}
+		if isAvg {
+			rq.Select = append(rq.Select,
+				sparql.SelectItem{Var: SumVar + "_agg", Agg: sparql.AggSum, AggVar: SumVar},
+				sparql.SelectItem{Var: CountVar + "_agg", Agg: sparql.AggSum, AggVar: CountVar},
+			)
+			continue
+		}
+		rq.Select = append(rq.Select, sparql.SelectItem{
+			Var: si.Var, Agg: reaggKind(f.Agg), AggVar: AggVar,
+		})
+	}
+	rq.GroupBy = append([]string(nil), q.GroupBy...)
+	if err := rq.Validate(); err != nil {
+		return nil, fmt.Errorf("rewrite: produced invalid query: %w (query: %s)", err, rq)
+	}
+	return rq, nil
+}
+
+// reaggKind maps the facet aggregate to the re-aggregation operator applied
+// over per-group stored values: partial SUMs and COUNTs recombine by SUM,
+// MIN/MAX by themselves.
+func reaggKind(agg sparql.AggKind) sparql.AggKind {
+	switch agg {
+	case sparql.AggCount:
+		return sparql.AggSum
+	default:
+		return agg
+	}
+}
+
+func iri(s string) sparql.PatternTerm {
+	return sparql.Constant(rdf.NewIRI(s))
+}
+
+// postProcess finalizes the rewritten result: recombines AVG from (sum,
+// count) columns, then applies the original query's HAVING, DISTINCT,
+// ORDER BY, and LIMIT/OFFSET.
+func postProcess(q *sparql.Query, an analysis, res *engine.Result) (*engine.Result, error) {
+	out := &engine.Result{Vars: make([]string, len(q.Select)), Stats: res.Stats}
+	for i, si := range q.Select {
+		out.Vars[i] = si.Var
+	}
+	isAvg := an.agg.Agg == sparql.AggAvg
+	colOf := make(map[string]int, len(res.Vars))
+	for i, v := range res.Vars {
+		colOf[v] = i
+	}
+	for _, row := range res.Rows {
+		orow := make([]algebra.Value, len(q.Select))
+		for i, si := range q.Select {
+			if si.Agg == sparql.AggNone {
+				orow[i] = row[colOf[si.Var]]
+				continue
+			}
+			if isAvg {
+				sumV := row[colOf[SumVar+"_agg"]]
+				cntV := row[colOf[CountVar+"_agg"]]
+				if sumV.Bound && cntV.Bound {
+					s, _ := algebra.NumericValue(sumV.Term)
+					c, _ := algebra.NumericValue(cntV.Term)
+					if c > 0 {
+						orow[i] = algebra.Bind(algebra.FormatFloat(s / c))
+					}
+				}
+				continue
+			}
+			orow[i] = row[colOf[si.Var]]
+		}
+		orow = orow[:len(q.Select)]
+		if q.Having != nil {
+			resolve := func(name string) algebra.Value {
+				for i, v := range out.Vars {
+					if v == name {
+						return orow[i]
+					}
+				}
+				return algebra.Unbound
+			}
+			if !algebra.EvalBool(q.Having, resolve) {
+				continue
+			}
+		}
+		out.Rows = append(out.Rows, orow)
+	}
+	if q.Distinct {
+		out.Rows = dedup(out.Rows)
+	}
+	if len(q.OrderBy) > 0 {
+		if err := sortRows(out, q.OrderBy); err != nil {
+			return nil, err
+		}
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out.Rows) {
+			out.Rows = nil
+		} else {
+			out.Rows = out.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(out.Rows) {
+		out.Rows = out.Rows[:q.Limit]
+	}
+	out.Stats.ResultRows = len(out.Rows)
+	return out, nil
+}
+
+// dedup removes duplicate rows preserving order.
+func dedup(rows [][]algebra.Value) [][]algebra.Value {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, row := range rows {
+		key := ""
+		for _, v := range row {
+			key += v.String() + "\x00"
+		}
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// sortRows orders rows per the ORDER BY conditions.
+func sortRows(res *engine.Result, conds []sparql.OrderCond) error {
+	idx := make(map[string]int, len(res.Vars))
+	for i, v := range res.Vars {
+		idx[v] = i
+	}
+	cols := make([]struct {
+		col  int
+		desc bool
+	}, len(conds))
+	for i, oc := range conds {
+		c, ok := idx[oc.Var]
+		if !ok {
+			return fmt.Errorf("rewrite: ORDER BY variable ?%s not projected", oc.Var)
+		}
+		cols[i] = struct {
+			col  int
+			desc bool
+		}{c, oc.Desc}
+	}
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, c := range cols {
+			cmp := algebra.SortCompare(res.Rows[i][c.col], res.Rows[j][c.col])
+			if cmp != 0 {
+				if c.desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return nil
+}

@@ -1,0 +1,425 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sofos/internal/rdf"
+)
+
+// AggKind enumerates the aggregation expressions the paper supports:
+// {SUM, AVG, COUNT, MAX, MIN}.
+type AggKind int
+
+// Aggregate kinds. AggNone marks a plain (non-aggregated) select item.
+const (
+	AggNone AggKind = iota
+	AggCount
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SPARQL spelling of the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(a))
+	}
+}
+
+// ParseAggKind maps a spelling to its AggKind.
+func ParseAggKind(s string) (AggKind, error) {
+	switch strings.ToUpper(s) {
+	case "COUNT":
+		return AggCount, nil
+	case "SUM":
+		return AggSum, nil
+	case "AVG":
+		return AggAvg, nil
+	case "MIN":
+		return AggMin, nil
+	case "MAX":
+		return AggMax, nil
+	default:
+		return AggNone, fmt.Errorf("sparql: unknown aggregate %q", s)
+	}
+}
+
+// PatternTerm is one component of a triple pattern: either a variable or a
+// concrete RDF term.
+type PatternTerm struct {
+	IsVar bool
+	Var   string   // when IsVar
+	Term  rdf.Term // when !IsVar
+}
+
+// Variable builds a variable pattern term.
+func Variable(name string) PatternTerm { return PatternTerm{IsVar: true, Var: name} }
+
+// Constant builds a concrete pattern term.
+func Constant(t rdf.Term) PatternTerm { return PatternTerm{Term: t} }
+
+// String renders the pattern term in SPARQL syntax.
+func (pt PatternTerm) String() string {
+	if pt.IsVar {
+		return "?" + pt.Var
+	}
+	return pt.Term.String()
+}
+
+// TriplePattern is one triple pattern in a basic graph pattern.
+type TriplePattern struct {
+	S, P, O PatternTerm
+}
+
+// String renders the triple pattern.
+func (tp TriplePattern) String() string {
+	return tp.S.String() + " " + tp.P.String() + " " + tp.O.String() + " ."
+}
+
+// Vars returns the variable names in the pattern, in S,P,O order without
+// duplicates.
+func (tp TriplePattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, pt := range []PatternTerm{tp.S, tp.P, tp.O} {
+		if pt.IsVar && !seen[pt.Var] {
+			seen[pt.Var] = true
+			out = append(out, pt.Var)
+		}
+	}
+	return out
+}
+
+// InlineData is a single-variable VALUES clause: `VALUES ?v { t1 t2 ... }`,
+// restricting ?v to the listed terms. The variable must also occur in a
+// triple pattern (enforced by Query.Validate), which keeps execution within
+// the dictionary-encoded engine.
+type InlineData struct {
+	Var   string
+	Terms []rdf.Term
+}
+
+// String renders the clause.
+func (d InlineData) String() string {
+	var b strings.Builder
+	b.WriteString("VALUES ?")
+	b.WriteString(d.Var)
+	b.WriteString(" {")
+	for _, t := range d.Terms {
+		b.WriteByte(' ')
+		b.WriteString(t.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// GroupPattern is a graph pattern: a basic graph pattern (conjunctive triple
+// patterns) plus FILTER constraints, VALUES clauses, and OPTIONAL
+// sub-patterns — or, when Unions is non-empty, a top-level alternation
+// `{A} UNION {B} UNION ...` of plain groups (the SOFOS fragment does not
+// nest unions inside joins).
+type GroupPattern struct {
+	Triples   []TriplePattern
+	Filters   []Expr
+	Values    []InlineData
+	Optionals []GroupPattern
+	Unions    []GroupPattern // alternation branches; exclusive with the above
+}
+
+// IsUnion reports whether the pattern is an alternation.
+func (g *GroupPattern) IsUnion() bool { return len(g.Unions) > 0 }
+
+// Vars returns all variables appearing in triple patterns of the group,
+// including nested optionals, in first-appearance order.
+func (g *GroupPattern) Vars() []string {
+	var out []string
+	seen := map[string]bool{}
+	add := func(names []string) {
+		for _, n := range names {
+			if !seen[n] {
+				seen[n] = true
+				out = append(out, n)
+			}
+		}
+	}
+	for _, tp := range g.Triples {
+		add(tp.Vars())
+	}
+	for i := range g.Optionals {
+		add(g.Optionals[i].Vars())
+	}
+	for i := range g.Unions {
+		add(g.Unions[i].Vars())
+	}
+	return out
+}
+
+// Clone deep-copies the pattern (expressions are immutable and shared).
+func (g *GroupPattern) Clone() GroupPattern {
+	c := GroupPattern{
+		Triples: append([]TriplePattern(nil), g.Triples...),
+		Filters: append([]Expr(nil), g.Filters...),
+		Values:  append([]InlineData(nil), g.Values...),
+	}
+	for i := range g.Optionals {
+		c.Optionals = append(c.Optionals, g.Optionals[i].Clone())
+	}
+	for i := range g.Unions {
+		c.Unions = append(c.Unions, g.Unions[i].Clone())
+	}
+	return c
+}
+
+// SelectItem is one projection of a SELECT clause: a plain variable or an
+// aggregate expression bound to an alias, e.g. (SUM(?pop) AS ?total).
+type SelectItem struct {
+	Var         string  // plain variable name, or alias when Agg != AggNone
+	Agg         AggKind // AggNone for plain variables
+	AggVar      string  // the aggregated variable; "" means COUNT(*)
+	AggDistinct bool    // COUNT(DISTINCT ?x)
+}
+
+// String renders the select item.
+func (si SelectItem) String() string {
+	if si.Agg == AggNone {
+		return "?" + si.Var
+	}
+	inner := "*"
+	if si.AggVar != "" {
+		inner = "?" + si.AggVar
+	}
+	if si.AggDistinct {
+		inner = "DISTINCT " + inner
+	}
+	return fmt.Sprintf("(%s(%s) AS ?%s)", si.Agg, inner, si.Var)
+}
+
+// OrderCond is one ORDER BY condition.
+type OrderCond struct {
+	Var  string
+	Desc bool
+}
+
+// Query is a parsed SPARQL SELECT query.
+type Query struct {
+	Prefixes map[string]string
+	Select   []SelectItem
+	Distinct bool
+	Where    GroupPattern
+	GroupBy  []string
+	Having   Expr // nil when absent
+	OrderBy  []OrderCond
+	Limit    int // -1 when absent
+	Offset   int // 0 when absent
+}
+
+// HasAggregates reports whether any select item aggregates.
+func (q *Query) HasAggregates() bool {
+	for _, si := range q.Select {
+		if si.Agg != AggNone {
+			return true
+		}
+	}
+	return false
+}
+
+// Aggregates returns the aggregate select items.
+func (q *Query) Aggregates() []SelectItem {
+	var out []SelectItem
+	for _, si := range q.Select {
+		if si.Agg != AggNone {
+			out = append(out, si)
+		}
+	}
+	return out
+}
+
+// Validate performs semantic checks: aggregate/group-by consistency and
+// variable scoping.
+func (q *Query) Validate() error {
+	if len(q.Select) == 0 {
+		return fmt.Errorf("sparql: empty SELECT clause")
+	}
+	patternVars := map[string]bool{}
+	for _, v := range q.Where.Vars() {
+		patternVars[v] = true
+	}
+	grouped := map[string]bool{}
+	for _, v := range q.GroupBy {
+		if !patternVars[v] {
+			return fmt.Errorf("sparql: GROUP BY variable ?%s does not occur in the pattern", v)
+		}
+		grouped[v] = true
+	}
+	hasAgg := q.HasAggregates()
+	for _, si := range q.Select {
+		if si.Agg == AggNone {
+			if !patternVars[si.Var] {
+				return fmt.Errorf("sparql: selected variable ?%s does not occur in the pattern", si.Var)
+			}
+			if (hasAgg || len(q.GroupBy) > 0) && !grouped[si.Var] {
+				return fmt.Errorf("sparql: variable ?%s selected outside aggregate without GROUP BY", si.Var)
+			}
+		} else {
+			if si.AggVar != "" && !patternVars[si.AggVar] {
+				return fmt.Errorf("sparql: aggregated variable ?%s does not occur in the pattern", si.AggVar)
+			}
+			if si.Agg != AggCount && si.AggVar == "" {
+				return fmt.Errorf("sparql: %s(*) is only valid for COUNT", si.Agg)
+			}
+		}
+	}
+	if q.Having != nil && !hasAgg && len(q.GroupBy) == 0 {
+		return fmt.Errorf("sparql: HAVING requires grouping or aggregation")
+	}
+	for _, oc := range q.OrderBy {
+		found := patternVars[oc.Var]
+		for _, si := range q.Select {
+			if si.Var == oc.Var {
+				found = true
+			}
+		}
+		if !found {
+			return fmt.Errorf("sparql: ORDER BY variable ?%s is not bound", oc.Var)
+		}
+	}
+	return validateValues(&q.Where, patternVars)
+}
+
+// validateValues checks every VALUES clause: non-empty term list and a
+// variable that also occurs in a triple pattern (the engine joins inline
+// data against pattern bindings, so a VALUES-only variable has no home).
+func validateValues(g *GroupPattern, patternVars map[string]bool) error {
+	for _, d := range g.Values {
+		if len(d.Terms) == 0 {
+			return fmt.Errorf("sparql: VALUES ?%s has no terms", d.Var)
+		}
+		if !patternVars[d.Var] {
+			return fmt.Errorf("sparql: VALUES variable ?%s does not occur in a triple pattern", d.Var)
+		}
+	}
+	for i := range g.Unions {
+		if err := validateValues(&g.Unions[i], patternVars); err != nil {
+			return err
+		}
+	}
+	for i := range g.Optionals {
+		if len(g.Optionals[i].Values) > 0 {
+			return fmt.Errorf("sparql: VALUES inside OPTIONAL is not supported in the SOFOS fragment")
+		}
+	}
+	return nil
+}
+
+// String reconstructs a canonical SPARQL text for the query. The output is
+// re-parsable and is used for logging, the CLI, and golden tests.
+func (q *Query) String() string {
+	var b strings.Builder
+	labels := make([]string, 0, len(q.Prefixes))
+	for l := range q.Prefixes {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&b, "PREFIX %s: <%s>\n", l, q.Prefixes[l])
+	}
+	b.WriteString("SELECT ")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, si := range q.Select {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(si.String())
+	}
+	b.WriteString(" WHERE {\n")
+	writeGroupBody(&b, &q.Where, "  ")
+	b.WriteString("}")
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY")
+		for _, v := range q.GroupBy {
+			b.WriteString(" ?")
+			b.WriteString(v)
+		}
+	}
+	if q.Having != nil {
+		b.WriteString(" HAVING (")
+		b.WriteString(q.Having.String())
+		b.WriteString(")")
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY")
+		for _, oc := range q.OrderBy {
+			if oc.Desc {
+				b.WriteString(" DESC(?")
+				b.WriteString(oc.Var)
+				b.WriteString(")")
+			} else {
+				b.WriteString(" ?")
+				b.WriteString(oc.Var)
+			}
+		}
+	}
+	if q.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", q.Limit)
+	}
+	if q.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", q.Offset)
+	}
+	return b.String()
+}
+
+// writeGroupBody renders the triples, filters, and optionals of a group.
+func writeGroupBody(b *strings.Builder, g *GroupPattern, indent string) {
+	for _, tp := range g.Triples {
+		b.WriteString(indent)
+		b.WriteString(tp.String())
+		b.WriteByte('\n')
+	}
+	for _, f := range g.Filters {
+		b.WriteString(indent)
+		b.WriteString("FILTER (")
+		b.WriteString(f.String())
+		b.WriteString(")\n")
+	}
+	for _, d := range g.Values {
+		b.WriteString(indent)
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	for i := range g.Optionals {
+		b.WriteString(indent)
+		b.WriteString("OPTIONAL {\n")
+		writeGroupBody(b, &g.Optionals[i], indent+"  ")
+		b.WriteString(indent)
+		b.WriteString("}\n")
+	}
+	for i := range g.Unions {
+		if i > 0 {
+			b.WriteString(indent)
+			b.WriteString("UNION\n")
+		}
+		b.WriteString(indent)
+		b.WriteString("{\n")
+		writeGroupBody(b, &g.Unions[i], indent+"  ")
+		b.WriteString(indent)
+		b.WriteString("}\n")
+	}
+}

@@ -1,0 +1,35 @@
+package sparql
+
+import "testing"
+
+// FuzzParse checks the SPARQL parser never panics and that String() of a
+// parsed query is a re-parsable fixpoint.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`SELECT ?s WHERE { ?s ?p ?o . }`,
+		`SELECT * WHERE { ?s ?p ?o . }`,
+		`PREFIX ex: <http://ex.org/> SELECT ?x (SUM(?v) AS ?t) WHERE { ?x ex:v ?v . FILTER (?v > 3 && ?v < 10) } GROUP BY ?x HAVING (?t >= 5) ORDER BY DESC(?t) LIMIT 3 OFFSET 1`,
+		`SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o . OPTIONAL { ?s ?q ?r . } }`,
+		`SELECT ?c WHERE { { ?c <http://a> ?o . } UNION { ?c <http://b> ?o . } }`,
+		`SELECT ?x WHERE { ?x <http://p> "s"@en . FILTER (REGEX(STR(?x), "a", "i")) }`,
+		``,
+		`SELECT`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := q.String()
+		q2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("String() output does not re-parse: %v\noriginal: %q\nrendered: %s", err, src, text)
+		}
+		if q2.String() != text {
+			t.Fatalf("String() not a fixpoint:\n%s\nvs\n%s", text, q2.String())
+		}
+	})
+}

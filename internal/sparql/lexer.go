@@ -1,0 +1,445 @@
+// Package sparql implements the lexer, abstract syntax tree, and parser for
+// the SPARQL fragment SOFOS needs: SELECT queries with basic graph patterns,
+// FILTER constraints, OPTIONAL blocks, GROUP BY with the aggregates
+// {SUM, AVG, COUNT, MAX, MIN}, HAVING, ORDER BY, DISTINCT, LIMIT and OFFSET.
+// This is exactly the query form of §3 of the paper:
+//
+//	SELECT ?x ... agg(?u) WHERE P [FILTER ...] GROUP BY ?x ...
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind enumerates lexical token classes.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokKeyword
+	TokVar    // ?name or $name
+	TokIRI    // <...>
+	TokPName  // prefix:local or prefix:
+	TokBlank  // _:label
+	TokString // "..." with optional @lang or ^^type attached by the parser
+	TokNumber // integer/decimal/double
+	TokLBrace // {
+	TokRBrace // }
+	TokLParen // (
+	TokRParen // )
+	TokDot    // .
+	TokSemi   // ;
+	TokComma  // ,
+	TokStar   // *
+	TokEq     // =
+	TokNeq    // !=
+	TokLt     // <  (disambiguated from IRI by lookahead)
+	TokGt     // >
+	TokLe     // <=
+	TokGe     // >=
+	TokAnd    // &&
+	TokOr     // ||
+	TokBang   // !
+	TokPlus   // +
+	TokMinus  // -
+	TokSlash  // /
+	TokAt     // @lang (attached to preceding string by parser)
+	TokDTyp   // ^^
+)
+
+// String names the token kind for diagnostics.
+func (k TokenKind) String() string {
+	names := map[TokenKind]string{
+		TokEOF: "EOF", TokKeyword: "keyword", TokVar: "variable", TokIRI: "IRI",
+		TokPName: "prefixed name", TokBlank: "blank node", TokString: "string",
+		TokNumber: "number", TokLBrace: "{", TokRBrace: "}", TokLParen: "(",
+		TokRParen: ")", TokDot: ".", TokSemi: ";", TokComma: ",", TokStar: "*",
+		TokEq: "=", TokNeq: "!=", TokLt: "<", TokGt: ">", TokLe: "<=",
+		TokGe: ">=", TokAnd: "&&", TokOr: "||", TokBang: "!", TokPlus: "+",
+		TokMinus: "-", TokSlash: "/", TokAt: "@", TokDTyp: "^^",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is one lexical token with position information.
+type Token struct {
+	Kind      TokenKind
+	Text      string // normalized text: keyword uppercased, IRI without <>, var without ?/$
+	Line, Col int
+}
+
+// keywords recognized case-insensitively. Aggregate names are keywords too.
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "FILTER": true, "OPTIONAL": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "DISTINCT": true,
+	"PREFIX": true, "BASE": true, "AS": true, "A": true,
+	"SUM": true, "AVG": true, "COUNT": true, "MAX": true, "MIN": true,
+	"REGEX": true, "STR": true, "LANG": true, "DATATYPE": true,
+	"BOUND": true, "ABS": true, "ISIRI": true, "ISBLANK": true,
+	"ISLITERAL": true, "ISNUMERIC": true, "TRUE": true, "FALSE": true,
+	"UNION": true, "VALUES": true, "IN": true, "NOT": true,
+}
+
+// LexError is a lexical error with position.
+type LexError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *LexError) Error() string {
+	return fmt.Sprintf("sparql: lex error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer tokenizes a SPARQL query string.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize scans the whole input. The returned slice always ends with an
+// EOF token on success.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (lx *Lexer) errf(format string, args ...any) error {
+	return &LexError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *Lexer) peek() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekAt(off int) rune {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+// Next scans and returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	lx.skipSpaceAndComments()
+	line, col := lx.line, lx.col
+	mk := func(k TokenKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: line, Col: col}
+	}
+	if lx.pos >= len(lx.src) {
+		return mk(TokEOF, ""), nil
+	}
+	r := lx.peek()
+	switch {
+	case r == '?' || r == '$':
+		lx.advance()
+		name := lx.scanName()
+		if name == "" {
+			return Token{}, lx.errf("empty variable name")
+		}
+		return mk(TokVar, name), nil
+	case r == '<':
+		// '<' begins an IRI if the contents look like one; otherwise it is
+		// the less-than operator. SPARQL grammar resolves this by context;
+		// we use the practical rule: an IRI has no whitespace before '>'.
+		if iri, ok := lx.tryIRI(); ok {
+			return mk(TokIRI, iri), nil
+		}
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokLe, "<="), nil
+		}
+		return mk(TokLt, "<"), nil
+	case r == '"' || r == '\'':
+		s, err := lx.scanString(r)
+		if err != nil {
+			return Token{}, err
+		}
+		return mk(TokString, s), nil
+	case r == '_' && lx.peekAt(1) == ':':
+		lx.advance()
+		lx.advance()
+		name := lx.scanName()
+		if name == "" {
+			return Token{}, lx.errf("empty blank node label")
+		}
+		return mk(TokBlank, name), nil
+	case unicode.IsDigit(r):
+		return mk(TokNumber, lx.scanNumber()), nil
+	case r == '{':
+		lx.advance()
+		return mk(TokLBrace, "{"), nil
+	case r == '}':
+		lx.advance()
+		return mk(TokRBrace, "}"), nil
+	case r == '(':
+		lx.advance()
+		return mk(TokLParen, "("), nil
+	case r == ')':
+		lx.advance()
+		return mk(TokRParen, ")"), nil
+	case r == '.':
+		// Could be a decimal like .5 — not supported; always a dot.
+		lx.advance()
+		return mk(TokDot, "."), nil
+	case r == ';':
+		lx.advance()
+		return mk(TokSemi, ";"), nil
+	case r == ',':
+		lx.advance()
+		return mk(TokComma, ","), nil
+	case r == '*':
+		lx.advance()
+		return mk(TokStar, "*"), nil
+	case r == '=':
+		lx.advance()
+		return mk(TokEq, "="), nil
+	case r == '!':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokNeq, "!="), nil
+		}
+		return mk(TokBang, "!"), nil
+	case r == '>':
+		lx.advance()
+		if lx.peek() == '=' {
+			lx.advance()
+			return mk(TokGe, ">="), nil
+		}
+		return mk(TokGt, ">"), nil
+	case r == '&':
+		lx.advance()
+		if lx.peek() != '&' {
+			return Token{}, lx.errf("expected '&&'")
+		}
+		lx.advance()
+		return mk(TokAnd, "&&"), nil
+	case r == '|':
+		lx.advance()
+		if lx.peek() != '|' {
+			return Token{}, lx.errf("expected '||'")
+		}
+		lx.advance()
+		return mk(TokOr, "||"), nil
+	case r == '+':
+		lx.advance()
+		return mk(TokPlus, "+"), nil
+	case r == '-':
+		lx.advance()
+		return mk(TokMinus, "-"), nil
+	case r == '/':
+		lx.advance()
+		return mk(TokSlash, "/"), nil
+	case r == '@':
+		lx.advance()
+		tag := lx.scanLangTag()
+		if tag == "" {
+			return Token{}, lx.errf("empty language tag")
+		}
+		return mk(TokAt, tag), nil
+	case r == '^':
+		lx.advance()
+		if lx.peek() != '^' {
+			return Token{}, lx.errf("expected '^^'")
+		}
+		lx.advance()
+		return mk(TokDTyp, "^^"), nil
+	case unicode.IsLetter(r):
+		word := lx.scanName()
+		if lx.peek() == ':' {
+			lx.advance()
+			local := lx.scanName()
+			return mk(TokPName, word+":"+local), nil
+		}
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return mk(TokKeyword, up), nil
+		}
+		return Token{}, lx.errf("unknown identifier %q", word)
+	case r == ':':
+		// Default-prefix pname, e.g. :local
+		lx.advance()
+		local := lx.scanName()
+		return mk(TokPName, ":"+local), nil
+	default:
+		return Token{}, lx.errf("unexpected character %q", r)
+	}
+}
+
+// skipSpaceAndComments consumes whitespace and # comments.
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if r == '#' {
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			continue
+		}
+		if !unicode.IsSpace(r) {
+			return
+		}
+		lx.advance()
+	}
+}
+
+// scanName scans letters, digits, underscores, and hyphens/dots inside.
+func (lx *Lexer) scanName() string {
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			b.WriteRune(lx.advance())
+			continue
+		}
+		// Dots and hyphens allowed mid-name but not trailing (a trailing dot
+		// is the triple terminator).
+		if (r == '-' || r == '.') && b.Len() > 0 {
+			nr := lx.peekAt(1)
+			if unicode.IsLetter(nr) || unicode.IsDigit(nr) || nr == '_' {
+				b.WriteRune(lx.advance())
+				continue
+			}
+		}
+		break
+	}
+	return b.String()
+}
+
+// scanLangTag scans letters, digits and hyphens.
+func (lx *Lexer) scanLangTag() string {
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-' {
+			b.WriteRune(lx.advance())
+			continue
+		}
+		break
+	}
+	return b.String()
+}
+
+// scanNumber scans an integer/decimal/double lexical form.
+func (lx *Lexer) scanNumber() string {
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if unicode.IsDigit(r) {
+			b.WriteRune(lx.advance())
+			continue
+		}
+		if r == '.' && unicode.IsDigit(lx.peekAt(1)) {
+			b.WriteRune(lx.advance())
+			continue
+		}
+		if (r == 'e' || r == 'E') && (unicode.IsDigit(lx.peekAt(1)) ||
+			((lx.peekAt(1) == '+' || lx.peekAt(1) == '-') && unicode.IsDigit(lx.peekAt(2)))) {
+			b.WriteRune(lx.advance()) // e
+			if lx.peek() == '+' || lx.peek() == '-' {
+				b.WriteRune(lx.advance())
+			}
+			continue
+		}
+		break
+	}
+	return b.String()
+}
+
+// tryIRI attempts to scan <...> as an IRI. It only commits when a '>' is
+// found before any whitespace; otherwise the lexer state is restored and
+// false is returned (the '<' is then the comparison operator).
+func (lx *Lexer) tryIRI() (string, bool) {
+	save, saveLine, saveCol := lx.pos, lx.line, lx.col
+	lx.advance() // '<'
+	var b strings.Builder
+	for lx.pos < len(lx.src) {
+		r := lx.peek()
+		if r == '>' {
+			lx.advance()
+			return b.String(), true
+		}
+		if unicode.IsSpace(r) || r == '<' {
+			break
+		}
+		b.WriteRune(lx.advance())
+	}
+	lx.pos, lx.line, lx.col = save, saveLine, saveCol
+	return "", false
+}
+
+// scanString scans a quoted string with escapes, using quote as delimiter.
+func (lx *Lexer) scanString(quote rune) (string, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return "", lx.errf("unterminated string")
+		}
+		r := lx.advance()
+		if r == quote {
+			return b.String(), nil
+		}
+		if r == '\\' {
+			if lx.pos >= len(lx.src) {
+				return "", lx.errf("dangling escape in string")
+			}
+			e := lx.advance()
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"', '\'', '\\':
+				b.WriteRune(e)
+			default:
+				return "", lx.errf("unknown escape \\%c", e)
+			}
+			continue
+		}
+		b.WriteRune(r)
+	}
+}

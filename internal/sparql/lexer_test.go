@@ -1,0 +1,206 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(ts []Token) []TokenKind {
+	out := make([]TokenKind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasicQuery(t *testing.T) {
+	toks, err := Tokenize(`SELECT ?x WHERE { ?x <http://p> "v" . }`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokKeyword, TokVar, TokKeyword, TokLBrace, TokVar, TokIRI, TokString, TokDot, TokRBrace, TokEOF}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if toks[1].Text != "x" {
+		t.Errorf("var text = %q", toks[1].Text)
+	}
+	if toks[5].Text != "http://p" {
+		t.Errorf("iri text = %q", toks[5].Text)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := Tokenize(`= != < > <= >= && || ! + - / *`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokEq, TokNeq, TokLt, TokGt, TokLe, TokGe, TokAnd, TokOr, TokBang, TokPlus, TokMinus, TokSlash, TokStar, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeLtVsIRI(t *testing.T) {
+	// `?x < 5` must lex '<' as an operator, not the start of an IRI.
+	toks, err := Tokenize(`?x < 5`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[1].Kind != TokLt {
+		t.Errorf("token 1 = %v, want <", toks[1].Kind)
+	}
+	// `<http://x>` is an IRI even in an expression context.
+	toks, err = Tokenize(`?x = <http://x>`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[2].Kind != TokIRI || toks[2].Text != "http://x" {
+		t.Errorf("token 2 = %v %q", toks[2].Kind, toks[2].Text)
+	}
+	// `<5` with no closing '>' falls back to the operator.
+	toks, err = Tokenize(`?x <5`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[1].Kind != TokLt || toks[2].Kind != TokNumber {
+		t.Errorf("tokens = %v", kinds(toks))
+	}
+}
+
+func TestTokenizeKeywordsCaseInsensitive(t *testing.T) {
+	toks, err := Tokenize(`select Where fIlTeR group BY`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	wantText := []string{"SELECT", "WHERE", "FILTER", "GROUP", "BY"}
+	for i, w := range wantText {
+		if toks[i].Kind != TokKeyword || toks[i].Text != w {
+			t.Errorf("token %d = %v %q, want keyword %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestTokenizeStringsAndTags(t *testing.T) {
+	toks, err := Tokenize(`"hello" "fr"@fr "5"^^<http://dt> 'single'`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	want := []TokenKind{TokString, TokString, TokAt, TokString, TokDTyp, TokIRI, TokString, TokEOF}
+	got := kinds(toks)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if toks[2].Text != "fr" {
+		t.Errorf("lang tag = %q", toks[2].Text)
+	}
+	if toks[6].Text != "single" {
+		t.Errorf("single-quoted = %q", toks[6].Text)
+	}
+}
+
+func TestTokenizeStringEscapes(t *testing.T) {
+	toks, err := Tokenize(`"a\nb\t\"c\\"`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Text != "a\nb\t\"c\\" {
+		t.Errorf("escaped string = %q", toks[0].Text)
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	toks, err := Tokenize(`42 3.25 1e5 2.5E-3`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	wantText := []string{"42", "3.25", "1e5", "2.5E-3"}
+	for i, w := range wantText {
+		if toks[i].Kind != TokNumber || toks[i].Text != w {
+			t.Errorf("token %d = %v %q, want number %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestTokenizePNamesAndBlank(t *testing.T) {
+	toks, err := Tokenize(`ex:name :local _:b1`)
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if toks[0].Kind != TokPName || toks[0].Text != "ex:name" {
+		t.Errorf("token 0 = %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != TokPName || toks[1].Text != ":local" {
+		t.Errorf("token 1 = %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if toks[2].Kind != TokBlank || toks[2].Text != "b1" {
+		t.Errorf("token 2 = %v %q", toks[2].Kind, toks[2].Text)
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	toks, err := Tokenize("SELECT # comment here\n?x")
+	if err != nil {
+		t.Fatalf("Tokenize: %v", err)
+	}
+	if len(toks) != 3 || toks[1].Kind != TokVar {
+		t.Errorf("tokens = %v", kinds(toks))
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`?x & ?y`,
+		`?x | ?y`,
+		`@`,
+		`^x`,
+		`~`,
+		`?`,
+		`_:`,
+		`"bad\qescape"`,
+		`unknownword`,
+	}
+	for _, src := range cases {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestLexErrorPosition(t *testing.T) {
+	_, err := Tokenize("SELECT ?x\n  ~")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	le, ok := err.(*LexError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if le.Line != 2 {
+		t.Errorf("line = %d, want 2", le.Line)
+	}
+	if !strings.Contains(le.Error(), "lex error") {
+		t.Errorf("Error() = %q", le.Error())
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	if TokVar.String() != "variable" || TokEOF.String() != "EOF" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(TokenKind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+}

@@ -1,0 +1,805 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"sofos/internal/rdf"
+)
+
+// ParseError reports a syntax or semantic error with the offending token.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sparql: parse error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a SPARQL SELECT query in the SOFOS fragment and validates it.
+func Parse(src string) (*Query, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: make(map[string]string)}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse parses a query known to be valid at compile time (facet
+// definitions, test fixtures); it panics on error.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	toks     []Token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.cur()
+	return &ParseError{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// accept consumes the current token if it matches kind (and text, when text
+// is non-empty), reporting whether it did.
+func (p *parser) accept(kind TokenKind, text string) bool {
+	t := p.cur()
+	if t.Kind != kind {
+		return false
+	}
+	if text != "" && t.Text != text {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+// expect consumes a token of the given kind/text or fails.
+func (p *parser) expect(kind TokenKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := kind.String()
+		if text != "" {
+			want = fmt.Sprintf("%q", text)
+		}
+		return Token{}, p.errf("expected %s, got %s %q", want, t.Kind, t.Text)
+	}
+	p.pos++
+	return t, nil
+}
+
+// parseQuery parses: prologue SELECT ... WHERE {...} solution-modifiers EOF.
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Prefixes: p.prefixes, Limit: -1}
+	for p.cur().Kind == TokKeyword && (p.cur().Text == "PREFIX" || p.cur().Text == "BASE") {
+		if err := p.parsePrologueDecl(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokKeyword, "SELECT"); err != nil {
+		return nil, err
+	}
+	if p.accept(TokKeyword, "DISTINCT") {
+		q.Distinct = true
+	}
+	if err := p.parseSelectItems(q); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "WHERE"); err != nil {
+		return nil, err
+	}
+	where, err := p.parseGroupPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = *where
+	if err := p.parseModifiers(q); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokEOF, ""); err != nil {
+		return nil, err
+	}
+	// SELECT * expands to all pattern variables.
+	if len(q.Select) == 1 && q.Select[0].Var == "*" {
+		q.Select = q.Select[:0]
+		for _, v := range q.Where.Vars() {
+			q.Select = append(q.Select, SelectItem{Var: v})
+		}
+		if len(q.Select) == 0 {
+			return nil, p.errf("SELECT * with no variables in pattern")
+		}
+	}
+	return q, nil
+}
+
+// parsePrologueDecl parses PREFIX/BASE declarations.
+func (p *parser) parsePrologueDecl() error {
+	kw := p.next().Text
+	switch kw {
+	case "PREFIX":
+		name, err := p.expect(TokPName, "")
+		if err != nil {
+			return err
+		}
+		if !strings.HasSuffix(name.Text, ":") && strings.Count(name.Text, ":") != 1 {
+			return p.errf("malformed prefix name %q", name.Text)
+		}
+		label := strings.TrimSuffix(name.Text, ":")
+		if i := strings.IndexByte(label, ':'); i >= 0 {
+			label = label[:i]
+		}
+		iri, err := p.expect(TokIRI, "")
+		if err != nil {
+			return err
+		}
+		p.prefixes[label] = iri.Text
+		return nil
+	case "BASE":
+		if _, err := p.expect(TokIRI, ""); err != nil {
+			return err
+		}
+		return nil
+	default:
+		return p.errf("unexpected prologue keyword %s", kw)
+	}
+}
+
+// parseSelectItems parses the projection list: `*`, variables, and
+// (AGG(...) AS ?alias) expressions.
+func (p *parser) parseSelectItems(q *Query) error {
+	if p.accept(TokStar, "") {
+		q.Select = append(q.Select, SelectItem{Var: "*"})
+		return nil
+	}
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokVar:
+			p.next()
+			q.Select = append(q.Select, SelectItem{Var: t.Text})
+		case t.Kind == TokLParen:
+			item, err := p.parseAggSelect()
+			if err != nil {
+				return err
+			}
+			q.Select = append(q.Select, *item)
+		default:
+			if len(q.Select) == 0 {
+				return p.errf("expected variable or aggregate in SELECT, got %s %q", t.Kind, t.Text)
+			}
+			return nil
+		}
+	}
+}
+
+// parseAggSelect parses `( AGG ( [DISTINCT] ?v | * ) AS ?alias )`.
+func (p *parser) parseAggSelect() (*SelectItem, error) {
+	if _, err := p.expect(TokLParen, ""); err != nil {
+		return nil, err
+	}
+	kw, err := p.expect(TokKeyword, "")
+	if err != nil {
+		return nil, err
+	}
+	agg, err := ParseAggKind(kw.Text)
+	if err != nil {
+		return nil, p.errf("expected aggregate function, got %q", kw.Text)
+	}
+	if _, err := p.expect(TokLParen, ""); err != nil {
+		return nil, err
+	}
+	item := &SelectItem{Agg: agg}
+	if p.accept(TokKeyword, "DISTINCT") {
+		item.AggDistinct = true
+	}
+	switch {
+	case p.accept(TokStar, ""):
+		if agg != AggCount {
+			return nil, p.errf("%s(*) is only valid for COUNT", agg)
+		}
+	default:
+		v, err := p.expect(TokVar, "")
+		if err != nil {
+			return nil, err
+		}
+		item.AggVar = v.Text
+	}
+	if _, err := p.expect(TokRParen, ""); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "AS"); err != nil {
+		return nil, err
+	}
+	alias, err := p.expect(TokVar, "")
+	if err != nil {
+		return nil, err
+	}
+	item.Var = alias.Text
+	if _, err := p.expect(TokRParen, ""); err != nil {
+		return nil, err
+	}
+	return item, nil
+}
+
+// parseGroupPattern parses `{ triples/filters/optionals }`.
+func (p *parser) parseGroupPattern() (*GroupPattern, error) {
+	if _, err := p.expect(TokLBrace, ""); err != nil {
+		return nil, err
+	}
+	g := &GroupPattern{}
+	for {
+		t := p.cur()
+		switch {
+		case t.Kind == TokRBrace:
+			p.next()
+			return g, nil
+		case t.Kind == TokEOF:
+			return nil, p.errf("unexpected EOF inside group pattern")
+		case t.Kind == TokKeyword && t.Text == "FILTER":
+			p.next()
+			if _, err := p.expect(TokLParen, ""); err != nil {
+				return nil, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen, ""); err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+			p.accept(TokDot, "") // optional dot after FILTER
+		case t.Kind == TokKeyword && t.Text == "VALUES":
+			p.next()
+			v, err := p.expect(TokVar, "")
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokLBrace, ""); err != nil {
+				return nil, err
+			}
+			data := InlineData{Var: v.Text}
+			for p.cur().Kind != TokRBrace {
+				if p.cur().Kind == TokEOF {
+					return nil, p.errf("unexpected EOF inside VALUES")
+				}
+				pt, err := p.parsePatternTerm(true)
+				if err != nil {
+					return nil, err
+				}
+				if pt.IsVar {
+					return nil, p.errf("variables are not allowed inside VALUES")
+				}
+				data.Terms = append(data.Terms, pt.Term)
+			}
+			p.next() // '}'
+			g.Values = append(g.Values, data)
+			p.accept(TokDot, "")
+		case t.Kind == TokKeyword && t.Text == "OPTIONAL":
+			p.next()
+			sub, err := p.parseGroupPattern()
+			if err != nil {
+				return nil, err
+			}
+			if len(sub.Optionals) > 0 {
+				return nil, p.errf("nested OPTIONAL is not supported in the SOFOS fragment")
+			}
+			if sub.IsUnion() {
+				return nil, p.errf("UNION inside OPTIONAL is not supported in the SOFOS fragment")
+			}
+			g.Optionals = append(g.Optionals, *sub)
+			p.accept(TokDot, "")
+		case t.Kind == TokLBrace:
+			// `{A} UNION {B} ...` — must be the group's only content.
+			if len(g.Triples) > 0 || len(g.Filters) > 0 || len(g.Optionals) > 0 || g.IsUnion() {
+				return nil, p.errf("UNION must be the only element of its group in the SOFOS fragment")
+			}
+			for {
+				branch, err := p.parseGroupPattern()
+				if err != nil {
+					return nil, err
+				}
+				if branch.IsUnion() {
+					return nil, p.errf("nested UNION is not supported in the SOFOS fragment")
+				}
+				g.Unions = append(g.Unions, *branch)
+				if !p.accept(TokKeyword, "UNION") {
+					break
+				}
+				if p.cur().Kind != TokLBrace {
+					return nil, p.errf("expected '{' after UNION, got %s %q", p.cur().Kind, p.cur().Text)
+				}
+			}
+			if len(g.Unions) < 2 {
+				return nil, p.errf("UNION requires at least two branches")
+			}
+		default:
+			if err := p.parseTriplesSameSubject(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseTriplesSameSubject parses `subject verb obj (, obj)* (; verb obj...)* .`
+func (p *parser) parseTriplesSameSubject(g *GroupPattern) error {
+	subj, err := p.parsePatternTerm(false)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parsePatternTerm(true)
+			if err != nil {
+				return err
+			}
+			g.Triples = append(g.Triples, TriplePattern{S: subj, P: pred, O: obj})
+			if !p.accept(TokComma, "") {
+				break
+			}
+		}
+		if p.accept(TokSemi, "") {
+			// Trailing ';' before '.' or '}' is allowed.
+			if p.cur().Kind == TokDot || p.cur().Kind == TokRBrace {
+				break
+			}
+			continue
+		}
+		break
+	}
+	// Terminating dot is optional before '}'.
+	if !p.accept(TokDot, "") && p.cur().Kind != TokRBrace {
+		return p.errf("expected '.' or '}' after triple pattern, got %s %q", p.cur().Kind, p.cur().Text)
+	}
+	return nil
+}
+
+// parseVerb parses a predicate position: variable, IRI, pname, or `a`.
+func (p *parser) parseVerb() (PatternTerm, error) {
+	t := p.cur()
+	if t.Kind == TokKeyword && t.Text == "A" {
+		p.next()
+		return Constant(rdf.NewIRI(rdf.RDFType)), nil
+	}
+	pt, err := p.parsePatternTerm(false)
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	if !pt.IsVar && pt.Term.Kind != rdf.KindIRI {
+		return PatternTerm{}, p.errf("predicate must be a variable or IRI")
+	}
+	return pt, nil
+}
+
+// parsePatternTerm parses a term in a triple pattern. Literals are only
+// permitted when allowLiteral is set (object position).
+func (p *parser) parsePatternTerm(allowLiteral bool) (PatternTerm, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokVar:
+		p.next()
+		return Variable(t.Text), nil
+	case TokIRI:
+		p.next()
+		return Constant(rdf.NewIRI(t.Text)), nil
+	case TokPName:
+		p.next()
+		iri, err := p.expandPName(t.Text)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return Constant(rdf.NewIRI(iri)), nil
+	case TokBlank:
+		p.next()
+		return Constant(rdf.NewBlank(t.Text)), nil
+	case TokString:
+		if !allowLiteral {
+			return PatternTerm{}, p.errf("literal not allowed here")
+		}
+		p.next()
+		term, err := p.finishLiteral(t.Text)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return Constant(term), nil
+	case TokNumber:
+		if !allowLiteral {
+			return PatternTerm{}, p.errf("literal not allowed here")
+		}
+		p.next()
+		return Constant(numberTerm(t.Text)), nil
+	case TokKeyword:
+		if t.Text == "TRUE" || t.Text == "FALSE" {
+			if !allowLiteral {
+				return PatternTerm{}, p.errf("literal not allowed here")
+			}
+			p.next()
+			return Constant(rdf.NewBoolean(t.Text == "TRUE")), nil
+		}
+	}
+	return PatternTerm{}, p.errf("expected term, got %s %q", t.Kind, t.Text)
+}
+
+// finishLiteral attaches a following @lang or ^^datatype to a string token.
+func (p *parser) finishLiteral(lex string) (rdf.Term, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokAt:
+		p.next()
+		return rdf.NewLangLiteral(lex, t.Text), nil
+	case TokDTyp:
+		p.next()
+		dt := p.cur()
+		switch dt.Kind {
+		case TokIRI:
+			p.next()
+			return rdf.NewTypedLiteral(lex, dt.Text), nil
+		case TokPName:
+			p.next()
+			iri, err := p.expandPName(dt.Text)
+			if err != nil {
+				return rdf.Term{}, err
+			}
+			return rdf.NewTypedLiteral(lex, iri), nil
+		default:
+			return rdf.Term{}, p.errf("expected datatype IRI after ^^")
+		}
+	}
+	return rdf.NewLiteral(lex), nil
+}
+
+// numberTerm classifies a numeric token into the appropriate XSD literal.
+func numberTerm(text string) rdf.Term {
+	if strings.ContainsAny(text, "eE") {
+		return rdf.NewTypedLiteral(text, rdf.XSDDouble)
+	}
+	if strings.ContainsRune(text, '.') {
+		return rdf.NewTypedLiteral(text, rdf.XSDDecimal)
+	}
+	return rdf.NewTypedLiteral(text, rdf.XSDInteger)
+}
+
+// expandPName resolves prefix:local against declared prefixes.
+func (p *parser) expandPName(pname string) (string, error) {
+	i := strings.IndexByte(pname, ':')
+	if i < 0 {
+		return "", p.errf("malformed prefixed name %q", pname)
+	}
+	ns, ok := p.prefixes[pname[:i]]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", pname[:i])
+	}
+	return ns + pname[i+1:], nil
+}
+
+// parseModifiers parses GROUP BY, HAVING, ORDER BY, LIMIT, OFFSET.
+func (p *parser) parseModifiers(q *Query) error {
+	for {
+		t := p.cur()
+		if t.Kind != TokKeyword {
+			return nil
+		}
+		switch t.Text {
+		case "GROUP":
+			p.next()
+			if _, err := p.expect(TokKeyword, "BY"); err != nil {
+				return err
+			}
+			for p.cur().Kind == TokVar {
+				q.GroupBy = append(q.GroupBy, p.next().Text)
+			}
+			if len(q.GroupBy) == 0 {
+				return p.errf("GROUP BY requires at least one variable")
+			}
+		case "HAVING":
+			p.next()
+			if _, err := p.expect(TokLParen, ""); err != nil {
+				return err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(TokRParen, ""); err != nil {
+				return err
+			}
+			q.Having = e
+		case "ORDER":
+			p.next()
+			if _, err := p.expect(TokKeyword, "BY"); err != nil {
+				return err
+			}
+			for {
+				t := p.cur()
+				if t.Kind == TokVar {
+					p.next()
+					q.OrderBy = append(q.OrderBy, OrderCond{Var: t.Text})
+					continue
+				}
+				if t.Kind == TokKeyword && (t.Text == "ASC" || t.Text == "DESC") {
+					p.next()
+					if _, err := p.expect(TokLParen, ""); err != nil {
+						return err
+					}
+					v, err := p.expect(TokVar, "")
+					if err != nil {
+						return err
+					}
+					if _, err := p.expect(TokRParen, ""); err != nil {
+						return err
+					}
+					q.OrderBy = append(q.OrderBy, OrderCond{Var: v.Text, Desc: t.Text == "DESC"})
+					continue
+				}
+				break
+			}
+			if len(q.OrderBy) == 0 {
+				return p.errf("ORDER BY requires at least one condition")
+			}
+		case "LIMIT":
+			p.next()
+			n, err := p.expect(TokNumber, "")
+			if err != nil {
+				return err
+			}
+			q.Limit = atoiSafe(n.Text)
+		case "OFFSET":
+			p.next()
+			n, err := p.expect(TokNumber, "")
+			if err != nil {
+				return err
+			}
+			q.Offset = atoiSafe(n.Text)
+		default:
+			return p.errf("unexpected keyword %s after WHERE clause", t.Text)
+		}
+	}
+}
+
+// atoiSafe converts a numeric token (already validated by the lexer) to int,
+// truncating decimals.
+func atoiSafe(s string) int {
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			break
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n
+}
+
+// --- expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokOr, "") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokAnd, "") {
+		right, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// comparisonOps maps comparison token kinds to operators.
+var comparisonOps = map[TokenKind]BinaryOp{
+	TokEq: OpEq, TokNeq: OpNeq, TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := comparisonOps[p.cur().Kind]; ok {
+		p.next()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: op, Left: left, Right: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokPlus:
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: OpAdd, Left: left, Right: right}
+		case TokMinus:
+			p.next()
+			right, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: OpSub, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokStar:
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: OpMul, Left: left, Right: right}
+		case TokSlash:
+			p.next()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: OpDiv, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.cur().Kind {
+	case TokBang:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: '!', Expr: e}, nil
+	case TokMinus:
+		p.next()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: '-', Expr: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+// builtinArity maps supported builtins to their argument counts.
+var builtinArity = map[string]int{
+	"REGEX": 2, "STR": 1, "LANG": 1, "DATATYPE": 1, "BOUND": 1, "ABS": 1,
+	"ISIRI": 1, "ISBLANK": 1, "ISLITERAL": 1, "ISNUMERIC": 1,
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokVar:
+		p.next()
+		return &VarExpr{Name: t.Text}, nil
+	case TokNumber:
+		p.next()
+		return &TermExpr{Term: numberTerm(t.Text)}, nil
+	case TokString:
+		p.next()
+		term, err := p.finishLiteral(t.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: term}, nil
+	case TokIRI:
+		p.next()
+		return &TermExpr{Term: rdf.NewIRI(t.Text)}, nil
+	case TokPName:
+		p.next()
+		iri, err := p.expandPName(t.Text)
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: rdf.NewIRI(iri)}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen, ""); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokKeyword:
+		switch t.Text {
+		case "TRUE", "FALSE":
+			p.next()
+			return &TermExpr{Term: rdf.NewBoolean(t.Text == "TRUE")}, nil
+		}
+		if arity, ok := builtinArity[t.Text]; ok {
+			p.next()
+			if _, err := p.expect(TokLParen, ""); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Func: t.Text}
+			for i := 0; i < arity; i++ {
+				if i > 0 {
+					if _, err := p.expect(TokComma, ""); err != nil {
+						return nil, err
+					}
+				}
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			// REGEX accepts an optional flags argument.
+			if t.Text == "REGEX" && p.accept(TokComma, "") {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+			}
+			if _, err := p.expect(TokRParen, ""); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+	}
+	return nil, p.errf("expected expression, got %s %q", t.Kind, t.Text)
+}

@@ -1,0 +1,436 @@
+// Package store implements the dictionary-encoded, fully indexed in-memory
+// triple store that serves as SOFOS's RDF substrate. A Graph maintains three
+// nested-map indexes (SPO, POS, OSP) so that every triple-pattern shape —
+// any combination of bound and unbound components — is answered by a direct
+// index lookup. This is the standard layout of native RDF stores and is what
+// the paper assumes of "any RDF triple store with SPARQL query processing".
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"sofos/internal/rdf"
+)
+
+// index is a three-level adjacency: first key → second key → set of thirds.
+type index map[rdf.ID]map[rdf.ID]map[rdf.ID]struct{}
+
+// add inserts (a, b, c) and reports whether it was new.
+func (ix index) add(a, b, c rdf.ID) bool {
+	m2, ok := ix[a]
+	if !ok {
+		m2 = make(map[rdf.ID]map[rdf.ID]struct{})
+		ix[a] = m2
+	}
+	m3, ok := m2[b]
+	if !ok {
+		m3 = make(map[rdf.ID]struct{})
+		m2[b] = m3
+	}
+	if _, exists := m3[c]; exists {
+		return false
+	}
+	m3[c] = struct{}{}
+	return true
+}
+
+// remove deletes (a, b, c) and reports whether it was present, pruning empty
+// inner maps so memory is reclaimed and level-lengths stay accurate.
+func (ix index) remove(a, b, c rdf.ID) bool {
+	m2, ok := ix[a]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[b]
+	if !ok {
+		return false
+	}
+	if _, exists := m3[c]; !exists {
+		return false
+	}
+	delete(m3, c)
+	if len(m3) == 0 {
+		delete(m2, b)
+		if len(m2) == 0 {
+			delete(ix, a)
+		}
+	}
+	return true
+}
+
+// Graph is an in-memory RDF graph with dictionary encoding and full triple
+// indexing. It is safe for concurrent reads; writes are serialized by an
+// internal mutex (reads during writes are also safe).
+type Graph struct {
+	mu   sync.RWMutex
+	dict *rdf.Dict
+	spo  index
+	pos  index
+	osp  index
+	n    int
+
+	// version counts successful mutations; view catalogs compare it against
+	// the version captured at materialization time to detect staleness.
+	version int64
+
+	// Per-component occurrence counts for single-bound cardinality
+	// estimation, updated incrementally.
+	countS map[rdf.ID]int
+	countP map[rdf.ID]int
+	countO map[rdf.ID]int
+}
+
+// Version returns a counter that increases on every successful mutation.
+// Equal versions imply identical contents for a graph only mutated through
+// Add/Remove (the counter never repeats within one graph's lifetime).
+func (g *Graph) Version() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.version
+}
+
+// NewGraph returns an empty graph with a fresh dictionary.
+func NewGraph() *Graph {
+	return &Graph{
+		dict:   rdf.NewDict(),
+		spo:    make(index),
+		pos:    make(index),
+		osp:    make(index),
+		countS: make(map[rdf.ID]int),
+		countP: make(map[rdf.ID]int),
+		countO: make(map[rdf.ID]int),
+	}
+}
+
+// Dict exposes the graph's term dictionary. Callers must not mutate it
+// concurrently with graph writes; the engine only resolves IDs through it.
+func (g *Graph) Dict() *rdf.Dict { return g.dict }
+
+// Len returns the number of triples |G|.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// Add inserts a triple, interning its terms. It reports whether the triple
+// was new and returns an error for RDF-invalid triples.
+func (g *Graph) Add(t rdf.Triple) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := g.dict.Intern(t.S)
+	p := g.dict.Intern(t.P)
+	o := g.dict.Intern(t.O)
+	return g.addEncodedLocked(s, p, o), nil
+}
+
+// MustAdd is Add for construction code paths where the triple is known valid
+// by construction; it panics on invalid triples.
+func (g *Graph) MustAdd(t rdf.Triple) bool {
+	ok, err := g.Add(t)
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// AddEncoded inserts an already-encoded triple. The IDs must come from this
+// graph's dictionary.
+func (g *Graph) AddEncoded(s, p, o rdf.ID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addEncodedLocked(s, p, o)
+}
+
+func (g *Graph) addEncodedLocked(s, p, o rdf.ID) bool {
+	if !g.spo.add(s, p, o) {
+		return false
+	}
+	g.pos.add(p, o, s)
+	g.osp.add(o, s, p)
+	g.n++
+	g.version++
+	g.countS[s]++
+	g.countP[p]++
+	g.countO[o]++
+	return true
+}
+
+// Remove deletes a triple if present and reports whether it was.
+func (g *Graph) Remove(t rdf.Triple) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s, ok := g.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := g.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	return g.removeEncodedLocked(s, p, o)
+}
+
+func (g *Graph) removeEncodedLocked(s, p, o rdf.ID) bool {
+	if !g.spo.remove(s, p, o) {
+		return false
+	}
+	g.pos.remove(p, o, s)
+	g.osp.remove(o, s, p)
+	g.n--
+	g.version++
+	decOrDelete(g.countS, s)
+	decOrDelete(g.countP, p)
+	decOrDelete(g.countO, o)
+	return true
+}
+
+// decOrDelete decrements a counter, deleting the key at zero so len() of the
+// counter maps equals the number of distinct live components.
+func decOrDelete(m map[rdf.ID]int, k rdf.ID) {
+	if m[k] <= 1 {
+		delete(m, k)
+	} else {
+		m[k]--
+	}
+}
+
+// Contains reports whether the triple is in the graph.
+func (g *Graph) Contains(t rdf.Triple) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s, ok := g.dict.Lookup(t.S)
+	if !ok {
+		return false
+	}
+	p, ok := g.dict.Lookup(t.P)
+	if !ok {
+		return false
+	}
+	o, ok := g.dict.Lookup(t.O)
+	if !ok {
+		return false
+	}
+	m2, ok := g.spo[s]
+	if !ok {
+		return false
+	}
+	m3, ok := m2[p]
+	if !ok {
+		return false
+	}
+	_, ok = m3[o]
+	return ok
+}
+
+// Match invokes yield for every triple matching the pattern, where rdf.NoID
+// components are wildcards. Iteration stops when yield returns false. The
+// callback receives encoded IDs; resolve through Dict as needed.
+//
+// The best index for the bound-component combination is chosen so every
+// pattern shape is a direct lookup rather than a scan.
+func (g *Graph) Match(s, p, o rdf.ID, yield func(s, p, o rdf.ID) bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	g.matchLocked(s, p, o, yield)
+}
+
+func (g *Graph) matchLocked(s, p, o rdf.ID, yield func(s, p, o rdf.ID) bool) {
+	switch {
+	case s != rdf.NoID && p != rdf.NoID && o != rdf.NoID:
+		if m2, ok := g.spo[s]; ok {
+			if m3, ok := m2[p]; ok {
+				if _, ok := m3[o]; ok {
+					yield(s, p, o)
+				}
+			}
+		}
+	case s != rdf.NoID && p != rdf.NoID:
+		if m2, ok := g.spo[s]; ok {
+			for oo := range m2[p] {
+				if !yield(s, p, oo) {
+					return
+				}
+			}
+		}
+	case s != rdf.NoID && o != rdf.NoID:
+		if m2, ok := g.osp[o]; ok {
+			for pp := range m2[s] {
+				if !yield(s, pp, o) {
+					return
+				}
+			}
+		}
+	case p != rdf.NoID && o != rdf.NoID:
+		if m2, ok := g.pos[p]; ok {
+			for ss := range m2[o] {
+				if !yield(ss, p, o) {
+					return
+				}
+			}
+		}
+	case s != rdf.NoID:
+		if m2, ok := g.spo[s]; ok {
+			for pp, m3 := range m2 {
+				for oo := range m3 {
+					if !yield(s, pp, oo) {
+						return
+					}
+				}
+			}
+		}
+	case p != rdf.NoID:
+		if m2, ok := g.pos[p]; ok {
+			for oo, m3 := range m2 {
+				for ss := range m3 {
+					if !yield(ss, p, oo) {
+						return
+					}
+				}
+			}
+		}
+	case o != rdf.NoID:
+		if m2, ok := g.osp[o]; ok {
+			for ss, m3 := range m2 {
+				for pp := range m3 {
+					if !yield(ss, pp, o) {
+						return
+					}
+				}
+			}
+		}
+	default:
+		for ss, m2 := range g.spo {
+			for pp, m3 := range m2 {
+				for oo := range m3 {
+					if !yield(ss, pp, oo) {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// Estimate returns the exact number of triples matching the pattern when it
+// can be read off an index level in O(1), or the stored count otherwise.
+// Used by the planner for greedy join ordering.
+func (g *Graph) Estimate(s, p, o rdf.ID) int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	switch {
+	case s != rdf.NoID && p != rdf.NoID && o != rdf.NoID:
+		if m2, ok := g.spo[s]; ok {
+			if m3, ok := m2[p]; ok {
+				if _, ok := m3[o]; ok {
+					return 1
+				}
+			}
+		}
+		return 0
+	case s != rdf.NoID && p != rdf.NoID:
+		if m2, ok := g.spo[s]; ok {
+			return len(m2[p])
+		}
+		return 0
+	case s != rdf.NoID && o != rdf.NoID:
+		if m2, ok := g.osp[o]; ok {
+			return len(m2[s])
+		}
+		return 0
+	case p != rdf.NoID && o != rdf.NoID:
+		if m2, ok := g.pos[p]; ok {
+			return len(m2[o])
+		}
+		return 0
+	case s != rdf.NoID:
+		return g.countS[s]
+	case p != rdf.NoID:
+		return g.countP[p]
+	case o != rdf.NoID:
+		return g.countO[o]
+	default:
+		return g.n
+	}
+}
+
+// Triples returns all triples, decoded, in unspecified order.
+func (g *Graph) Triples() []rdf.Triple {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]rdf.Triple, 0, g.n)
+	g.matchLocked(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+		out = append(out, rdf.Triple{S: g.dict.Term(s), P: g.dict.Term(p), O: g.dict.Term(o)})
+		return true
+	})
+	return out
+}
+
+// SortedTriples returns all triples in canonical order (for deterministic
+// serialization and tests).
+func (g *Graph) SortedTriples() []rdf.Triple {
+	ts := g.Triples()
+	rdf.SortTriples(ts)
+	return ts
+}
+
+// Clone returns a deep, independent copy of the graph, including its
+// dictionary. Materialization clones the base graph to build the expanded
+// graph G+ without mutating G.
+func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c := NewGraph()
+	c.dict = g.dict.Clone()
+	g.matchLocked(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+		c.addEncodedLocked(s, p, o)
+		return true
+	})
+	return c
+}
+
+// DistinctNodes returns |I ∪ B ∪ L| — the number of distinct terms occurring
+// in subject or object position. This is the "number of nodes" quantity of
+// the paper's fourth cost model.
+func (g *Graph) DistinctNodes() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	seen := make(map[rdf.ID]struct{}, len(g.countS)+len(g.countO))
+	for s := range g.countS {
+		seen[s] = struct{}{}
+	}
+	for o := range g.countO {
+		seen[o] = struct{}{}
+	}
+	return len(seen)
+}
+
+// DistinctPredicates returns the number of distinct predicates in use.
+func (g *Graph) DistinctPredicates() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.countP)
+}
+
+// LoadTriples adds every triple in ts, returning the number actually new.
+func (g *Graph) LoadTriples(ts []rdf.Triple) (int, error) {
+	added := 0
+	for _, t := range ts {
+		ok, err := g.Add(t)
+		if err != nil {
+			return added, err
+		}
+		if ok {
+			added++
+		}
+	}
+	return added, nil
+}

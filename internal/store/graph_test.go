@@ -1,0 +1,418 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sofos/internal/rdf"
+)
+
+func iri(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+
+func tr(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}
+}
+
+func TestGraphAddContainsLen(t *testing.T) {
+	g := NewGraph()
+	if g.Len() != 0 {
+		t.Fatalf("empty Len = %d", g.Len())
+	}
+	added, err := g.Add(tr("s", "p", "o"))
+	if err != nil || !added {
+		t.Fatalf("Add = %v, %v", added, err)
+	}
+	if !g.Contains(tr("s", "p", "o")) {
+		t.Error("Contains after Add = false")
+	}
+	added, err = g.Add(tr("s", "p", "o"))
+	if err != nil || added {
+		t.Errorf("duplicate Add = %v, %v; want false, nil", added, err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if g.Contains(tr("s", "p", "x")) {
+		t.Error("Contains of absent triple = true")
+	}
+}
+
+func TestGraphAddInvalid(t *testing.T) {
+	g := NewGraph()
+	_, err := g.Add(rdf.Triple{S: rdf.NewLiteral("s"), P: iri("p"), O: iri("o")})
+	if err == nil {
+		t.Error("literal subject accepted")
+	}
+	_, err = g.Add(rdf.Triple{S: iri("s"), P: rdf.NewBlank("p"), O: iri("o")})
+	if err == nil {
+		t.Error("blank predicate accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAdd did not panic on invalid triple")
+		}
+	}()
+	g.MustAdd(rdf.Triple{S: rdf.NewLiteral("s"), P: iri("p"), O: iri("o")})
+}
+
+func TestGraphRemove(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(tr("s", "p", "o"))
+	g.MustAdd(tr("s", "p", "o2"))
+	if !g.Remove(tr("s", "p", "o")) {
+		t.Fatal("Remove of present triple = false")
+	}
+	if g.Remove(tr("s", "p", "o")) {
+		t.Error("second Remove = true")
+	}
+	if g.Remove(tr("never", "seen", "terms")) {
+		t.Error("Remove of unknown terms = true")
+	}
+	if g.Len() != 1 || g.Contains(tr("s", "p", "o")) || !g.Contains(tr("s", "p", "o2")) {
+		t.Error("graph state wrong after Remove")
+	}
+}
+
+// matchAll collects every decoded triple matching a pattern where empty
+// strings are wildcards.
+func matchAll(g *Graph, s, p, o rdf.Term) []rdf.Triple {
+	lookup := func(t rdf.Term) rdf.ID {
+		if t.Value == "" {
+			return rdf.NoID
+		}
+		id, ok := g.Dict().Lookup(t)
+		if !ok {
+			return rdf.ID(1 << 30) // unknown term: impossible ID
+		}
+		return id
+	}
+	var out []rdf.Triple
+	sid, pid, oid := lookup(s), lookup(p), lookup(o)
+	if sid == 1<<30 || pid == 1<<30 || oid == 1<<30 {
+		return nil
+	}
+	g.Match(sid, pid, oid, func(a, b, c rdf.ID) bool {
+		out = append(out, rdf.Triple{S: g.Dict().Term(a), P: g.Dict().Term(b), O: g.Dict().Term(c)})
+		return true
+	})
+	return out
+}
+
+func TestGraphMatchAllShapes(t *testing.T) {
+	g := NewGraph()
+	triples := []rdf.Triple{
+		tr("s1", "p1", "o1"), tr("s1", "p1", "o2"), tr("s1", "p2", "o1"),
+		tr("s2", "p1", "o1"), tr("s2", "p2", "o3"),
+	}
+	for _, x := range triples {
+		g.MustAdd(x)
+	}
+	var none rdf.Term
+	cases := []struct {
+		name    string
+		s, p, o rdf.Term
+		want    int
+	}{
+		{"spo hit", iri("s1"), iri("p1"), iri("o1"), 1},
+		{"spo miss", iri("s1"), iri("p2"), iri("o3"), 0},
+		{"sp", iri("s1"), iri("p1"), none, 2},
+		{"so", iri("s1"), none, iri("o1"), 2},
+		{"po", none, iri("p1"), iri("o1"), 2},
+		{"s", iri("s1"), none, none, 3},
+		{"p", none, iri("p1"), none, 3},
+		{"o", none, none, iri("o1"), 3},
+		{"all", none, none, none, 5},
+		{"unknown term", iri("zzz"), none, none, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := matchAll(g, tc.s, tc.p, tc.o)
+			if len(got) != tc.want {
+				t.Errorf("match returned %d triples, want %d: %v", len(got), tc.want, got)
+			}
+			for _, tri := range got {
+				if !g.Contains(tri) {
+					t.Errorf("match produced non-member triple %s", tri)
+				}
+			}
+		})
+	}
+}
+
+func TestGraphMatchEarlyStop(t *testing.T) {
+	g := NewGraph()
+	for i := 0; i < 10; i++ {
+		g.MustAdd(tr("s", "p", fmt.Sprintf("o%d", i)))
+	}
+	n := 0
+	g.Match(rdf.NoID, rdf.NoID, rdf.NoID, func(_, _, _ rdf.ID) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d, want 3", n)
+	}
+}
+
+func TestGraphEstimate(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(tr("s1", "p1", "o1"))
+	g.MustAdd(tr("s1", "p1", "o2"))
+	g.MustAdd(tr("s2", "p1", "o1"))
+	g.MustAdd(tr("s2", "p2", "o1"))
+	d := g.Dict()
+	id := func(s string) rdf.ID {
+		v, ok := d.Lookup(iri(s))
+		if !ok {
+			t.Fatalf("term %s not interned", s)
+		}
+		return v
+	}
+	cases := []struct {
+		name    string
+		s, p, o rdf.ID
+		want    int
+	}{
+		{"exact hit", id("s1"), id("p1"), id("o1"), 1},
+		{"exact miss", id("s1"), id("p2"), id("o1"), 0},
+		{"sp", id("s1"), id("p1"), rdf.NoID, 2},
+		{"po", rdf.NoID, id("p1"), id("o1"), 2},
+		{"so", id("s1"), rdf.NoID, id("o1"), 1},
+		{"s only", id("s1"), rdf.NoID, rdf.NoID, 2},
+		{"p only", rdf.NoID, id("p1"), rdf.NoID, 3},
+		{"o only", rdf.NoID, rdf.NoID, id("o1"), 3},
+		{"all", rdf.NoID, rdf.NoID, rdf.NoID, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := g.Estimate(tc.s, tc.p, tc.o); got != tc.want {
+				t.Errorf("Estimate = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestGraphEstimateMatchesMatchCount(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(3)), 500)
+	d := g.Dict()
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		var s, p, o rdf.ID
+		if rng.Intn(2) == 0 {
+			s = rdf.ID(rng.Intn(d.Len()) + 1)
+		}
+		if rng.Intn(2) == 0 {
+			p = rdf.ID(rng.Intn(d.Len()) + 1)
+		}
+		if rng.Intn(2) == 0 {
+			o = rdf.ID(rng.Intn(d.Len()) + 1)
+		}
+		n := 0
+		g.Match(s, p, o, func(_, _, _ rdf.ID) bool { n++; return true })
+		if est := g.Estimate(s, p, o); est != n {
+			t.Fatalf("Estimate(%d,%d,%d) = %d but Match found %d", s, p, o, est, n)
+		}
+	}
+}
+
+// randomGraph builds a graph of about n random triples over a small term
+// universe so patterns hit often.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph()
+	for i := 0; i < n; i++ {
+		s := fmt.Sprintf("s%d", rng.Intn(20))
+		p := fmt.Sprintf("p%d", rng.Intn(6))
+		o := fmt.Sprintf("o%d", rng.Intn(30))
+		g.MustAdd(tr(s, p, o))
+	}
+	return g
+}
+
+func TestGraphClone(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(5)), 200)
+	c := g.Clone()
+	if c.Len() != g.Len() {
+		t.Fatalf("clone Len %d != %d", c.Len(), g.Len())
+	}
+	for _, x := range g.Triples() {
+		if !c.Contains(x) {
+			t.Fatalf("clone missing %s", x)
+		}
+	}
+	// Clone is independent in both directions.
+	c.MustAdd(tr("new", "p", "o"))
+	if g.Contains(tr("new", "p", "o")) {
+		t.Error("clone write leaked into original")
+	}
+	g.MustAdd(tr("orig", "p", "o"))
+	if c.Contains(tr("orig", "p", "o")) {
+		t.Error("original write leaked into clone")
+	}
+}
+
+func TestGraphTriplesAndSorted(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(tr("b", "p", "o"))
+	g.MustAdd(tr("a", "p", "o"))
+	ts := g.SortedTriples()
+	if len(ts) != 2 || ts[0].S.Value != "http://ex.org/a" {
+		t.Errorf("SortedTriples = %v", ts)
+	}
+}
+
+func TestDistinctNodesAndPredicates(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(tr("s1", "p1", "o1"))
+	g.MustAdd(tr("s1", "p2", "o2"))
+	g.MustAdd(rdf.Triple{S: iri("s1"), P: iri("p1"), O: rdf.NewInteger(5)})
+	// Nodes: s1, o1, o2, "5" -> 4. Predicates p1, p2 are NOT nodes here.
+	if got := g.DistinctNodes(); got != 4 {
+		t.Errorf("DistinctNodes = %d, want 4", got)
+	}
+	if got := g.DistinctPredicates(); got != 2 {
+		t.Errorf("DistinctPredicates = %d, want 2", got)
+	}
+	// A predicate also used as subject/object counts as a node.
+	g.MustAdd(rdf.Triple{S: iri("p1"), P: iri("p2"), O: rdf.NewLiteral("meta")})
+	if got := g.DistinctNodes(); got != 6 {
+		t.Errorf("DistinctNodes after meta-triple = %d, want 6", got)
+	}
+}
+
+func TestLoadTriples(t *testing.T) {
+	g := NewGraph()
+	n, err := g.LoadTriples([]rdf.Triple{tr("a", "p", "b"), tr("a", "p", "b"), tr("c", "p", "d")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || g.Len() != 2 {
+		t.Errorf("LoadTriples added %d (len %d), want 2", n, g.Len())
+	}
+	_, err = g.LoadTriples([]rdf.Triple{{S: rdf.NewLiteral("x"), P: iri("p"), O: iri("y")}})
+	if err == nil {
+		t.Error("LoadTriples accepted invalid triple")
+	}
+}
+
+// TestAddRemoveInvariantProperty: after any sequence of adds and removes, the
+// graph's Len, Contains, and all three indexes agree with a reference
+// map-based implementation.
+func TestAddRemoveInvariantProperty(t *testing.T) {
+	type op struct {
+		Add     bool
+		S, P, O uint8
+	}
+	prop := func(ops []op) bool {
+		g := NewGraph()
+		ref := make(map[rdf.Triple]bool)
+		for _, o := range ops {
+			x := tr(fmt.Sprintf("s%d", o.S%8), fmt.Sprintf("p%d", o.P%4), fmt.Sprintf("o%d", o.O%8))
+			if o.Add {
+				added, err := g.Add(x)
+				if err != nil {
+					return false
+				}
+				if added == ref[x] {
+					return false // added must be true iff not already present
+				}
+				ref[x] = true
+			} else {
+				removed := g.Remove(x)
+				if removed != ref[x] {
+					return false
+				}
+				delete(ref, x)
+			}
+		}
+		if g.Len() != len(ref) {
+			return false
+		}
+		for x := range ref {
+			if !g.Contains(x) {
+				return false
+			}
+		}
+		// Full scan must produce exactly ref.
+		got := g.Triples()
+		if len(got) != len(ref) {
+			return false
+		}
+		for _, x := range got {
+			if !ref[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSnapshotStats(t *testing.T) {
+	g := NewGraph()
+	g.MustAdd(tr("s1", "p1", "o1"))
+	g.MustAdd(tr("s2", "p1", "o1"))
+	g.MustAdd(tr("s1", "p2", "o2"))
+	st := g.Snapshot()
+	if st.Triples != 3 {
+		t.Errorf("Triples = %d", st.Triples)
+	}
+	if st.DistinctSubjects != 2 || st.DistinctPredicates != 2 || st.DistinctObjects != 2 {
+		t.Errorf("distinct S/P/O = %d/%d/%d", st.DistinctSubjects, st.DistinctPredicates, st.DistinctObjects)
+	}
+	if st.DistinctNodes != 4 {
+		t.Errorf("DistinctNodes = %d, want 4", st.DistinctNodes)
+	}
+	if len(st.Predicates) != 2 {
+		t.Fatalf("Predicates = %v", st.Predicates)
+	}
+	// Sorted by count descending: p1 (2) before p2 (1).
+	if st.Predicates[0].Predicate.Value != "http://ex.org/p1" || st.Predicates[0].Count != 2 {
+		t.Errorf("top predicate = %+v", st.Predicates[0])
+	}
+	if st.Predicates[0].DistinctSubjects != 2 || st.Predicates[0].DistinctObjects != 1 {
+		t.Errorf("p1 distinct S/O = %d/%d", st.Predicates[0].DistinctSubjects, st.Predicates[0].DistinctObjects)
+	}
+	if st.PredicateCount("http://ex.org/p2") != 1 {
+		t.Errorf("PredicateCount(p2) = %d", st.PredicateCount("http://ex.org/p2"))
+	}
+	if st.PredicateCount("http://ex.org/absent") != 0 {
+		t.Error("PredicateCount of absent predicate != 0")
+	}
+}
+
+func TestEstimatedBytesGrowsWithData(t *testing.T) {
+	g := NewGraph()
+	empty := g.EstimatedBytes()
+	for i := 0; i < 100; i++ {
+		g.MustAdd(tr(fmt.Sprintf("s%d", i), "p", fmt.Sprintf("o%d", i)))
+	}
+	full := g.EstimatedBytes()
+	if full <= empty {
+		t.Errorf("EstimatedBytes did not grow: %d -> %d", empty, full)
+	}
+}
+
+func TestConcurrentReaders(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(9)), 300)
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 50; j++ {
+				g.Match(rdf.NoID, rdf.NoID, rdf.NoID, func(_, _, _ rdf.ID) bool { return true })
+				g.Snapshot()
+				g.Len()
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		g.MustAdd(tr(fmt.Sprintf("cs%d", i), "cp", "co"))
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,166 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sofos/internal/rdf"
+)
+
+// Snapshot format: a compact binary serialization of a graph — the term
+// dictionary followed by dictionary-encoded triples. It exists so generated
+// datasets and expanded graphs can be saved and reloaded without re-running
+// generators or re-parsing N-Triples.
+//
+// Layout (all integers varint-encoded unless noted):
+//
+//	magic "SOFOSGR1" (8 bytes)
+//	termCount
+//	  per term: kind (1 byte), value, datatype, lang (length-prefixed strings)
+//	tripleCount
+//	  per triple: s, p, o as dictionary IDs (1-based, in dictionary order)
+const snapshotMagic = "SOFOSGR1"
+
+// Save writes the graph snapshot to w.
+func (g *Graph) Save(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return fmt.Errorf("store: writing snapshot header: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	if err := writeUvarint(uint64(g.dict.Len())); err != nil {
+		return fmt.Errorf("store: writing term count: %w", err)
+	}
+	var werr error
+	g.dict.EachTerm(func(_ rdf.ID, t rdf.Term) bool {
+		if err := bw.WriteByte(byte(t.Kind)); err != nil {
+			werr = err
+			return false
+		}
+		for _, s := range []string{t.Value, t.Datatype, t.Lang} {
+			if err := writeString(s); err != nil {
+				werr = err
+				return false
+			}
+		}
+		return true
+	})
+	if werr != nil {
+		return fmt.Errorf("store: writing terms: %w", werr)
+	}
+	if err := writeUvarint(uint64(g.n)); err != nil {
+		return fmt.Errorf("store: writing triple count: %w", err)
+	}
+	g.matchLocked(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+		for _, id := range []rdf.ID{s, p, o} {
+			if err := writeUvarint(uint64(id)); err != nil {
+				werr = err
+				return false
+			}
+		}
+		return true
+	})
+	if werr != nil {
+		return fmt.Errorf("store: writing triples: %w", werr)
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save into a fresh graph.
+func Load(r io.Reader) (*Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("store: reading snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("store: bad snapshot magic %q", magic)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<24 {
+			return "", fmt.Errorf("store: string length %d exceeds limit", n)
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	termCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading term count: %w", err)
+	}
+	g := NewGraph()
+	ids := make([]rdf.ID, termCount+1) // snapshot ID -> fresh dict ID
+	for i := uint64(1); i <= termCount; i++ {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading term %d: %w", i, err)
+		}
+		if kind > byte(rdf.KindLiteral) {
+			return nil, fmt.Errorf("store: invalid term kind %d", kind)
+		}
+		var t rdf.Term
+		t.Kind = rdf.TermKind(kind)
+		if t.Value, err = readString(); err != nil {
+			return nil, fmt.Errorf("store: reading term %d value: %w", i, err)
+		}
+		if t.Datatype, err = readString(); err != nil {
+			return nil, fmt.Errorf("store: reading term %d datatype: %w", i, err)
+		}
+		if t.Lang, err = readString(); err != nil {
+			return nil, fmt.Errorf("store: reading term %d lang: %w", i, err)
+		}
+		ids[i] = g.dict.Intern(t)
+	}
+	tripleCount, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading triple count: %w", err)
+	}
+	readID := func() (rdf.ID, error) {
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		if v == 0 || v > termCount {
+			return 0, fmt.Errorf("store: triple references invalid term id %d", v)
+		}
+		return ids[v], nil
+	}
+	for i := uint64(0); i < tripleCount; i++ {
+		s, err := readID()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
+		}
+		p, err := readID()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
+		}
+		o, err := readID()
+		if err != nil {
+			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
+		}
+		g.AddEncoded(s, p, o)
+	}
+	return g, nil
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sofos/internal/rdf"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	g := randomGraph(rand.New(rand.NewSource(41)), 500)
+	g.MustAdd(rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewLangLiteral("héllo", "fr")})
+	g.MustAdd(rdf.Triple{S: rdf.NewBlank("b1"), P: iri("p"), O: rdf.NewInteger(-5)})
+
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if loaded.Len() != g.Len() {
+		t.Fatalf("loaded %d triples, want %d", loaded.Len(), g.Len())
+	}
+	for _, tr := range g.Triples() {
+		if !loaded.Contains(tr) {
+			t.Fatalf("loaded graph missing %s", tr)
+		}
+	}
+	// Index integrity on the loaded graph: estimates match matches.
+	st := loaded.Snapshot()
+	if st.Triples != g.Len() {
+		t.Errorf("loaded stats = %+v", st)
+	}
+}
+
+func TestSnapshotEmptyGraph(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewGraph().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 0 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestSnapshotRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		g := randomGraph(rand.New(rand.NewSource(seed)), int(n))
+		var buf bytes.Buffer
+		if err := g.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		if loaded.Len() != g.Len() {
+			return false
+		}
+		for _, tr := range g.Triples() {
+			if !loaded.Contains(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+	}{
+		{"empty", ""},
+		{"bad magic", "NOTSOFOS"},
+		{"truncated after magic", "SOFOSGR1"},
+		{"truncated terms", "SOFOSGR1\x05"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Load(strings.NewReader(tc.data)); err == nil {
+				t.Error("corrupt snapshot accepted")
+			}
+		})
+	}
+}
+
+func TestLoadRejectsBadTermReferences(t *testing.T) {
+	// Craft a snapshot with 1 term but a triple referencing term 9.
+	var buf bytes.Buffer
+	buf.WriteString("SOFOSGR1")
+	buf.WriteByte(1) // term count = 1
+	buf.WriteByte(0) // kind IRI
+	buf.WriteByte(1) // value len 1
+	buf.WriteByte('x')
+	buf.WriteByte(0) // datatype ""
+	buf.WriteByte(0) // lang ""
+	buf.WriteByte(1) // triple count 1
+	buf.WriteByte(9) // s = 9 (invalid)
+	buf.WriteByte(1)
+	buf.WriteByte(1)
+	if _, err := Load(&buf); err == nil {
+		t.Error("out-of-range term reference accepted")
+	}
+}
+
+func TestSnapshotPreservesTermDetails(t *testing.T) {
+	g := NewGraph()
+	terms := []rdf.Term{
+		rdf.NewIRI("http://ex.org/a"),
+		rdf.NewLangLiteral("bonjour", "fr-CA"),
+		rdf.NewTypedLiteral("3.14", rdf.XSDDecimal),
+		rdf.NewLiteral("with \"quotes\" and\nnewlines"),
+	}
+	for i, o := range terms {
+		g.MustAdd(rdf.Triple{S: iri("s"), P: iri("p"), O: o})
+		_ = i
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range terms {
+		if !loaded.Contains(rdf.Triple{S: iri("s"), P: iri("p"), O: o}) {
+			t.Errorf("term %s lost in round trip", o)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package store
+
+import (
+	"sort"
+
+	"sofos/internal/rdf"
+)
+
+// PredicateStat summarizes one predicate's usage in a graph. These statistics
+// feed both the planner's selectivity estimates and the learned cost model's
+// feature encoding ("statistics about the relationship frequency and the
+// attribute frequency", §3.1 of the paper).
+type PredicateStat struct {
+	Predicate        rdf.Term
+	Count            int // number of triples with this predicate
+	DistinctSubjects int
+	DistinctObjects  int
+}
+
+// Stats is a snapshot of graph-level statistics.
+type Stats struct {
+	Triples            int
+	DistinctSubjects   int
+	DistinctPredicates int
+	DistinctObjects    int
+	DistinctNodes      int
+	Predicates         []PredicateStat // sorted by descending Count, then IRI
+}
+
+// PredicateCount returns the triple count of a predicate IRI, 0 if absent.
+func (s *Stats) PredicateCount(iri string) int {
+	for _, p := range s.Predicates {
+		if p.Predicate.Value == iri {
+			return p.Count
+		}
+	}
+	return 0
+}
+
+// Snapshot computes current statistics for the graph. It takes time linear
+// in the number of distinct predicates, not in the number of triples.
+func (g *Graph) Snapshot() *Stats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st := &Stats{
+		Triples:            g.n,
+		DistinctSubjects:   len(g.countS),
+		DistinctPredicates: len(g.countP),
+		DistinctObjects:    len(g.countO),
+	}
+	seen := make(map[rdf.ID]struct{}, len(g.countS)+len(g.countO))
+	for s := range g.countS {
+		seen[s] = struct{}{}
+	}
+	for o := range g.countO {
+		seen[o] = struct{}{}
+	}
+	st.DistinctNodes = len(seen)
+
+	for p, m2 := range g.pos {
+		ps := PredicateStat{
+			Predicate:       g.dict.Term(p),
+			Count:           g.countP[p],
+			DistinctObjects: len(m2),
+		}
+		subjects := make(map[rdf.ID]struct{})
+		for _, m3 := range m2 {
+			for s := range m3 {
+				subjects[s] = struct{}{}
+			}
+		}
+		ps.DistinctSubjects = len(subjects)
+		st.Predicates = append(st.Predicates, ps)
+	}
+	sort.Slice(st.Predicates, func(i, j int) bool {
+		if st.Predicates[i].Count != st.Predicates[j].Count {
+			return st.Predicates[i].Count > st.Predicates[j].Count
+		}
+		return st.Predicates[i].Predicate.Value < st.Predicates[j].Predicate.Value
+	})
+	return st
+}
+
+// EstimatedBytes approximates the in-memory footprint of the graph's triple
+// data, used for the paper's storage-amplification reports and the memory-
+// budget selection variant. It counts dictionary string bytes once plus a
+// fixed per-triple index overhead.
+func (g *Graph) EstimatedBytes() int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var total int64
+	g.dict.EachTerm(func(_ rdf.ID, t rdf.Term) bool {
+		total += int64(len(t.Value) + len(t.Datatype) + len(t.Lang) + 16)
+		return true
+	})
+	// Three indexes, each storing one 4-byte ID per triple plus map overhead
+	// (~48 bytes amortized per entry across three nested hash maps).
+	total += int64(g.n) * (3*4 + 3*48)
+	return total
+}

@@ -1,0 +1,269 @@
+package views
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"sofos/internal/algebra"
+	"sofos/internal/engine"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+)
+
+// algebraFormat renders a float as its canonical numeric literal.
+func algebraFormat(f float64) rdf.Term { return algebra.FormatFloat(f) }
+
+// SOFOS vocabulary for the G+ encoding of materialized views.
+const (
+	NS         = "http://sofos.ics.forth.gr/ns#"
+	PredInView = NS + "inView" // group blank node -> view IRI
+	PredAgg    = NS + "agg"    // group blank node -> aggregate value
+	PredSum    = NS + "aggSum" // AVG only: partial sum
+	PredCount  = NS + "aggCount"
+)
+
+// DimPredicate returns the predicate IRI attaching a dimension value to a
+// group blank node.
+func DimPredicate(dim string) string { return NS + "d_" + dim }
+
+// Materialized records one view materialized into G+.
+type Materialized struct {
+	Data    *Data
+	Triples int           // triples added to G+
+	Nodes   int           // distinct nodes in the encoding
+	Bytes   int64         // estimated encoding bytes
+	Elapsed time.Duration // total materialization time (compute + encode)
+
+	// baseVersion is the base graph's version at (re)materialization time,
+	// used for staleness detection (see Catalog.Stale).
+	baseVersion int64
+}
+
+// View is a convenience accessor.
+func (m *Materialized) View() facet.View { return m.Data.View }
+
+// Catalog manages the expanded graph G+ for one facet: the base graph plus
+// the encodings of every currently materialized view. It implements the
+// offline module's "view materialization" half.
+type Catalog struct {
+	facet    *facet.Facet
+	base     *store.Graph
+	expanded *store.Graph
+	baseEng  *engine.Engine
+	expEng   *engine.Engine
+	mats     map[facet.Mask]*Materialized
+}
+
+// NewCatalog clones base into a fresh expanded graph G+.
+func NewCatalog(base *store.Graph, f *facet.Facet) *Catalog {
+	expanded := base.Clone()
+	return &Catalog{
+		facet:    f,
+		base:     base,
+		expanded: expanded,
+		baseEng:  engine.New(base),
+		expEng:   engine.New(expanded),
+		mats:     make(map[facet.Mask]*Materialized),
+	}
+}
+
+// Facet returns the catalog's facet.
+func (c *Catalog) Facet() *facet.Facet { return c.facet }
+
+// Base returns the original graph G.
+func (c *Catalog) Base() *store.Graph { return c.base }
+
+// Expanded returns the expanded graph G+.
+func (c *Catalog) Expanded() *store.Graph { return c.expanded }
+
+// BaseEngine returns an engine over G.
+func (c *Catalog) BaseEngine() *engine.Engine { return c.baseEng }
+
+// ExpandedEngine returns an engine over G+.
+func (c *Catalog) ExpandedEngine() *engine.Engine { return c.expEng }
+
+// Has reports whether the view is materialized.
+func (c *Catalog) Has(m facet.Mask) bool {
+	_, ok := c.mats[m]
+	return ok
+}
+
+// Get returns the materialization record of a view, if present.
+func (c *Catalog) Get(m facet.Mask) (*Materialized, bool) {
+	mat, ok := c.mats[m]
+	return mat, ok
+}
+
+// Materialized returns all materialized views ordered by mask.
+func (c *Catalog) Materialized() []*Materialized {
+	out := make([]*Materialized, 0, len(c.mats))
+	for _, m := range c.mats {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Data.View.Mask < out[j].Data.View.Mask
+	})
+	return out
+}
+
+// MaterializedViews returns the views currently materialized, by mask order.
+func (c *Catalog) MaterializedViews() []facet.View {
+	mats := c.Materialized()
+	out := make([]facet.View, len(mats))
+	for i, m := range mats {
+		out[i] = m.Data.View
+	}
+	return out
+}
+
+// bestSource picks the cheapest way to compute v: the materialized strict
+// ancestor with the fewest groups (roll-up), or nil to compute from base.
+func (c *Catalog) bestSource(v facet.View) *Materialized {
+	var best *Materialized
+	for _, m := range c.mats {
+		if m.Data.View.Mask == v.Mask || !m.Data.View.Covers(v) {
+			continue
+		}
+		if best == nil || m.Data.NumGroups() < best.Data.NumGroups() {
+			best = m
+		}
+	}
+	return best
+}
+
+// Materialize computes the view (rolling up from a materialized ancestor
+// when possible) and encodes it into G+. Re-materializing an existing view
+// is a no-op returning the existing record.
+func (c *Catalog) Materialize(v facet.View) (*Materialized, error) {
+	if v.Facet != c.facet {
+		return nil, fmt.Errorf("views: view %s belongs to a different facet", v)
+	}
+	if m, ok := c.mats[v.Mask]; ok {
+		return m, nil
+	}
+	start := time.Now()
+	var data *Data
+	var err error
+	if src := c.bestSource(v); src != nil {
+		data, err = RollUp(src.Data, v)
+	} else {
+		data, err = Compute(c.baseEng, v)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return c.MaterializeData(data, start)
+}
+
+// MaterializeData encodes precomputed view data into G+. The start time, if
+// non-zero, anchors the Elapsed measurement (otherwise only encoding time is
+// counted).
+func (c *Catalog) MaterializeData(data *Data, start time.Time) (*Materialized, error) {
+	if start.IsZero() {
+		start = time.Now()
+	}
+	if m, ok := c.mats[data.View.Mask]; ok {
+		return m, nil
+	}
+	triples, err := Encode(data)
+	if err != nil {
+		return nil, err
+	}
+	var bytes int64
+	for _, t := range triples {
+		bytes += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
+		if _, err := c.expanded.Add(t); err != nil {
+			return nil, fmt.Errorf("views: encoding %s: %w", data.View, err)
+		}
+	}
+	st := ComputeStats(data)
+	m := &Materialized{
+		Data:        data,
+		Triples:     len(triples),
+		Nodes:       st.Nodes,
+		Bytes:       bytes,
+		Elapsed:     time.Since(start),
+		baseVersion: c.base.Version(),
+	}
+	c.mats[data.View.Mask] = m
+	return m, nil
+}
+
+// Encode renders view data as the blank-node RDF encoding added to G+:
+//
+//	_:g  sofos:inView   <view IRI> .
+//	_:g  sofos:d_<dim>  <dimension value> .   (per bound dimension)
+//	_:g  sofos:agg      "<aggregate>" .
+//	_:g  sofos:aggSum / sofos:aggCount ...    (AVG facets only)
+func Encode(data *Data) ([]rdf.Triple, error) {
+	v := data.View
+	dims := v.Dims()
+	viewIRI := rdf.NewIRI(v.IRI())
+	inView := rdf.NewIRI(PredInView)
+	aggP := rdf.NewIRI(PredAgg)
+	sumP := rdf.NewIRI(PredSum)
+	countP := rdf.NewIRI(PredCount)
+	isAvg := v.Facet.Agg == sparql.AggAvg
+	var out []rdf.Triple
+	for i, g := range data.Groups {
+		if len(g.Key) != len(dims) {
+			return nil, fmt.Errorf("views: group %d of %s has %d key values for %d dims", i, v, len(g.Key), len(dims))
+		}
+		b := rdf.NewBlank("g_" + v.Facet.Name + "_" + v.ID() + "_" + strconv.Itoa(i))
+		out = append(out, rdf.Triple{S: b, P: inView, O: viewIRI})
+		for j, kv := range g.Key {
+			if !kv.Bound {
+				continue
+			}
+			out = append(out, rdf.Triple{S: b, P: rdf.NewIRI(DimPredicate(dims[j])), O: kv.Term})
+		}
+		if g.Agg.Bound {
+			out = append(out, rdf.Triple{S: b, P: aggP, O: g.Agg.Term})
+		}
+		if isAvg {
+			out = append(out, rdf.Triple{S: b, P: sumP, O: algebraFormat(g.Sum)})
+			out = append(out, rdf.Triple{S: b, P: countP, O: algebraFormat(g.Count)})
+		}
+	}
+	return out, nil
+}
+
+// Drop removes a materialized view's triples from G+, reporting whether the
+// view was present.
+func (c *Catalog) Drop(v facet.View) bool {
+	m, ok := c.mats[v.Mask]
+	if !ok {
+		return false
+	}
+	triples, err := Encode(m.Data)
+	if err == nil {
+		for _, t := range triples {
+			c.expanded.Remove(t)
+		}
+	}
+	delete(c.mats, v.Mask)
+	return true
+}
+
+// Reset drops every materialized view, restoring G+ to the base contents.
+func (c *Catalog) Reset() {
+	for _, m := range c.Materialized() {
+		c.Drop(m.Data.View)
+	}
+}
+
+// StorageAmplification is |G+| / |G| in triples, the quantity panel ③ of the
+// demo contrasts against query time.
+func (c *Catalog) StorageAmplification() float64 {
+	if c.base.Len() == 0 {
+		return 1
+	}
+	return float64(c.expanded.Len()) / float64(c.base.Len())
+}
+
+// AddedTriples is the total number of materialized triples in G+.
+func (c *Catalog) AddedTriples() int { return c.expanded.Len() - c.base.Len() }

@@ -1,0 +1,202 @@
+// Package views implements view computation and materialization (§3.1 of the
+// SOFOS paper). A view's contents are computed either directly from the base
+// graph G or by rolling up an already-materialized finer view; they are then
+// encoded back into RDF as blank nodes carrying the aggregation values — a
+// generalization of the MARVEL encoding — producing the expanded graph G+.
+package views
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sofos/internal/algebra"
+	"sofos/internal/engine"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+)
+
+// Group is one aggregated result of a view: the dimension-value key and the
+// aggregate value. For AVG facets Sum and Count carry the exact roll-up
+// state; for other aggregates they are zero.
+type Group struct {
+	Key        []algebra.Value // values of the view's kept dims, in view order
+	Agg        algebra.Value   // the facet aggregate for this group
+	Sum, Count float64         // AVG only: exact partial sums
+}
+
+// Data is the computed content of one view, independent of its RDF encoding.
+type Data struct {
+	View        facet.View
+	Groups      []Group
+	ComputeTime time.Duration
+	Source      string // "base" or "rollup:<parent view id>"
+}
+
+// NumGroups is |Vi(G)|, the paper's "number of aggregated values" quantity.
+func (d *Data) NumGroups() int { return len(d.Groups) }
+
+// Compute evaluates the view's defining query on the engine's graph.
+func Compute(eng *engine.Engine, v facet.View) (*Data, error) {
+	start := time.Now()
+	q := v.Query()
+	res, err := eng.Execute(q)
+	if err != nil {
+		return nil, fmt.Errorf("views: computing %s: %w", v, err)
+	}
+	nd := len(v.Dims())
+	d := &Data{View: v, Source: "base"}
+	isAvg := v.Facet.Agg == sparql.AggAvg
+	for _, row := range res.Rows {
+		g := Group{Key: append([]algebra.Value(nil), row[:nd]...), Agg: row[nd]}
+		if isAvg {
+			// Columns nd+1, nd+2 are the SUM and COUNT companions added by
+			// facet.View.Query for AVG facets.
+			if row[nd+1].Bound {
+				g.Sum, _ = algebra.NumericValue(row[nd+1].Term)
+			}
+			if row[nd+2].Bound {
+				g.Count, _ = algebra.NumericValue(row[nd+2].Term)
+			}
+		}
+		d.Groups = append(d.Groups, g)
+	}
+	d.ComputeTime = time.Since(start)
+	return d, nil
+}
+
+// RollUp computes a coarser view from an already-computed finer one. The
+// target must be covered by parent.View. This is exact for SUM, COUNT, MIN,
+// MAX directly and for AVG via the carried (Sum, Count) pairs.
+func RollUp(parent *Data, target facet.View) (*Data, error) {
+	if !parent.View.Covers(target) {
+		return nil, fmt.Errorf("views: %s does not cover %s", parent.View, target)
+	}
+	start := time.Now()
+	parentDims := parent.View.Dims()
+	targetDims := target.Dims()
+	// Positions of target dims within the parent's key.
+	proj := make([]int, len(targetDims))
+	for i, d := range targetDims {
+		proj[i] = -1
+		for j, pd := range parentDims {
+			if pd == d {
+				proj[i] = j
+				break
+			}
+		}
+		if proj[i] < 0 {
+			return nil, fmt.Errorf("views: dimension ?%s missing from parent %s", d, parent.View)
+		}
+	}
+	agg := target.Facet.Agg
+	type acc struct {
+		key        []algebra.Value
+		aggTerm    rdf.Term
+		aggBound   bool
+		sum, count float64
+		poisoned   bool
+	}
+	byKey := make(map[string]*acc)
+	var order []string
+	var kb strings.Builder
+	for _, g := range parent.Groups {
+		kb.Reset()
+		key := make([]algebra.Value, len(proj))
+		for i, j := range proj {
+			key[i] = g.Key[j]
+			kb.WriteString(key[i].String())
+			kb.WriteByte('\x00')
+		}
+		ks := kb.String()
+		a, ok := byKey[ks]
+		if !ok {
+			a = &acc{key: key}
+			byKey[ks] = a
+			order = append(order, ks)
+		}
+		if a.poisoned {
+			continue
+		}
+		switch agg {
+		case sparql.AggAvg:
+			a.sum += g.Sum
+			a.count += g.Count
+		default:
+			if !g.Agg.Bound {
+				a.poisoned = true
+				continue
+			}
+			if !a.aggBound {
+				a.aggTerm = g.Agg.Term
+				a.aggBound = true
+				continue
+			}
+			merged, err := algebra.MergeAggregates(agg, a.aggTerm, g.Agg.Term)
+			if err != nil {
+				a.poisoned = true
+				continue
+			}
+			a.aggTerm = merged
+		}
+	}
+	out := &Data{View: target, Source: "rollup:" + parent.View.ID()}
+	for _, ks := range order {
+		a := byKey[ks]
+		g := Group{Key: a.key}
+		switch {
+		case a.poisoned:
+			g.Agg = algebra.Unbound
+		case agg == sparql.AggAvg:
+			g.Sum, g.Count = a.sum, a.count
+			if a.count > 0 {
+				g.Agg = algebra.Bind(algebra.FormatFloat(a.sum / a.count))
+			}
+		case a.aggBound:
+			g.Agg = algebra.Bind(a.aggTerm)
+		}
+		out.Groups = append(out.Groups, g)
+	}
+	out.ComputeTime = time.Since(start)
+	return out, nil
+}
+
+// Stats summarizes a view's size in the three quantities the paper's cost
+// models use, computed from the encoding the materializer would produce.
+type Stats struct {
+	Groups  int // |Vi(G)|: number of aggregated values
+	Triples int // |G_Vi|: triples of the view's RDF encoding
+	Nodes   int // |Ii ∪ Bi ∪ Li|: distinct nodes in the encoding
+}
+
+// ComputeStats derives encoding statistics from view data without touching
+// a graph.
+func ComputeStats(d *Data) Stats {
+	isAvg := d.View.Facet.Agg == sparql.AggAvg
+	st := Stats{Groups: len(d.Groups)}
+	nodes := make(map[string]struct{})
+	nodes["iri:"+d.View.IRI()] = struct{}{}
+	for i, g := range d.Groups {
+		// One blank node per group.
+		nodes[fmt.Sprintf("b:%d", i)] = struct{}{}
+		st.Triples++ // inView triple
+		for _, kv := range g.Key {
+			if kv.Bound {
+				st.Triples++
+				nodes[kv.String()] = struct{}{}
+			}
+		}
+		if g.Agg.Bound {
+			st.Triples++
+			nodes[g.Agg.String()] = struct{}{}
+		}
+		if isAvg {
+			st.Triples += 2
+			nodes[algebra.FormatFloat(g.Sum).String()+"^s"] = struct{}{}
+			nodes[algebra.FormatFloat(g.Count).String()+"^c"] = struct{}{}
+		}
+	}
+	st.Nodes = len(nodes)
+	return st
+}

@@ -1,0 +1,135 @@
+package views
+
+import (
+	"fmt"
+	"time"
+
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+)
+
+// Maintenance: materialized views become stale when the base graph changes.
+// The catalog tracks the base graph's version at materialization time and
+// supports refresh — recomputing a view and applying the minimal diff of its
+// encoding to G+. This implements the "view maintenance" extension that
+// MARVEL and the SOFOS demo leave as an offline rebuild, done here without
+// rebuilding G+ from scratch.
+
+// Insert adds a triple to the base graph and mirrors it into G+ so the two
+// stay consistent; materialized views become stale (see Stale).
+func (c *Catalog) Insert(t rdf.Triple) (bool, error) {
+	added, err := c.base.Add(t)
+	if err != nil {
+		return false, fmt.Errorf("views: inserting into base: %w", err)
+	}
+	if added {
+		if _, err := c.expanded.Add(t); err != nil {
+			return false, fmt.Errorf("views: mirroring insert into G+: %w", err)
+		}
+	}
+	return added, nil
+}
+
+// Delete removes a triple from the base graph and from G+.
+func (c *Catalog) Delete(t rdf.Triple) bool {
+	removed := c.base.Remove(t)
+	if removed {
+		c.expanded.Remove(t)
+	}
+	return removed
+}
+
+// Stale reports whether a materialized view was computed against an older
+// version of the base graph.
+func (c *Catalog) Stale(m facet.Mask) bool {
+	mat, ok := c.mats[m]
+	if !ok {
+		return false
+	}
+	return mat.baseVersion != c.base.Version()
+}
+
+// StaleViews lists the currently stale materialized views.
+func (c *Catalog) StaleViews() []facet.View {
+	var out []facet.View
+	for _, mat := range c.Materialized() {
+		if c.Stale(mat.View().Mask) {
+			out = append(out, mat.View())
+		}
+	}
+	return out
+}
+
+// Refresh recomputes a stale view from the current base graph and applies
+// the encoding diff to G+: removed groups' triples are deleted, new ones
+// added, unchanged ones left in place. Refreshing a fresh view is a no-op.
+func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
+	mat, ok := c.mats[v.Mask]
+	if !ok {
+		return nil, fmt.Errorf("views: view %s is not materialized", v)
+	}
+	if !c.Stale(v.Mask) {
+		return mat, nil
+	}
+	start := time.Now()
+	fresh, err := Compute(c.baseEng, v)
+	if err != nil {
+		return nil, fmt.Errorf("views: recomputing %s: %w", v, err)
+	}
+	oldTriples, err := Encode(mat.Data)
+	if err != nil {
+		return nil, err
+	}
+	newTriples, err := Encode(fresh)
+	if err != nil {
+		return nil, err
+	}
+	// Diff by triple value. Group blank-node labels are positional, so a
+	// shifted group would produce spurious churn; the diff still yields a
+	// correct G+ because both sides are applied as sets.
+	oldSet := make(map[rdf.Triple]struct{}, len(oldTriples))
+	for _, t := range oldTriples {
+		oldSet[t] = struct{}{}
+	}
+	added, kept := 0, 0
+	var bytes int64
+	for _, t := range newTriples {
+		if _, ok := oldSet[t]; ok {
+			delete(oldSet, t)
+			kept++
+		} else {
+			if _, err := c.expanded.Add(t); err != nil {
+				return nil, fmt.Errorf("views: refreshing %s: %w", v, err)
+			}
+			added++
+		}
+		bytes += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
+	}
+	for t := range oldSet {
+		c.expanded.Remove(t)
+	}
+	st := ComputeStats(fresh)
+	updated := &Materialized{
+		Data:        fresh,
+		Triples:     len(newTriples),
+		Nodes:       st.Nodes,
+		Bytes:       bytes,
+		Elapsed:     time.Since(start),
+		baseVersion: c.base.Version(),
+	}
+	c.mats[v.Mask] = updated
+	_ = kept
+	return updated, nil
+}
+
+// RefreshAll refreshes every stale view, returning how many were refreshed.
+func (c *Catalog) RefreshAll() (int, error) {
+	n := 0
+	for _, v := range c.StaleViews() {
+		if _, err := c.Refresh(v); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

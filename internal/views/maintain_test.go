@@ -1,0 +1,291 @@
+package views
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+)
+
+func TestInsertMirrorsIntoExpanded(t *testing.T) {
+	g := popGraph(t, 21, 2, 2, 1)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	tr := rdf.Triple{
+		S: rdf.NewIRI("http://ex.org/obsNew"),
+		P: rdf.NewIRI("http://ex.org/country"),
+		O: rdf.NewLiteral("CX"),
+	}
+	added, err := c.Insert(tr)
+	if err != nil || !added {
+		t.Fatalf("Insert = %v, %v", added, err)
+	}
+	if !c.Base().Contains(tr) || !c.Expanded().Contains(tr) {
+		t.Error("insert not mirrored")
+	}
+	// Duplicate insert is a no-op in both graphs.
+	added, err = c.Insert(tr)
+	if err != nil || added {
+		t.Errorf("duplicate Insert = %v, %v", added, err)
+	}
+	if !c.Delete(tr) {
+		t.Fatal("Delete = false")
+	}
+	if c.Base().Contains(tr) || c.Expanded().Contains(tr) {
+		t.Error("delete not mirrored")
+	}
+	if c.Delete(tr) {
+		t.Error("second Delete = true")
+	}
+	// Invalid triples are rejected.
+	if _, err := c.Insert(rdf.Triple{S: rdf.NewLiteral("x"), P: tr.P, O: tr.O}); err == nil {
+		t.Error("invalid triple accepted")
+	}
+}
+
+// addObservation inserts a full observation (4 triples) through the catalog.
+func addObservation(t *testing.T, c *Catalog, id, country, lang string, year int, pop int64) {
+	t.Helper()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+	obs := ex(id)
+	for _, tr := range []rdf.Triple{
+		{S: obs, P: ex("country"), O: rdf.NewLiteral(country)},
+		{S: obs, P: ex("lang"), O: rdf.NewLiteral(lang)},
+		{S: obs, P: ex("year"), O: rdf.NewYear(year)},
+		{S: obs, P: ex("pop"), O: rdf.NewInteger(pop)},
+	} {
+		if _, err := c.Insert(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStalenessLifecycle(t *testing.T) {
+	g := popGraph(t, 22, 3, 2, 2)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	v := f.View(facet.MaskFromBits(0))
+	if _, err := c.Materialize(v); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stale(v.Mask) {
+		t.Error("freshly materialized view is stale")
+	}
+	if c.Stale(facet.MaskFromBits(1)) {
+		t.Error("unmaterialized view reported stale")
+	}
+	addObservation(t, c, "obsX", "C99", "L0", 2015, 500)
+	if !c.Stale(v.Mask) {
+		t.Error("view not stale after base mutation")
+	}
+	stale := c.StaleViews()
+	if len(stale) != 1 || stale[0].Mask != v.Mask {
+		t.Errorf("StaleViews = %v", stale)
+	}
+	if _, err := c.Refresh(v); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stale(v.Mask) {
+		t.Error("view stale after refresh")
+	}
+}
+
+func TestRefreshProducesCorrectAnswers(t *testing.T) {
+	g := popGraph(t, 23, 3, 2, 2)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	v := f.View(facet.MaskFromBits(0)) // per-country
+	if _, err := c.Materialize(v); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: new country and extra population for an existing one.
+	addObservation(t, c, "obsA", "CNEW", "L0", 2016, 1234)
+	addObservation(t, c, "obsB", "C0", "L1", 2016, 777)
+
+	refreshed, err := c.Refresh(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The refreshed contents must equal a from-scratch computation.
+	direct, err := Compute(c.BaseEngine(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGroups(t, v, direct, refreshed.Data)
+
+	// And the G+ encoding must match: exactly the fresh triples present.
+	want, err := Encode(refreshed.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range want {
+		if !c.Expanded().Contains(tr) {
+			t.Errorf("G+ missing refreshed triple %s", tr)
+		}
+	}
+	if got := c.Expanded().Len() - c.Base().Len(); got != len(want) {
+		t.Errorf("G+ has %d view triples, want %d", got, len(want))
+	}
+}
+
+func TestRefreshHandlesDeletes(t *testing.T) {
+	g := popGraph(t, 24, 3, 2, 1)
+	f := popFacet(t, "COUNT")
+	c := NewCatalog(g, f)
+	v := f.View(facet.MaskFromBits(1)) // per-lang
+	if _, err := c.Materialize(v); err != nil {
+		t.Fatal(err)
+	}
+	// Remove every triple of one observation.
+	var victim rdf.Term
+	c.Base().Match(rdf.NoID, rdf.NoID, rdf.NoID, func(s, _, _ rdf.ID) bool {
+		victim = c.Base().Dict().Term(s)
+		return false
+	})
+	var toDelete []rdf.Triple
+	for _, tr := range c.Base().Triples() {
+		if tr.S == victim {
+			toDelete = append(toDelete, tr)
+		}
+	}
+	if len(toDelete) == 0 {
+		t.Fatal("no observation found")
+	}
+	for _, tr := range toDelete {
+		if !c.Delete(tr) {
+			t.Fatalf("Delete(%s) = false", tr)
+		}
+	}
+	refreshed, err := c.Refresh(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := Compute(c.BaseEngine(), v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGroups(t, v, direct, refreshed.Data)
+}
+
+func TestRefreshAll(t *testing.T) {
+	g := popGraph(t, 25, 3, 2, 2)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	for _, mask := range []facet.Mask{0, facet.MaskFromBits(0), facet.MaskFromBits(1, 2)} {
+		if _, err := c.Materialize(f.View(mask)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addObservation(t, c, "obsZ", "C1", "L1", 2015, 42)
+	if got := len(c.StaleViews()); got != 3 {
+		t.Fatalf("stale views = %d", got)
+	}
+	n, err := c.RefreshAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || len(c.StaleViews()) != 0 {
+		t.Errorf("RefreshAll refreshed %d, stale after = %d", n, len(c.StaleViews()))
+	}
+	// Second call is a no-op.
+	n, err = c.RefreshAll()
+	if err != nil || n != 0 {
+		t.Errorf("second RefreshAll = %d, %v", n, err)
+	}
+}
+
+func TestRefreshUnmaterializedFails(t *testing.T) {
+	g := popGraph(t, 26, 2, 2, 1)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	if _, err := c.Refresh(f.View(0)); err == nil {
+		t.Error("refresh of unmaterialized view accepted")
+	}
+}
+
+func TestRefreshFreshViewNoOp(t *testing.T) {
+	g := popGraph(t, 27, 2, 2, 1)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	v := f.View(0)
+	m1, err := c.Materialize(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := c.Refresh(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Error("refresh of fresh view rebuilt it")
+	}
+}
+
+// TestRefreshEquivalenceProperty: after random batches of inserts and
+// deletes, refresh always converges G+'s view encoding to the from-scratch
+// computation, for every aggregate.
+func TestRefreshEquivalenceProperty(t *testing.T) {
+	for _, agg := range []string{"SUM", "COUNT", "MIN", "MAX", "AVG"} {
+		t.Run(agg, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(28))
+			g := popGraph(t, 29, 3, 3, 2)
+			f := popFacet(t, agg)
+			c := NewCatalog(g, f)
+			v := f.View(facet.MaskFromBits(0, 1))
+			if _, err := c.Materialize(v); err != nil {
+				t.Fatal(err)
+			}
+			for round := 0; round < 5; round++ {
+				// Random inserts.
+				for i := 0; i < 3; i++ {
+					addObservation(t, c,
+						fmt.Sprintf("robs%d_%d", round, i),
+						fmt.Sprintf("C%d", rng.Intn(5)),
+						fmt.Sprintf("L%d", rng.Intn(4)),
+						2015+rng.Intn(3),
+						int64(rng.Intn(500)+1))
+				}
+				// Random delete of one existing triple group.
+				all := c.Base().Triples()
+				if len(all) > 0 {
+					c.Delete(all[rng.Intn(len(all))])
+				}
+				refreshed, err := c.Refresh(v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				direct, err := Compute(c.BaseEngine(), v)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSameGroups(t, v, direct, refreshed.Data)
+				// Rewriting through the refreshed view must match base.
+				q := v.AnalyticalQuery()
+				viaBase, err := c.BaseEngine().Execute(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_ = viaBase
+				if !reflect.DeepEqual(groupKeys(direct), groupKeys(refreshed.Data)) {
+					t.Fatal("group keys diverged")
+				}
+			}
+		})
+	}
+}
+
+// groupKeys canonicalizes group keys for set comparison.
+func groupKeys(d *Data) map[string]bool {
+	out := make(map[string]bool, len(d.Groups))
+	for _, g := range d.Groups {
+		k := ""
+		for _, kv := range g.Key {
+			k += kv.String() + "|"
+		}
+		out[k] = true
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"sofos/internal/facet"
+	"sofos/internal/sparql"
+)
+
+// Save writes the workload as a text file: one SPARQL query per block,
+// blocks separated by a line containing only "---". The format round-trips
+// through Load, so generated workloads can be archived and replayed.
+func (w *Workload) Save(out io.Writer) error {
+	bw := bufio.NewWriter(out)
+	for i, q := range w.Queries {
+		if i > 0 {
+			if _, err := bw.WriteString("\n---\n"); err != nil {
+				return fmt.Errorf("workload: writing separator: %w", err)
+			}
+		}
+		if _, err := bw.WriteString(q.Text); err != nil {
+			return fmt.Errorf("workload: writing query %d: %w", i, err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("workload: writing query %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a workload file (queries separated by "---" lines), parses and
+// validates every query against the facet, and recomputes the dimension
+// masks. Queries that do not target the facet are still loaded — they will
+// simply fall back to the base graph when answered — but unparseable ones
+// are an error.
+func Load(in io.Reader, f *facet.Facet) (*Workload, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading: %w", err)
+	}
+	w := &Workload{Facet: f}
+	for i, block := range splitBlocks(string(data)) {
+		q, err := sparql.Parse(block)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		w.Queries = append(w.Queries, FromQuery(f, q))
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("workload: file contains no queries")
+	}
+	return w, nil
+}
+
+// FromQuery wraps a parsed query as a workload entry, deriving the dimension
+// masks from its GROUP BY and FILTER clauses.
+func FromQuery(f *facet.Facet, q *sparql.Query) Query {
+	var groupMask, filterMask facet.Mask
+	for _, v := range q.GroupBy {
+		if i := f.DimIndex(v); i >= 0 {
+			groupMask |= 1 << i
+		}
+	}
+	for _, fe := range q.Where.Filters {
+		for _, v := range sparql.ExprVars(fe) {
+			if i := f.DimIndex(v); i >= 0 {
+				filterMask |= 1 << i
+			}
+		}
+	}
+	for _, d := range q.Where.Values {
+		if i := f.DimIndex(d.Var); i >= 0 {
+			filterMask |= 1 << i
+		}
+	}
+	return Query{
+		Parsed:     q,
+		Text:       q.String(),
+		GroupMask:  groupMask,
+		FilterMask: filterMask,
+	}
+}
+
+// splitBlocks splits the file on lines containing only "---", dropping
+// empty blocks.
+func splitBlocks(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if b := strings.TrimSpace(cur.String()); b != "" {
+			out = append(out, b)
+		}
+		cur.Reset()
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if strings.TrimSpace(line) == "---" {
+			flush()
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteByte('\n')
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,86 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"sofos/internal/sparql"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g, f := fixture(t)
+	w, err := Generate(g, f, Config{Size: 12, Seed: 21, FilterProb: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := w.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(strings.NewReader(buf.String()), f)
+	if err != nil {
+		t.Fatalf("Load: %v\nfile:\n%s", err, buf.String())
+	}
+	if len(loaded.Queries) != len(w.Queries) {
+		t.Fatalf("loaded %d queries, want %d", len(loaded.Queries), len(w.Queries))
+	}
+	for i := range w.Queries {
+		if loaded.Queries[i].Text != w.Queries[i].Text {
+			t.Errorf("query %d text changed:\n%s\nvs\n%s", i, w.Queries[i].Text, loaded.Queries[i].Text)
+		}
+		if loaded.Queries[i].GroupMask != w.Queries[i].GroupMask ||
+			loaded.Queries[i].FilterMask != w.Queries[i].FilterMask {
+			t.Errorf("query %d masks changed", i)
+		}
+	}
+}
+
+func TestLoadHandwrittenFile(t *testing.T) {
+	_, f := fixture(t)
+	file := `
+PREFIX ex: <http://ex.org/>
+SELECT ?lang (SUM(?pop) AS ?a) WHERE {
+  ?o ex:country ?country . ?o ex:lang ?lang . ?o ex:year ?year . ?o ex:pop ?pop .
+} GROUP BY ?lang
+---
+PREFIX ex: <http://ex.org/>
+SELECT (SUM(?pop) AS ?a) WHERE {
+  ?o ex:country ?country . ?o ex:lang ?lang . ?o ex:year ?year . ?o ex:pop ?pop .
+  FILTER (?year >= 2019)
+}
+`
+	w, err := Load(strings.NewReader(file), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Queries) != 2 {
+		t.Fatalf("queries = %d", len(w.Queries))
+	}
+	if w.Queries[0].GroupMask != 1<<f.DimIndex("lang") {
+		t.Errorf("query 0 group mask = %b", w.Queries[0].GroupMask)
+	}
+	if w.Queries[1].FilterMask != 1<<f.DimIndex("year") {
+		t.Errorf("query 1 filter mask = %b", w.Queries[1].FilterMask)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	_, f := fixture(t)
+	if _, err := Load(strings.NewReader(""), f); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := Load(strings.NewReader("not sparql\n---\n"), f); err == nil {
+		t.Error("unparseable query accepted")
+	}
+}
+
+func TestFromQueryForeignVars(t *testing.T) {
+	_, f := fixture(t)
+	// Grouping by a non-dimension variable contributes nothing to the mask.
+	q := sparql.MustParse(`PREFIX ex: <http://ex.org/>
+SELECT ?o (COUNT(?pop) AS ?n) WHERE { ?o ex:pop ?pop . } GROUP BY ?o`)
+	wq := FromQuery(f, q)
+	if wq.GroupMask != 0 || wq.FilterMask != 0 {
+		t.Errorf("masks = %b/%b", wq.GroupMask, wq.FilterMask)
+	}
+}
