@@ -220,6 +220,146 @@ func BenchmarkStoreInsert(b *testing.B) {
 	}
 }
 
+// benchTriples generates a deterministic encoded workload shared by the
+// old-vs-new representation benchmarks. IDs are pre-interned so both stores
+// pay only index costs.
+func benchTriples(n int) []rdf.EncodedTriple {
+	out := make([]rdf.EncodedTriple, n)
+	for i := range out {
+		out[i] = rdf.EncodedTriple{
+			rdf.ID(1 + (i*7919)%(n/4+1)),
+			rdf.ID(1 + (i*31)%16),
+			rdf.ID(1 + (i*104729)%(n/2+1)),
+		}
+	}
+	return out
+}
+
+// BenchmarkStoreBulkLoad contrasts the columnar sorted-run bulk load against
+// per-triple insertion into the seed's nested-map representation — the
+// representation speedup headline for dataset loads and G+ materialization.
+func BenchmarkStoreBulkLoad(b *testing.B) {
+	ts := benchTriples(100_000)
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := store.NewGraph()
+			g.LoadEncoded(ts)
+		}
+	})
+	b.Run("nestedmap", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := store.NewNestedMapGraph()
+			for _, t := range ts {
+				g.Add(t.S(), t.P(), t.O())
+			}
+		}
+	})
+}
+
+// BenchmarkStoreClone contrasts the columnar memcpy clone against the
+// nested-map deep copy; NewCatalog pays exactly this cost to build G+.
+func BenchmarkStoreClone(b *testing.B) {
+	ts := benchTriples(100_000)
+	b.Run("columnar", func(b *testing.B) {
+		g := store.NewGraph()
+		g.LoadEncoded(ts)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if c := g.Clone(); c.Len() != g.Len() {
+				b.Fatal("bad clone")
+			}
+		}
+	})
+	b.Run("nestedmap", func(b *testing.B) {
+		g := store.NewNestedMapGraph()
+		for _, t := range ts {
+			g.Add(t.S(), t.P(), t.O())
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if c := g.Clone(); c.Len() != g.Len() {
+				b.Fatal("bad clone")
+			}
+		}
+	})
+}
+
+// BenchmarkStoreScanShapes measures every triple-pattern shape on both
+// representations: the columnar iterator's binary-search range scan vs the
+// nested-map callback walk.
+func BenchmarkStoreScanShapes(b *testing.B) {
+	ts := benchTriples(100_000)
+	cg := store.NewGraph()
+	cg.LoadEncoded(ts)
+	ng := store.NewNestedMapGraph()
+	for _, t := range ts {
+		ng.Add(t.S(), t.P(), t.O())
+	}
+	probe := ts[len(ts)/2]
+	shapes := []struct {
+		name    string
+		s, p, o rdf.ID
+	}{
+		{"sp_", probe.S(), probe.P(), rdf.NoID},
+		{"s__", probe.S(), rdf.NoID, rdf.NoID},
+		{"_p_", rdf.NoID, probe.P(), rdf.NoID},
+		{"__o", rdf.NoID, rdf.NoID, probe.O()},
+		{"s_o", probe.S(), rdf.NoID, probe.O()},
+	}
+	for _, sh := range shapes {
+		b.Run("columnar/"+sh.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				it := cg.Scan(sh.s, sh.p, sh.o)
+				n := 0
+				for it.Next() {
+					n++
+				}
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+		b.Run("nestedmap/"+sh.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				n := 0
+				ng.Match(sh.s, sh.p, sh.o, func(_, _, _ rdf.ID) bool { n++; return true })
+				if n == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecJoinHeavy measures binding-propagation join execution over the
+// columnar store on the dbpedia facet star join — the join-heavy end-to-end
+// path (compare against BenchmarkEngineAggregateQuery history for the
+// nested-map numbers).
+func BenchmarkExecJoinHeavy(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := engine.New(g)
+	q := f.TemplateQuery()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := eng.Execute(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
 // BenchmarkStoreMatch measures indexed pattern matching on a loaded graph.
 func BenchmarkStoreMatch(b *testing.B) {
 	g, _, err := datasets.BuildWithFacet("dbpedia", 40, 1)

@@ -1,0 +1,3 @@
+module sofos
+
+go 1.22

@@ -33,8 +33,11 @@ type System struct {
 	provider *cost.Provider // lazily computed full-lattice statistics
 }
 
-// New builds a system over a graph and facet.
+// New builds a system over a graph and facet. The graph is compacted up
+// front: systems are built after bulk loading, and every downstream engine
+// scan and cardinality estimate is cheapest against delta-free runs.
 func New(g *store.Graph, f *facet.Facet) (*System, error) {
+	g.Compact()
 	l, err := facet.NewLattice(f)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -109,7 +112,9 @@ func (s *System) SelectViewsByMemory(m cost.Model, budgetBytes int64) (*selectio
 	})
 }
 
-// Materialize materializes every view of a selection into G+.
+// Materialize materializes every view of a selection into G+. After the last
+// view's encoding is merged it compacts G+'s delta overlay, so the online
+// module's queries run against pure sorted permutation runs.
 func (s *System) Materialize(sel *selection.Selection) ([]*views.Materialized, error) {
 	out := make([]*views.Materialized, 0, len(sel.Views))
 	for _, v := range sel.Views {
@@ -119,6 +124,7 @@ func (s *System) Materialize(sel *selection.Selection) ([]*views.Materialized, e
 		}
 		out = append(out, m)
 	}
+	s.Catalog.Expanded().Compact()
 	return out, nil
 }
 

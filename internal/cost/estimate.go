@@ -43,22 +43,22 @@ func NewEstimatedModel(f *facet.Facet, stats *store.Stats) *EstimatedModel {
 }
 
 // domainSize estimates a dimension's value-domain size from the statistics
-// of the predicate binding it.
+// of the predicate binding it. Predicate stats come from the snapshot's
+// indexed lookup, which the store reads off POS permutation range lengths.
 func domainSize(f *facet.Facet, stats *store.Stats, varName string) float64 {
 	for _, tp := range f.Pattern.Triples {
 		if tp.P.IsVar {
 			continue
 		}
-		for _, ps := range stats.Predicates {
-			if ps.Predicate.Value != tp.P.Term.Value {
-				continue
-			}
-			if tp.O.IsVar && tp.O.Var == varName {
-				return float64(ps.DistinctObjects)
-			}
-			if tp.S.IsVar && tp.S.Var == varName {
-				return float64(ps.DistinctSubjects)
-			}
+		ps, ok := stats.Predicate(tp.P.Term.Value)
+		if !ok {
+			continue
+		}
+		if tp.O.IsVar && tp.O.Var == varName {
+			return float64(ps.DistinctObjects)
+		}
+		if tp.S.IsVar && tp.S.Var == varName {
+			return float64(ps.DistinctSubjects)
 		}
 	}
 	return float64(stats.Triples) // unknown binding: pessimistic
@@ -75,18 +75,14 @@ func patternRowEstimate(f *facet.Facet, stats *store.Stats) float64 {
 			rows *= math.Sqrt(float64(stats.Triples) + 1)
 			continue
 		}
-		count := float64(stats.PredicateCount(tp.P.Term.Value))
-		if count == 0 {
+		ps, ok := stats.Predicate(tp.P.Term.Value)
+		if !ok || ps.Count == 0 {
 			return 1
 		}
+		count := float64(ps.Count)
 		// Each pattern multiplies rows by its average fan-out per already
 		// bound subject; for star patterns this is count / distinctSubjects.
-		var ds float64
-		for _, ps := range stats.Predicates {
-			if ps.Predicate.Value == tp.P.Term.Value {
-				ds = float64(ps.DistinctSubjects)
-			}
-		}
+		ds := float64(ps.DistinctSubjects)
 		if ds == 0 {
 			ds = 1
 		}

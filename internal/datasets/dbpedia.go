@@ -47,7 +47,8 @@ func buildDBpedia(scale int, seed int64) (*store.Graph, error) {
 		return nil, fmt.Errorf("datasets: dbpedia scale %d must be positive", scale)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := store.NewGraph()
+	var ts []rdf.Triple
+	add := func(s, p, o rdf.Term) { ts = append(ts, rdf.Triple{S: s, P: p, O: o}) }
 	dbp := func(local string) rdf.Term { return rdf.NewIRI(dbpNS + local) }
 	res := func(format string, args ...any) rdf.Term {
 		return rdf.NewIRI("http://dbpedia.org/resource/" + fmt.Sprintf(format, args...))
@@ -58,9 +59,9 @@ func buildDBpedia(scale int, seed int64) (*store.Graph, error) {
 	obsID := 0
 	for c := 0; c < scale; c++ {
 		country := res("Country%d", c)
-		g.MustAdd(rdf.Triple{S: country, P: nameP, O: rdf.NewLiteral(fmt.Sprintf("Country%d", c))})
+		add(country, nameP, rdf.NewLiteral(fmt.Sprintf("Country%d", c)))
 		continent := dbpContinents[zipfIndex(rng, len(dbpContinents), 1.2)]
-		g.MustAdd(rdf.Triple{S: country, P: contP, O: rdf.NewLiteral(continent)})
+		add(country, contP, rdf.NewLiteral(continent))
 		// Base population in the millions, log-uniform-ish.
 		basePop := int64(1+rng.Intn(90)) * 1_000_000
 		nLangs := 1 + rng.Intn(4)
@@ -80,14 +81,14 @@ func buildDBpedia(scale int, seed int64) (*store.Graph, error) {
 				pop := int64(float64(basePop) * share * growth)
 				obs := res("obs%d", obsID)
 				obsID++
-				g.MustAdd(rdf.Triple{S: obs, P: countryP, O: country})
-				g.MustAdd(rdf.Triple{S: obs, P: langP, O: rdf.NewLiteral(lang)})
-				g.MustAdd(rdf.Triple{S: obs, P: yearP, O: rdf.NewYear(y)})
-				g.MustAdd(rdf.Triple{S: obs, P: popP, O: rdf.NewInteger(pop)})
+				add(obs, countryP, country)
+				add(obs, langP, rdf.NewLiteral(lang))
+				add(obs, yearP, rdf.NewYear(y))
+				add(obs, popP, rdf.NewInteger(pop))
 			}
 		}
 	}
-	return g, nil
+	return store.BuildFrom(ts)
 }
 
 // dbpediaFacet is the population facet of Example 1.1: total population per

@@ -39,7 +39,8 @@ func buildLUBM(scale int, seed int64) (*store.Graph, error) {
 		return nil, fmt.Errorf("datasets: lubm scale %d must be positive", scale)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := store.NewGraph()
+	var ts []rdf.Triple
+	add := func(s, p, o rdf.Term) { ts = append(ts, rdf.Triple{S: s, P: p, O: o}) }
 	ub := func(local string) rdf.Term { return rdf.NewIRI(lubmNS + local) }
 	ent := func(format string, args ...any) rdf.Term {
 		return rdf.NewIRI("http://www.university.edu/" + fmt.Sprintf(format, args...))
@@ -62,14 +63,14 @@ func buildLUBM(scale int, seed int64) (*store.Graph, error) {
 	rankP, authorP, nameP := ub("rank"), ub("publicationAuthor"), ub("name")
 	for u := 0; u < scale; u++ {
 		univ := ent("univ%d", u)
-		g.MustAdd(rdf.Triple{S: univ, P: typeP, O: ub("University")})
-		g.MustAdd(rdf.Triple{S: univ, P: nameP, O: rdf.NewLiteral(fmt.Sprintf("University%d", u))})
+		add(univ, typeP, ub("University"))
+		add(univ, nameP, rdf.NewLiteral(fmt.Sprintf("University%d", u)))
 		nDept := 3 + rng.Intn(3) // UBA uses 15-25; scaled down, same shape
 		for d := 0; d < nDept; d++ {
 			dept := ent("univ%d/dept%d", u, d)
-			g.MustAdd(rdf.Triple{S: dept, P: typeP, O: ub("Department")})
-			g.MustAdd(rdf.Triple{S: dept, P: subOrg, O: univ})
-			g.MustAdd(rdf.Triple{S: dept, P: nameP, O: rdf.NewLiteral(fmt.Sprintf("Department%d-U%d", d, u))})
+			add(dept, typeP, ub("Department"))
+			add(dept, subOrg, univ)
+			add(dept, nameP, rdf.NewLiteral(fmt.Sprintf("Department%d-U%d", d, u)))
 			for _, rank := range ranks {
 				fr := facultyRange[rank]
 				nFac := fr[0] + rng.Intn(fr[1]-fr[0]+1)
@@ -78,21 +79,21 @@ func buildLUBM(scale int, seed int64) (*store.Graph, error) {
 				nFac = nFac/3 + 1
 				for p := 0; p < nFac; p++ {
 					prof := ent("univ%d/dept%d/%s%d", u, d, rank, p)
-					g.MustAdd(rdf.Triple{S: prof, P: typeP, O: ub(rank)})
-					g.MustAdd(rdf.Triple{S: prof, P: worksFor, O: dept})
-					g.MustAdd(rdf.Triple{S: prof, P: rankP, O: rdf.NewLiteral(rank)})
+					add(prof, typeP, ub(rank))
+					add(prof, worksFor, dept)
+					add(prof, rankP, rdf.NewLiteral(rank))
 					pr := pubRange[rank]
 					nPub := pr[0] + rng.Intn(pr[1]-pr[0]+1)
 					for pb := 0; pb < nPub; pb++ {
 						pub := ent("univ%d/dept%d/%s%d/pub%d", u, d, rank, p, pb)
-						g.MustAdd(rdf.Triple{S: pub, P: typeP, O: ub("Publication")})
-						g.MustAdd(rdf.Triple{S: pub, P: authorP, O: prof})
+						add(pub, typeP, ub("Publication"))
+						add(pub, authorP, prof)
 					}
 				}
 			}
 		}
 	}
-	return g, nil
+	return store.BuildFrom(ts)
 }
 
 // lubmFacet is the LUBM analytical facet: the number of publications per

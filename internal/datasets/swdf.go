@@ -47,7 +47,8 @@ func buildSWDF(scale int, seed int64) (*store.Graph, error) {
 		scale = len(swdfSeries)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	g := store.NewGraph()
+	var ts []rdf.Triple
+	add := func(s, p, o rdf.Term) { ts = append(ts, rdf.Triple{S: s, P: p, O: o}) }
 	swc := func(local string) rdf.Term { return rdf.NewIRI(swdfNS + local) }
 	res := func(format string, args ...any) rdf.Term {
 		return rdf.NewIRI("http://data.semanticweb.org/" + fmt.Sprintf(format, args...))
@@ -61,19 +62,19 @@ func buildSWDF(scale int, seed int64) (*store.Graph, error) {
 	for a := 0; a < nAuthors; a++ {
 		authors[a] = res("person/author%d", a)
 		country := swdfCountries[zipfIndex(rng, len(swdfCountries), 1.2)]
-		g.MustAdd(rdf.Triple{S: authors[a], P: countryP, O: rdf.NewLiteral(country)})
+		add(authors[a], countryP, rdf.NewLiteral(country))
 	}
 	for s := 0; s < scale; s++ {
 		serName := swdfSeries[s]
 		for _, year := range []int{2016, 2017, 2018, 2019} {
 			ed := res("conference/%s/%d", serName, year)
-			g.MustAdd(rdf.Triple{S: ed, P: seriesP, O: rdf.NewLiteral(serName)})
-			g.MustAdd(rdf.Triple{S: ed, P: yearP, O: rdf.NewYear(year)})
+			add(ed, seriesP, rdf.NewLiteral(serName))
+			add(ed, yearP, rdf.NewYear(year))
 			nPapers := 15 + rng.Intn(20)
 			for p := 0; p < nPapers; p++ {
 				paper := res("paper/%s%d-%d", serName, year, p)
-				g.MustAdd(rdf.Triple{S: paper, P: presentedP, O: ed})
-				g.MustAdd(rdf.Triple{S: paper, P: pagesP, O: rdf.NewInteger(int64(4 + rng.Intn(14)))})
+				add(paper, presentedP, ed)
+				add(paper, pagesP, rdf.NewInteger(int64(4+rng.Intn(14))))
 				nAuth := 1 + zipfIndex(rng, 5, 1.5)
 				seen := map[int]bool{}
 				for a := 0; a < nAuth; a++ {
@@ -82,12 +83,12 @@ func buildSWDF(scale int, seed int64) (*store.Graph, error) {
 						continue
 					}
 					seen[ai] = true
-					g.MustAdd(rdf.Triple{S: paper, P: authorP, O: authors[ai]})
+					add(paper, authorP, authors[ai])
 				}
 			}
 		}
 	}
-	return g, nil
+	return store.BuildFrom(ts)
 }
 
 // swdfFacet averages paper page counts per (conference series, year,

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -109,6 +110,30 @@ func (e *Engine) Explain(q *sparql.Query) (*Plan, error) {
 // and expression evaluation decode IDs through the graph dictionary.
 type binding []rdf.ID
 
+// rowArena block-allocates the fixed-width binding rows of one execution,
+// replacing one heap allocation per intermediate join row with one per
+// chunk. Arenas are per-execution, so parallel workload runs never share.
+type rowArena struct {
+	width int
+	buf   []rdf.ID
+}
+
+const arenaChunkRows = 256
+
+// clone copies row into arena-backed storage.
+func (a *rowArena) clone(row binding) binding {
+	if a.width == 0 {
+		return binding{}
+	}
+	if len(a.buf) < a.width {
+		a.buf = make([]rdf.ID, a.width*arenaChunkRows)
+	}
+	r := binding(a.buf[:a.width:a.width])
+	a.buf = a.buf[a.width:]
+	copy(r, row)
+	return r
+}
+
 // run executes a compiled plan.
 func (e *Engine) run(p *Plan) (*Result, error) {
 	q := p.query
@@ -130,6 +155,7 @@ func (e *Engine) run(p *Plan) (*Result, error) {
 	var stats ExecStats
 	var err error
 	cap := rowCap(p)
+	arena := &rowArena{width: len(p.vars)}
 	if len(p.unions) > 0 {
 		// Bag union: concatenate the branch solution sequences.
 		for i := range p.unions {
@@ -144,7 +170,7 @@ func (e *Engine) run(p *Plan) (*Result, error) {
 				}
 				brCap = cap - len(rows)
 			}
-			brRows, err := e.runBranch(br, p, brCap, &stats)
+			brRows, err := e.runBranch(br, p, brCap, &stats, arena)
 			if err != nil {
 				return nil, err
 			}
@@ -152,7 +178,7 @@ func (e *Engine) run(p *Plan) (*Result, error) {
 		}
 	} else {
 		branch := p.main
-		rows, err = e.runBranch(&branch, p, cap, &stats)
+		rows, err = e.runBranch(&branch, p, cap, &stats, arena)
 		if err != nil {
 			return nil, err
 		}
@@ -187,26 +213,26 @@ func rowCap(p *Plan) int {
 // runBranch executes one conjunctive branch: required steps, then optional
 // left-joins, then late filters. A non-zero cap bounds the produced rows
 // (LIMIT pushdown).
-func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats) ([]binding, error) {
+func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats, arena *rowArena) ([]binding, error) {
 	rows := []binding{make(binding, len(p.vars))}
 	// VALUES clauses: cross product of the inline bindings.
 	for _, ib := range br.inline {
 		var next []binding
 		for _, row := range rows {
 			for _, id := range ib.ids {
-				nr := append(binding(nil), row...)
+				nr := arena.clone(row)
 				nr[ib.slot] = id
 				next = append(next, nr)
 			}
 		}
 		rows = next
 	}
-	rows, err := e.runSteps(rows, p, br.steps, cap, stats)
+	rows, err := e.runSteps(rows, p, br.steps, cap, stats, arena)
 	if err != nil {
 		return nil, err
 	}
 	for i := range br.optionals {
-		rows, err = e.runOptional(rows, p, &br.optionals[i], stats)
+		rows, err = e.runOptional(rows, p, &br.optionals[i], stats, arena)
 		if err != nil {
 			return nil, err
 		}
@@ -227,21 +253,26 @@ func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats) (
 // non-zero cap stops producing rows on the final step once cap rows exist —
 // safe because every filter is attached to some step and nothing downstream
 // drops rows when the planner passes a cap (see rowCap).
-func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats *ExecStats) ([]binding, error) {
+func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats *ExecStats, arena *rowArena) ([]binding, error) {
 	for si, st := range steps {
 		if len(rows) == 0 {
 			return rows, nil
 		}
 		last := si == len(steps)-1
 		var next []binding
+		// scratch receives each candidate extension; it is only copied into
+		// arena storage once the row survives binding and filters, and the
+		// Iterator is reused across rows so its delta buffers allocate once.
+		scratch := make(binding, len(p.vars))
+		var it store.Iterator
 		for _, row := range rows {
 			if cap > 0 && last && len(next) >= cap {
 				break
 			}
 			stats.PatternScans++
-			e.matchPattern(row, st.pat, func(extended binding) bool {
+			e.matchPattern(&it, row, scratch, st.pat, func(extended binding) bool {
 				if len(st.filters) == 0 || e.filtersPass(extended, p, st.filters) {
-					next = append(next, extended)
+					next = append(next, arena.clone(extended))
 					stats.IntermediateRows++
 				}
 				return !(cap > 0 && last && len(next) >= cap)
@@ -253,10 +284,10 @@ func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats 
 }
 
 // runOptional left-joins each row with the optional block.
-func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *ExecStats) ([]binding, error) {
+func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *ExecStats, arena *rowArena) ([]binding, error) {
 	var out []binding
 	for _, row := range rows {
-		matches, err := e.runSteps([]binding{row}, p, op.steps, 0, stats)
+		matches, err := e.runSteps([]binding{row}, p, op.steps, 0, stats, arena)
 		if err != nil {
 			return nil, err
 		}
@@ -271,7 +302,7 @@ func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *E
 		}
 		if len(matches) == 0 {
 			// No match: keep the row with the optional's own slots unbound.
-			clean := append(binding(nil), row...)
+			clean := arena.clone(row)
 			for _, s := range op.ownSlots {
 				clean[s] = rdf.NoID
 			}
@@ -284,8 +315,12 @@ func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *E
 }
 
 // matchPattern extends row with every graph match of the pattern, invoking
-// yield with a fresh extended row.
-func (e *Engine) matchPattern(row binding, cp compiledPattern, yield func(binding) bool) {
+// yield with the extension written into scratch (callers copy rows they
+// keep). Bound variables act as constants, so the store answers each
+// propagation step with one permutation range scan; the Iterator is caller-
+// owned for buffer reuse and holds no graph lock, keeping filter evaluation
+// off the store's critical section.
+func (e *Engine) matchPattern(it *store.Iterator, row, scratch binding, cp compiledPattern, yield func(binding) bool) {
 	if cp.s.missing || cp.p.missing || cp.o.missing {
 		return // a constant term absent from the graph can never match
 	}
@@ -296,15 +331,19 @@ func (e *Engine) matchPattern(row binding, cp compiledPattern, yield func(bindin
 		return row[ct.slot] // NoID when unbound -> wildcard
 	}
 	s, p, o := resolve(cp.s), resolve(cp.p), resolve(cp.o)
-	e.graph.Match(s, p, o, func(ms, mp, mo rdf.ID) bool {
-		extended := append(binding(nil), row...)
-		if !bindComponent(extended, cp.s, ms) ||
-			!bindComponent(extended, cp.p, mp) ||
-			!bindComponent(extended, cp.o, mo) {
-			return true // shared-variable mismatch (e.g. ?x ?p ?x): skip
+	e.graph.ScanInto(it, s, p, o)
+	for it.Next() {
+		ms, mp, mo := it.Triple()
+		copy(scratch, row)
+		if !bindComponent(scratch, cp.s, ms) ||
+			!bindComponent(scratch, cp.p, mp) ||
+			!bindComponent(scratch, cp.o, mo) {
+			continue // shared-variable mismatch (e.g. ?x ?p ?x): skip
 		}
-		return yield(extended)
-	})
+		if !yield(scratch) {
+			return
+		}
+	}
 }
 
 // bindComponent writes a matched ID into the row slot for variable
@@ -386,6 +425,13 @@ func (e *Engine) finish(rows []binding, p *Plan) (*Result, error) {
 	return res, nil
 }
 
+// aggSlotStar and aggSlotNone are sentinel aggregate input slots for
+// COUNT(*) and for aggregate variables never bound by any pattern.
+const (
+	aggSlotStar = -1
+	aggSlotNone = -2
+)
+
 // groupState carries per-group accumulators.
 type groupState struct {
 	key  []algebra.Value // values of GroupBy vars
@@ -404,43 +450,57 @@ func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result) error {
 		groupSlots[i] = s
 	}
 	aggItems := q.Aggregates()
+	// Resolve each aggregate's input slot once, outside the row loop.
+	aggSlots := make([]int, len(aggItems))
+	for i, item := range aggItems {
+		switch s, ok := p.slots[item.AggVar]; {
+		case item.AggVar == "":
+			aggSlots[i] = aggSlotStar
+		case !ok:
+			aggSlots[i] = aggSlotNone
+		default:
+			aggSlots[i] = s
+		}
+	}
 	groups := make(map[string]*groupState)
 	var orderKeys []string // deterministic group output order (first seen)
 
-	var keyBuf strings.Builder
+	// Group keys are the raw slot IDs in fixed-width binary — the
+	// map[string] lookup on string(keyBuf) does not allocate on hit, so a
+	// row belonging to an existing group costs no heap traffic.
+	var keyBuf []byte
 	for _, row := range rows {
-		keyBuf.Reset()
+		keyBuf = keyBuf[:0]
 		for _, s := range groupSlots {
-			fmt.Fprintf(&keyBuf, "%d,", row[s])
+			keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(row[s]))
 		}
-		key := keyBuf.String()
-		g, ok := groups[key]
+		g, ok := groups[string(keyBuf)]
 		if !ok {
-			g = &groupState{}
-			for _, s := range groupSlots {
+			key := string(keyBuf)
+			g = &groupState{
+				key:  make([]algebra.Value, len(groupSlots)),
+				accs: make([]algebra.Accumulator, len(aggItems)),
+			}
+			for j, s := range groupSlots {
 				if row[s] != rdf.NoID {
-					g.key = append(g.key, algebra.Bind(e.graph.Dict().Term(row[s])))
-				} else {
-					g.key = append(g.key, algebra.Unbound)
+					g.key[j] = algebra.Bind(e.graph.Dict().Term(row[s]))
 				}
 			}
-			for _, item := range aggItems {
-				g.accs = append(g.accs, algebra.NewAccumulator(item))
+			for j, item := range aggItems {
+				g.accs[j] = algebra.NewAccumulator(item)
 			}
 			groups[key] = g
 			orderKeys = append(orderKeys, key)
 		}
-		for i, item := range aggItems {
-			if item.AggVar == "" { // COUNT(*)
+		for i, s := range aggSlots {
+			switch {
+			case s == aggSlotStar: // COUNT(*)
 				g.accs[i].Add(algebra.Bind(rdf.NewBoolean(true)))
-				continue
-			}
-			s, ok := p.slots[item.AggVar]
-			if !ok || row[s] == rdf.NoID {
+			case s == aggSlotNone || row[s] == rdf.NoID:
 				g.accs[i].Add(algebra.Unbound)
-				continue
+			default:
+				g.accs[i].Add(algebra.Bind(e.graph.Dict().Term(row[s])))
 			}
-			g.accs[i].Add(algebra.Bind(e.graph.Dict().Term(row[s])))
 		}
 	}
 
@@ -457,18 +517,33 @@ func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result) error {
 	for i, v := range q.GroupBy {
 		groupIdx[v] = i
 	}
+	// Resolve each projected column to its group-key index (or -1 for
+	// aggregates) once, outside the group loop.
+	selIdx := make([]int, len(q.Select))
+	for i, si := range q.Select {
+		if si.Agg == sparql.AggNone {
+			selIdx[i] = groupIdx[si.Var]
+		} else {
+			selIdx[i] = -1
+		}
+	}
 	for _, key := range orderKeys {
 		g := groups[key]
-		// Build the projected row plus a resolver for HAVING.
-		aggVals := make(map[string]algebra.Value, len(aggItems))
+		// Build the projected row, plus a resolver map when HAVING needs it.
+		var aggVals map[string]algebra.Value
+		if q.Having != nil {
+			aggVals = make(map[string]algebra.Value, len(aggItems))
+		}
 		ai := 0
 		out := make([]algebra.Value, len(q.Select))
 		for i, si := range q.Select {
-			if si.Agg == sparql.AggNone {
-				out[i] = g.key[groupIdx[si.Var]]
+			if selIdx[i] >= 0 {
+				out[i] = g.key[selIdx[i]]
 			} else {
 				v := g.accs[ai].Result()
-				aggVals[si.Var] = v
+				if aggVals != nil {
+					aggVals[si.Var] = v
+				}
 				out[i] = v
 				ai++
 			}

@@ -134,7 +134,9 @@ func (c *compiler) slot(name string) int {
 	return s
 }
 
-// compileOne resolves one triple pattern against the graph dictionary.
+// compileOne resolves one triple pattern against the graph dictionary. The
+// base cardinality estimate is exact: the store reads it off the matching
+// permutation range's length, so greedy ordering never guesses.
 func (c *compiler) compileOne(tp sparql.TriplePattern) compiledPattern {
 	cp := compiledPattern{src: tp}
 	comp := func(pt sparql.PatternTerm) compiledTerm {

@@ -1,0 +1,274 @@
+package store
+
+import (
+	"slices"
+
+	"sofos/internal/rdf"
+)
+
+// Columnar permutation-index layout.
+//
+// Each graph keeps three flat, sorted []rdf.EncodedTriple runs — one per
+// access permutation (SPO, POS, OSP) — with the triple components stored in
+// that permutation's key order, so every bound-component prefix of a triple
+// pattern maps to one contiguous run range found by binary search. On top of
+// the immutable runs sits a small mutable delta overlay (pending inserts and
+// tombstones) that is merged into fresh runs once it exceeds a fraction of
+// the base (LSM-style). Readers capture the run slices plus a copy of the
+// in-range delta, so scans never hold the graph lock while yielding and
+// mutations never invalidate a live Iterator.
+
+// permKind selects one of the three sorted permutations.
+type permKind uint8
+
+const (
+	permSPO permKind = iota
+	permPOS
+	permOSP
+	numPerms
+)
+
+// key reorders an (s, p, o) triple into the permutation's key order.
+func (k permKind) key(s, p, o rdf.ID) rdf.EncodedTriple {
+	switch k {
+	case permSPO:
+		return rdf.EncodedTriple{s, p, o}
+	case permPOS:
+		return rdf.EncodedTriple{p, o, s}
+	default: // permOSP
+		return rdf.EncodedTriple{o, s, p}
+	}
+}
+
+// spo recovers (s, p, o) from a key in this permutation's order.
+func (k permKind) spo(t rdf.EncodedTriple) (s, p, o rdf.ID) {
+	switch k {
+	case permSPO:
+		return t[0], t[1], t[2]
+	case permPOS:
+		return t[2], t[0], t[1]
+	default: // permOSP
+		return t[1], t[2], t[0]
+	}
+}
+
+// cmpKeys orders permuted keys lexicographically.
+func cmpKeys(a, b rdf.EncodedTriple) int {
+	for i := 0; i < 3; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// cmpPrefix compares only the first depth components.
+func cmpPrefix(a, b rdf.EncodedTriple, depth int) int {
+	for i := 0; i < depth; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// sortKeys sorts permuted keys in place.
+func sortKeys(ts []rdf.EncodedTriple) {
+	slices.SortFunc(ts, cmpKeys)
+}
+
+// rangeOf binary-searches the half-open run range whose first depth key
+// components equal key's. depth 0 returns the whole run. The searches are
+// hand-rolled (rather than sort.Search) because this sits under every
+// pattern scan and cardinality estimate the engine issues.
+func rangeOf(run []rdf.EncodedTriple, key rdf.EncodedTriple, depth int) (lo, hi int) {
+	if depth == 0 {
+		return 0, len(run)
+	}
+	lo = searchPrefix(run, 0, key, depth, false)
+	hi = searchPrefix(run, lo, key, depth, true)
+	return lo, hi
+}
+
+// searchPrefix returns the first index in run[from:] ∪ {len(run)} whose
+// depth-prefix is ≥ key's (upper=false) or > key's (upper=true). Depths 1
+// and 2 reduce to a lower-bound search against a packed integer target
+// (upper bound = lower bound of target+1), keeping the comparison loop
+// branch-light.
+func searchPrefix(run []rdf.EncodedTriple, from int, key rdf.EncodedTriple, depth int, upper bool) int {
+	lo, hi := from, len(run)
+	switch depth {
+	case 1:
+		target := uint64(key[0])
+		if upper {
+			target++
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if uint64(run[mid][0]) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	case 2:
+		target := uint64(key[0])<<32 | uint64(key[1])
+		if upper {
+			target++
+		}
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if uint64(run[mid][0])<<32|uint64(run[mid][1]) < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	default:
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			c := cmpPrefix(run[mid], key, depth)
+			if c < 0 || (upper && c == 0) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+	}
+	return lo
+}
+
+// choosePerm picks the permutation whose key order turns the pattern's bound
+// components into a prefix, so the matching triples form one run range.
+func choosePerm(s, p, o rdf.ID) (kind permKind, key rdf.EncodedTriple, depth int) {
+	sb, pb, ob := s != rdf.NoID, p != rdf.NoID, o != rdf.NoID
+	switch {
+	case sb && pb && ob:
+		return permSPO, rdf.EncodedTriple{s, p, o}, 3
+	case sb && pb:
+		return permSPO, rdf.EncodedTriple{s, p, rdf.NoID}, 2
+	case pb && ob:
+		return permPOS, rdf.EncodedTriple{p, o, rdf.NoID}, 2
+	case sb && ob:
+		return permOSP, rdf.EncodedTriple{o, s, rdf.NoID}, 2
+	case sb:
+		return permSPO, rdf.EncodedTriple{s, rdf.NoID, rdf.NoID}, 1
+	case pb:
+		return permPOS, rdf.EncodedTriple{p, rdf.NoID, rdf.NoID}, 1
+	case ob:
+		return permOSP, rdf.EncodedTriple{o, rdf.NoID, rdf.NoID}, 1
+	default:
+		return permSPO, rdf.EncodedTriple{}, 0
+	}
+}
+
+// matchesPattern reports whether an SPO-ordered triple matches the pattern
+// (NoID components are wildcards).
+func matchesPattern(t rdf.EncodedTriple, s, p, o rdf.ID) bool {
+	return (s == rdf.NoID || t[0] == s) &&
+		(p == rdf.NoID || t[1] == p) &&
+		(o == rdf.NoID || t[2] == o)
+}
+
+// mergeRun three-way merges a sorted base run with sorted inserts and sorted
+// tombstones into a freshly allocated run. Inserts are disjoint from base;
+// tombstones are a subset of base.
+func mergeRun(base, ins, del []rdf.EncodedTriple) []rdf.EncodedTriple {
+	out := make([]rdf.EncodedTriple, 0, len(base)+len(ins)-len(del))
+	i, j, k := 0, 0, 0
+	for i < len(base) || j < len(ins) {
+		if i < len(base) && (j >= len(ins) || cmpKeys(base[i], ins[j]) < 0) {
+			t := base[i]
+			i++
+			for k < len(del) && cmpKeys(del[k], t) < 0 {
+				k++
+			}
+			if k < len(del) && del[k] == t {
+				k++
+				continue
+			}
+			out = append(out, t)
+		} else {
+			out = append(out, ins[j])
+			j++
+		}
+	}
+	return out
+}
+
+// permuteSorted returns a sorted copy of SPO-ordered triples rekeyed into the
+// permutation's order.
+func permuteSorted(kind permKind, ts []rdf.EncodedTriple) []rdf.EncodedTriple {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]rdf.EncodedTriple, len(ts))
+	for i, t := range ts {
+		out[i] = kind.key(t[0], t[1], t[2])
+	}
+	sortKeys(out)
+	return out
+}
+
+// Iterator streams the triples matching one pattern in the permutation's
+// sorted order. It is a value type: obtaining one from Graph.Scan performs no
+// heap allocation when the graph's delta overlay is empty (the common state
+// after a bulk load or Compact), and iteration itself never allocates.
+//
+// An Iterator is a consistent snapshot: concurrent writes to the graph do not
+// affect triples it yields, and it must not be shared between goroutines.
+type Iterator struct {
+	kind    permKind
+	base    []rdf.EncodedTriple // remaining base-run segment
+	extra   []rdf.EncodedTriple // remaining in-range delta inserts (sorted)
+	dels    []rdf.EncodedTriple // remaining in-range tombstones (sorted)
+	s, p, o rdf.ID              // current triple
+}
+
+// Next advances to the next matching triple, reporting whether one exists.
+func (it *Iterator) Next() bool {
+	for {
+		var t rdf.EncodedTriple
+		switch {
+		case len(it.base) == 0 && len(it.extra) == 0:
+			return false
+		case len(it.extra) == 0 || (len(it.base) > 0 && cmpKeys(it.base[0], it.extra[0]) < 0):
+			t = it.base[0]
+			it.base = it.base[1:]
+			for len(it.dels) > 0 && cmpKeys(it.dels[0], t) < 0 {
+				it.dels = it.dels[1:]
+			}
+			if len(it.dels) > 0 && it.dels[0] == t {
+				it.dels = it.dels[1:]
+				continue // tombstoned base triple
+			}
+		default:
+			t = it.extra[0]
+			it.extra = it.extra[1:]
+		}
+		it.s, it.p, it.o = it.kind.spo(t)
+		return true
+	}
+}
+
+// Triple returns the current triple's encoded components. Valid only after a
+// Next call that returned true.
+func (it *Iterator) Triple() (s, p, o rdf.ID) { return it.s, it.p, it.o }
+
+// S returns the current subject ID.
+func (it *Iterator) S() rdf.ID { return it.s }
+
+// P returns the current predicate ID.
+func (it *Iterator) P() rdf.ID { return it.p }
+
+// O returns the current object ID.
+func (it *Iterator) O() rdf.ID { return it.o }
+
+// Remaining returns the exact number of triples Next has yet to yield.
+func (it *Iterator) Remaining() int { return len(it.base) + len(it.extra) - len(it.dels) }

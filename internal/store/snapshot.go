@@ -67,17 +67,14 @@ func (g *Graph) Save(w io.Writer) error {
 	if err := writeUvarint(uint64(g.n)); err != nil {
 		return fmt.Errorf("store: writing triple count: %w", err)
 	}
-	g.matchLocked(rdf.NoID, rdf.NoID, rdf.NoID, func(s, p, o rdf.ID) bool {
+	it := g.scanLocked(rdf.NoID, rdf.NoID, rdf.NoID)
+	for it.Next() {
+		s, p, o := it.Triple()
 		for _, id := range []rdf.ID{s, p, o} {
 			if err := writeUvarint(uint64(id)); err != nil {
-				werr = err
-				return false
+				return fmt.Errorf("store: writing triples: %w", err)
 			}
 		}
-		return true
-	})
-	if werr != nil {
-		return fmt.Errorf("store: writing triples: %w", werr)
 	}
 	return bw.Flush()
 }
@@ -147,20 +144,26 @@ func Load(r io.Reader) (*Graph, error) {
 		}
 		return ids[v], nil
 	}
-	for i := uint64(0); i < tripleCount; i++ {
-		s, err := readID()
-		if err != nil {
-			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
-		}
-		p, err := readID()
-		if err != nil {
-			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
-		}
-		o, err := readID()
-		if err != nil {
-			return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
-		}
-		g.AddEncoded(s, p, o)
+	// Decode into one batch and bulk-merge: the sorted-run build is a single
+	// sort per permutation instead of per-triple index maintenance. The
+	// initial capacity is clamped so a corrupt count cannot pre-allocate
+	// unbounded memory before the reads fail.
+	capHint := tripleCount
+	if capHint > 1<<20 {
+		capHint = 1 << 20
 	}
+	enc := make([]rdf.EncodedTriple, 0, capHint)
+	for i := uint64(0); i < tripleCount; i++ {
+		var t rdf.EncodedTriple
+		for c := 0; c < 3; c++ {
+			id, err := readID()
+			if err != nil {
+				return nil, fmt.Errorf("store: reading triple %d: %w", i, err)
+			}
+			t[c] = id
+		}
+		enc = append(enc, t)
+	}
+	g.LoadEncoded(enc)
 	return g, nil
 }

@@ -25,20 +25,41 @@ type Stats struct {
 	DistinctObjects    int
 	DistinctNodes      int
 	Predicates         []PredicateStat // sorted by descending Count, then IRI
+
+	// byIRI indexes Predicates by IRI for O(1) lookup; nil for Stats values
+	// constructed literally, in which case lookups fall back to a scan.
+	byIRI map[string]int
+}
+
+// Predicate returns the statistics of a predicate IRI, if present.
+func (s *Stats) Predicate(iri string) (PredicateStat, bool) {
+	if s.byIRI != nil {
+		if i, ok := s.byIRI[iri]; ok {
+			return s.Predicates[i], true
+		}
+		return PredicateStat{}, false
+	}
+	for _, p := range s.Predicates {
+		if p.Predicate.Value == iri {
+			return p, true
+		}
+	}
+	return PredicateStat{}, false
 }
 
 // PredicateCount returns the triple count of a predicate IRI, 0 if absent.
 func (s *Stats) PredicateCount(iri string) int {
-	for _, p := range s.Predicates {
-		if p.Predicate.Value == iri {
-			return p.Count
-		}
+	p, ok := s.Predicate(iri)
+	if !ok {
+		return 0
 	}
-	return 0
+	return p.Count
 }
 
-// Snapshot computes current statistics for the graph. It takes time linear
-// in the number of distinct predicates, not in the number of triples.
+// Snapshot computes current statistics for the graph. Per-predicate counts
+// and distinct-object counts are read directly off the POS permutation run —
+// each predicate is one contiguous range sorted by object — so only the
+// per-predicate distinct-subject sets need scratch memory.
 func (g *Graph) Snapshot() *Stats {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -56,35 +77,54 @@ func (g *Graph) Snapshot() *Stats {
 		seen[o] = struct{}{}
 	}
 	st.DistinctNodes = len(seen)
+	it := g.scanPermLocked(permPOS, rdf.EncodedTriple{}, 0)
 
-	for p, m2 := range g.pos {
-		ps := PredicateStat{
-			Predicate:       g.dict.Term(p),
-			Count:           g.countP[p],
-			DistinctObjects: len(m2),
+	// The iterator yields (p, o, s)-sorted triples: predicate ranges are
+	// contiguous and objects are grouped within each range.
+	var cur PredicateStat
+	curP, curO := rdf.NoID, rdf.NoID
+	subjects := make(map[rdf.ID]struct{})
+	flush := func() {
+		if curP == rdf.NoID {
+			return
 		}
-		subjects := make(map[rdf.ID]struct{})
-		for _, m3 := range m2 {
-			for s := range m3 {
-				subjects[s] = struct{}{}
-			}
-		}
-		ps.DistinctSubjects = len(subjects)
-		st.Predicates = append(st.Predicates, ps)
+		cur.DistinctSubjects = len(subjects)
+		st.Predicates = append(st.Predicates, cur)
 	}
+	for it.Next() {
+		s, p, o := it.Triple()
+		if p != curP {
+			flush()
+			curP, curO = p, rdf.NoID
+			cur = PredicateStat{Predicate: g.dict.Term(p)}
+			clear(subjects)
+		}
+		cur.Count++
+		if o != curO {
+			cur.DistinctObjects++
+			curO = o
+		}
+		subjects[s] = struct{}{}
+	}
+	flush()
 	sort.Slice(st.Predicates, func(i, j int) bool {
 		if st.Predicates[i].Count != st.Predicates[j].Count {
 			return st.Predicates[i].Count > st.Predicates[j].Count
 		}
 		return st.Predicates[i].Predicate.Value < st.Predicates[j].Predicate.Value
 	})
+	st.byIRI = make(map[string]int, len(st.Predicates))
+	for i, p := range st.Predicates {
+		st.byIRI[p.Predicate.Value] = i
+	}
 	return st
 }
 
 // EstimatedBytes approximates the in-memory footprint of the graph's triple
 // data, used for the paper's storage-amplification reports and the memory-
-// budget selection variant. It counts dictionary string bytes once plus a
-// fixed per-triple index overhead.
+// budget selection variant. It counts dictionary string bytes once plus the
+// columnar index cost: three permutation runs at 12 bytes (three 4-byte IDs)
+// per triple, plus map overhead for any uncompacted delta entries.
 func (g *Graph) EstimatedBytes() int64 {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -93,8 +133,7 @@ func (g *Graph) EstimatedBytes() int64 {
 		total += int64(len(t.Value) + len(t.Datatype) + len(t.Lang) + 16)
 		return true
 	})
-	// Three indexes, each storing one 4-byte ID per triple plus map overhead
-	// (~48 bytes amortized per entry across three nested hash maps).
-	total += int64(g.n) * (3*4 + 3*48)
+	total += int64(len(g.runs[permSPO])) * (3 * 12)
+	total += int64(len(g.adds)+len(g.dels)) * 48
 	return total
 }

@@ -176,9 +176,11 @@ func (c *Catalog) MaterializeData(data *Data, start time.Time) (*Materialized, e
 	var bytes int64
 	for _, t := range triples {
 		bytes += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
-		if _, err := c.expanded.Add(t); err != nil {
-			return nil, fmt.Errorf("views: encoding %s: %w", data.View, err)
-		}
+	}
+	// Bulk-load the encoding into G+ in one batch: a single lock acquisition
+	// and sorted-run merge instead of per-triple index maintenance.
+	if _, err := c.expanded.LoadTriples(triples); err != nil {
+		return nil, fmt.Errorf("views: encoding %s: %w", data.View, err)
 	}
 	st := ComputeStats(data)
 	m := &Materialized{
@@ -233,27 +235,38 @@ func Encode(data *Data) ([]rdf.Triple, error) {
 }
 
 // Drop removes a materialized view's triples from G+, reporting whether the
-// view was present.
+// view was present. The tombstones are merged out immediately: a dropped
+// view can leave a large sub-threshold delta overlay that every subsequent
+// scan and estimate would otherwise have to filter through.
 func (c *Catalog) Drop(v facet.View) bool {
+	if !c.drop(v) {
+		return false
+	}
+	c.expanded.Compact()
+	return true
+}
+
+// drop removes the view's triples without compacting, so multi-view drops
+// can batch one compaction at the end.
+func (c *Catalog) drop(v facet.View) bool {
 	m, ok := c.mats[v.Mask]
 	if !ok {
 		return false
 	}
-	triples, err := Encode(m.Data)
-	if err == nil {
-		for _, t := range triples {
-			c.expanded.Remove(t)
-		}
+	if triples, err := Encode(m.Data); err == nil {
+		c.expanded.RemoveTriples(triples)
 	}
 	delete(c.mats, v.Mask)
 	return true
 }
 
-// Reset drops every materialized view, restoring G+ to the base contents.
+// Reset drops every materialized view, restoring G+ to the base contents,
+// with a single run compaction at the end.
 func (c *Catalog) Reset() {
 	for _, m := range c.Materialized() {
-		c.Drop(m.Data.View)
+		c.drop(m.Data.View)
 	}
+	c.expanded.Compact()
 }
 
 // StorageAmplification is |G+| / |G| in triples, the quantity panel ③ of the

@@ -91,22 +91,30 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 	for _, t := range oldTriples {
 		oldSet[t] = struct{}{}
 	}
-	added, kept := 0, 0
+	var toAdd []rdf.Triple
 	var bytes int64
 	for _, t := range newTriples {
 		if _, ok := oldSet[t]; ok {
-			delete(oldSet, t)
-			kept++
+			delete(oldSet, t) // kept in place; whatever remains is removed
 		} else {
-			if _, err := c.expanded.Add(t); err != nil {
-				return nil, fmt.Errorf("views: refreshing %s: %w", v, err)
-			}
-			added++
+			toAdd = append(toAdd, t)
 		}
 		bytes += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
 	}
+	// Apply the diff to G+ as two batches so the sorted runs merge once per
+	// direction instead of once per triple.
+	if _, err := c.expanded.LoadTriples(toAdd); err != nil {
+		return nil, fmt.Errorf("views: refreshing %s: %w", v, err)
+	}
+	toRemove := make([]rdf.Triple, 0, len(oldSet))
 	for t := range oldSet {
-		c.expanded.Remove(t)
+		toRemove = append(toRemove, t)
+	}
+	if len(toRemove) > 0 {
+		c.expanded.RemoveTriples(toRemove)
+		// Merge the tombstones out so subsequent scans pay no delta filter
+		// (same reasoning as Catalog.Drop).
+		c.expanded.Compact()
 	}
 	st := ComputeStats(fresh)
 	updated := &Materialized{
@@ -118,7 +126,6 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 		baseVersion: c.base.Version(),
 	}
 	c.mats[v.Mask] = updated
-	_ = kept
 	return updated, nil
 }
 
