@@ -360,6 +360,97 @@ func BenchmarkExecJoinHeavy(b *testing.B) {
 	}
 }
 
+// parallelBenchGraph builds the synthetic star-join graph behind the
+// parallel-execution benchmarks: nItems subjects with type/group/score edges
+// and (for two thirds) a hub link, large enough that the engine's leading
+// range Split and the parallel aggregation merge both engage.
+func parallelBenchGraph(b *testing.B, nItems, nGroups int) *store.Graph {
+	b.Helper()
+	ex := func(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+	typeP, groupP, scoreP, linkP, item := ex("type"), ex("group"), ex("score"), ex("link"), ex("item")
+	ts := make([]rdf.Triple, 0, 4*nItems)
+	for i := 0; i < nItems; i++ {
+		s := ex(fmt.Sprintf("s%06d", i))
+		ts = append(ts,
+			rdf.Triple{S: s, P: typeP, O: item},
+			rdf.Triple{S: s, P: groupP, O: ex(fmt.Sprintf("g%03d", i%nGroups))},
+			rdf.Triple{S: s, P: scoreP, O: rdf.NewInteger(int64((i * 7919) % 1000))},
+		)
+		if i%3 != 0 {
+			ts = append(ts, rdf.Triple{S: s, P: linkP, O: ex(fmt.Sprintf("hub%02d", i%31))})
+		}
+	}
+	g := store.NewGraph()
+	if _, err := g.LoadTriples(ts); err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkExecJoinHeavyParallel is the headline benchmark of the parallel
+// execution engine: a star join plus grouped aggregation at worker counts
+// {1, 2, 4, 8}. The workers=1 case is the serial baseline; CI tracks the
+// workers=4 / workers=1 ratio through the BENCH_pr.json artifact. Results
+// are identical at every worker count (see engine's differential tests).
+func BenchmarkExecJoinHeavyParallel(b *testing.B) {
+	g := parallelBenchGraph(b, 120_000, 40)
+	q, err := engine.ParseQuery(`PREFIX ex: <http://ex.org/>
+SELECT ?g (SUM(?v) AS ?sum) (COUNT(*) AS ?n) WHERE {
+  ?s ex:type ex:item .
+  ?s ex:group ?g .
+  ?s ex:score ?v .
+  ?s ex:link ?h .
+} GROUP BY ?g`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.NewWithOptions(g, engine.Options{Workers: workers})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Execute(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) != 40 {
+					b.Fatalf("rows = %d", len(res.Rows))
+				}
+				if workers > 1 && res.Stats.Partitions == 0 {
+					b.Fatal("parallel run executed serially")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExecJoinHeavyWorkers runs the dbpedia facet star join at a scale
+// where the leading range splits, contrasting serial and parallel execution
+// on the paper's own workload shape.
+func BenchmarkExecJoinHeavyWorkers(b *testing.B) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := f.TemplateQuery()
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := engine.NewWithOptions(g, engine.Options{Workers: workers})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := eng.Execute(q)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Rows) == 0 {
+					b.Fatal("no rows")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStoreMatch measures indexed pattern matching on a loaded graph.
 func BenchmarkStoreMatch(b *testing.B) {
 	g, _, err := datasets.BuildWithFacet("dbpedia", 40, 1)

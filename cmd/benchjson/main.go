@@ -1,0 +1,61 @@
+// Command benchjson converts the text output of `go test -bench` into the
+// benchkit JSON report that CI uploads as the per-push benchmark artifact.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' | benchjson -out BENCH_pr.json
+//	benchjson -in bench.out -out BENCH_pr.json
+//
+// With no -in it reads stdin; with no -out it writes stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sofos/internal/benchkit"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	in := fs.String("in", "", "bench output file (default stdin)")
+	out := fs.String("out", "", "JSON output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := benchkit.ParseGoBench(src)
+	if err != nil {
+		return err
+	}
+	if len(rep.Results) == 0 {
+		return fmt.Errorf("no benchmark results found in input")
+	}
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return rep.WriteJSON(dst)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: sofos
+BenchmarkExecJoinHeavy-8   	      50	  21034567 ns/op	  102400 B/op	     910 allocs/op
+PASS
+`
+
+func TestStdinToStdout(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name": "BenchmarkExecJoinHeavy"`, `"ns_per_op": 21034567`, `"goos": "linux"`} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %s:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestFileToFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench.out")
+	out := filepath.Join(dir, "BENCH_pr.json")
+	if err := os.WriteFile(in, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", in, "-out", out}, strings.NewReader(""), &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"results"`) {
+		t.Errorf("json file:\n%s", data)
+	}
+}
+
+func TestEmptyInputFails(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, strings.NewReader("PASS\n"), &sb); err == nil {
+		t.Error("empty bench input accepted")
+	}
+}

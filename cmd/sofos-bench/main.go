@@ -9,6 +9,7 @@
 //	sofos-bench -quick               # reduced probes/epochs
 //	sofos-bench -markdown -out EXPERIMENTS.out.md
 //	sofos-bench -seed 7 -workload 60 -k 3
+//	sofos-bench -workers 1           # force serial query execution
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"sofos/internal/core"
 	"sofos/internal/experiments"
 )
 
@@ -36,11 +38,13 @@ func run(args []string, stdout io.Writer) error {
 	quick := fs.Bool("quick", false, "reduced probes and training epochs")
 	markdown := fs.Bool("markdown", false, "render tables as markdown")
 	out := fs.String("out", "", "also write the report to this file")
+	workers := fs.Int("workers", 0, "parallel execution workers per query (0 = all CPUs, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	start := time.Now()
-	tables, err := experiments.MeasureAll(*seed, *workload, *k, *quick)
+	tables, err := experiments.MeasureAllWithOptions(*seed, *workload, *k, *quick,
+		core.Options{Workers: *workers})
 	if err != nil {
 		return err
 	}

@@ -41,6 +41,7 @@ type commonFlags struct {
 	seed    int64
 	k       int
 	model   string
+	workers int
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -50,8 +51,12 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.Int64Var(&c.seed, "seed", 1, "seed")
 	fs.IntVar(&c.k, "k", 3, "view budget")
 	fs.StringVar(&c.model, "model", "aggvalues", "cost model: random, triples, aggvalues, nodes")
+	fs.IntVar(&c.workers, "workers", 0, "parallel execution workers per query (0 = all CPUs, 1 = serial)")
 	return c
 }
+
+// opts maps the flags to system options.
+func (c *commonFlags) opts() core.Options { return core.Options{Workers: c.workers} }
 
 // buildSystem constructs the system for the flags.
 func buildSystem(c *commonFlags) (*core.System, error) {
@@ -59,7 +64,7 @@ func buildSystem(c *commonFlags) (*core.System, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.New(g, f)
+	return core.NewWithOptions(g, f, c.opts())
 }
 
 // pickModel resolves a model name.
@@ -246,7 +251,7 @@ func cmdCompare(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env, err := experiments.NewEnv(c.dataset, c.scale, c.seed, *wl)
+	env, err := experiments.NewEnvWithOptions(c.dataset, c.scale, c.seed, *wl, c.opts())
 	if err != nil {
 		return err
 	}
@@ -265,7 +270,7 @@ func cmdAnalyze(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	env, err := experiments.NewEnv(c.dataset, c.scale, c.seed, *wl)
+	env, err := experiments.NewEnvWithOptions(c.dataset, c.scale, c.seed, *wl, c.opts())
 	if err != nil {
 		return err
 	}
@@ -322,7 +327,7 @@ func cmdReplay(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	c := addCommon(fs)
 	file := fs.String("queries", "", "workload file written by 'sofos workload'")
-	workers := fs.Int("workers", 1, "concurrent query workers")
+	clients := fs.Int("clients", 1, "concurrent replay clients (multi-client throughput; -workers controls per-query parallelism)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -353,12 +358,12 @@ func cmdReplay(args []string, w io.Writer) error {
 	if _, err := s.Materialize(sel); err != nil {
 		return err
 	}
-	rep, err := s.RunWorkloadParallel(wl, *workers)
+	rep, err := s.RunWorkloadParallel(wl, *clients)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "replayed %d queries under %s (k=%d, %d workers)\n",
-		rep.Timing.N(), m.Name(), c.k, *workers)
+	fmt.Fprintf(w, "replayed %d queries under %s (k=%d, %d clients, %d workers/query)\n",
+		rep.Timing.N(), m.Name(), c.k, *clients, rep.Workers)
 	fmt.Fprintf(w, "mean %s  p50 %s  p95 %s  hit rate %.0f%%  amplification %.2fx\n",
 		benchkit.FmtDuration(rep.Timing.Mean()),
 		benchkit.FmtDuration(rep.Timing.P50()),

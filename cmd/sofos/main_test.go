@@ -98,8 +98,8 @@ func TestWorkloadAndReplayCommands(t *testing.T) {
 	if !strings.Contains(out, "wrote 8 queries") {
 		t.Fatalf("workload output: %s", out)
 	}
-	out = runCmd(t, "replay", "-dataset", "lubm", "-scale", "1", "-k", "3", "-queries", path, "-workers", "2")
-	if !strings.Contains(out, "replayed 8 queries") || !strings.Contains(out, "hit rate") {
+	out = runCmd(t, "replay", "-dataset", "lubm", "-scale", "1", "-k", "3", "-queries", path, "-clients", "2", "-workers", "2")
+	if !strings.Contains(out, "replayed 8 queries") || !strings.Contains(out, "2 clients, 2 workers/query") || !strings.Contains(out, "hit rate") {
 		t.Errorf("replay output: %s", out)
 	}
 	// Workload to stdout.

@@ -11,6 +11,12 @@ import (
 // SPARQL's error-as-unbound aggregate semantics.
 type Accumulator interface {
 	Add(v Value)
+	// Fold absorbs another accumulator of the same concrete kind, as if o's
+	// inputs had been Added after the receiver's. The engine's parallel
+	// aggregation builds per-partition accumulators and folds them in
+	// partition order, so grouped results match serial execution. o must come
+	// from the same NewAccumulator item; Fold panics on mismatched kinds.
+	Fold(o Accumulator)
 	Result() Value
 }
 
@@ -45,6 +51,8 @@ func (a *countAcc) Add(v Value) {
 	}
 }
 
+func (a *countAcc) Fold(o Accumulator) { a.n += o.(*countAcc).n }
+
 func (a *countAcc) Result() Value { return Bind(rdf.NewInteger(a.n)) }
 
 // countDistinctAcc counts distinct bound terms.
@@ -55,6 +63,12 @@ type countDistinctAcc struct {
 func (a *countDistinctAcc) Add(v Value) {
 	if v.Bound {
 		a.seen[v.Term] = struct{}{}
+	}
+}
+
+func (a *countDistinctAcc) Fold(o Accumulator) {
+	for t := range o.(*countDistinctAcc).seen {
+		a.seen[t] = struct{}{}
 	}
 }
 
@@ -84,6 +98,14 @@ func (a *sumAcc) Add(v Value) {
 	a.sum += f
 }
 
+func (a *sumAcc) Fold(o Accumulator) {
+	b := o.(*sumAcc)
+	a.failed = a.failed || b.failed
+	if !a.failed {
+		a.sum += b.sum
+	}
+}
+
 func (a *sumAcc) Result() Value {
 	if a.failed {
 		return Unbound
@@ -111,6 +133,15 @@ func (a *avgAcc) Add(v Value) {
 	a.n++
 }
 
+func (a *avgAcc) Fold(o Accumulator) {
+	b := o.(*avgAcc)
+	a.failed = a.failed || b.failed
+	if !a.failed {
+		a.sum += b.sum
+		a.n += b.n
+	}
+}
+
 func (a *avgAcc) Result() Value {
 	if a.failed || a.n == 0 {
 		return Unbound
@@ -118,8 +149,13 @@ func (a *avgAcc) Result() Value {
 	return Bind(FormatFloat(a.sum / float64(a.n)))
 }
 
-// minMaxAcc tracks the minimum or maximum value under SortCompare order for
-// non-numeric terms and numeric order for numerics.
+// minMaxAcc tracks the minimum or maximum value under aggCompare — a single
+// transitive total order (numeric order for numerics, lexical for strings,
+// class rank across heterogeneous terms). Transitivity makes accumulation
+// order-independent, which the parallel aggregation merge relies on: folding
+// per-partition bests yields exactly the serial result. (The seed's
+// two-regime Compare-then-SortCompare fallback was not transitive, so
+// heterogeneous groups produced order-dependent answers.)
 type minMaxAcc struct {
 	min  bool
 	best Value
@@ -134,14 +170,21 @@ func (a *minMaxAcc) Add(v Value) {
 		a.best = v
 		return
 	}
-	c, err := Compare(a.best.Term, v.Term)
-	if err != nil {
-		// Fall back to total sort order for heterogeneous groups.
-		c = SortCompare(a.best, v)
-	}
+	c := aggCompare(a.best.Term, v.Term)
 	if (a.min && c > 0) || (!a.min && c < 0) {
 		a.best = v
 	}
+}
+
+func (a *minMaxAcc) Fold(o Accumulator) {
+	b := o.(*minMaxAcc)
+	a.failed = a.failed || b.failed
+	if a.failed || !b.best.Bound {
+		return
+	}
+	// aggCompare ties keep the receiver's best, i.e. the earlier partition's
+	// first-seen value — matching a serial left-to-right pass.
+	a.Add(b.best)
 }
 
 func (a *minMaxAcc) Result() Value {
@@ -149,6 +192,80 @@ func (a *minMaxAcc) Result() Value {
 		return Unbound
 	}
 	return a.best
+}
+
+// aggCompare orders any two bound terms for MIN/MAX accumulation. Terms in
+// the same comparison class order by Compare semantics (numeric order,
+// lexical strings); across classes the class rank decides. The relation is a
+// transitive total preorder — the property that makes min/max folds
+// associative — which Compare alone (partial) and SortCompare (two-regime
+// within literals) are not.
+func aggCompare(a, b rdf.Term) int {
+	ca, cb := aggClass(a), aggClass(b)
+	if ca != cb {
+		if ca < cb {
+			return -1
+		}
+		return 1
+	}
+	switch ca {
+	case aggClassNumeric:
+		fa, _ := NumericValue(a)
+		fb, _ := NumericValue(b)
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		default:
+			return 0
+		}
+	case aggClassTyped:
+		// Distinct datatypes are mutually incomparable: key order on
+		// (datatype, value) keeps the relation transitive.
+		if a.Datatype != b.Datatype {
+			if a.Datatype < b.Datatype {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case a.Value < b.Value:
+		return -1
+	case a.Value > b.Value:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// MIN/MAX comparison classes, in rank order. The blank < IRI < literal
+// progression matches sortRank (ORDER BY), so MIN over a mixed IRI/literal
+// group agrees with ORDER BY ... LIMIT 1; literals split into sub-classes
+// because they need three mutually incomparable in-class orders.
+const (
+	aggClassBlank   = iota // blank nodes, lexical order
+	aggClassIRI            // IRIs, lexical order
+	aggClassNumeric        // numeric literals, numeric order
+	aggClassString         // plain/string/lang-tagged literals, lexical order
+	aggClassTyped          // other typed literals, (datatype, value) order
+)
+
+func aggClass(t rdf.Term) int {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return aggClassIRI
+	case rdf.KindBlank:
+		return aggClassBlank
+	}
+	if _, ok := NumericValue(t); ok {
+		return aggClassNumeric
+	}
+	if t.Datatype == "" || t.Datatype == rdf.XSDString || t.Lang != "" {
+		return aggClassString
+	}
+	return aggClassTyped
 }
 
 // sampleAcc keeps the first bound value; used for plain variables that are
@@ -160,6 +277,8 @@ func (a *sampleAcc) Add(v Value) {
 		a.v = v
 	}
 }
+
+func (a *sampleAcc) Fold(o Accumulator) { a.Add(o.(*sampleAcc).v) }
 
 func (a *sampleAcc) Result() Value { return a.v }
 

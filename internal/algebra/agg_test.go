@@ -212,3 +212,59 @@ func TestMinMaxMergeEquivalenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestFoldMatchesSequential asserts the parallel-merge contract: splitting
+// any Add sequence at any point and folding the two accumulators must equal
+// one sequential pass — including heterogeneous MIN/MAX groups, where the
+// seed's non-transitive comparison fallback used to make the result depend
+// on partition boundaries.
+func TestFoldMatchesSequential(t *testing.T) {
+	values := []rdf.Term{
+		rdf.NewInteger(3),
+		rdf.NewLiteral("2a"),
+		rdf.NewInteger(10),
+		rdf.NewIRI("http://z"),
+		rdf.NewLiteral("apple"),
+		rdf.NewInteger(-4),
+	}
+	items := []sparql.SelectItem{
+		item(sparql.AggMin, false),
+		item(sparql.AggMax, false),
+		item(sparql.AggSum, false),
+		item(sparql.AggAvg, false),
+		item(sparql.AggCount, false),
+		item(sparql.AggCount, true),
+	}
+	for _, it := range items {
+		for split := 0; split <= len(values); split++ {
+			seq := NewAccumulator(it)
+			left := NewAccumulator(it)
+			right := NewAccumulator(it)
+			for i, v := range values {
+				seq.Add(Bind(v))
+				if i < split {
+					left.Add(Bind(v))
+				} else {
+					right.Add(Bind(v))
+				}
+			}
+			left.Fold(right)
+			got, want := left.Result(), seq.Result()
+			if got.Bound != want.Bound || (got.Bound && got.Term != want.Term) {
+				t.Errorf("%v distinct=%v split=%d: fold = %s, sequential = %s",
+					it.Agg, it.AggDistinct, split, got, want)
+			}
+		}
+	}
+}
+
+// TestAggCompareTransitive spot-checks transitivity over the exact triple
+// that cycles under the old Compare/SortCompare two-regime fallback.
+func TestAggCompareTransitive(t *testing.T) {
+	a, b, c := rdf.NewLiteral("2a"), rdf.NewInteger(3), rdf.NewInteger(10)
+	// Numerics rank before strings, numerically ordered among themselves.
+	if !(aggCompare(b, c) < 0 && aggCompare(c, a) < 0 && aggCompare(b, a) < 0) {
+		t.Errorf("aggCompare cycle: 3?10=%d 10?\"2a\"=%d 3?\"2a\"=%d",
+			aggCompare(b, c), aggCompare(c, a), aggCompare(b, a))
+	}
+}

@@ -1,0 +1,127 @@
+package benchkit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Go-benchmark JSON emission. The CI bench job runs
+// `go test -bench . -benchtime 1x -run '^$'`, pipes the text output through
+// cmd/benchjson, and uploads the resulting BENCH_pr.json artifact — one data
+// point per benchmark per push, so the repository's performance trajectory
+// is measurable instead of anecdotal.
+
+// BenchResult is one parsed benchmark line.
+type BenchResult struct {
+	// Name is the benchmark name without the -N GOMAXPROCS suffix, e.g.
+	// "BenchmarkExecJoinHeavyParallel/workers=4".
+	Name        string             `json:"name"`
+	Procs       int                `json:"procs,omitempty"`         // GOMAXPROCS suffix
+	Iterations  int64              `json:"iterations"`              // b.N
+	NsPerOp     float64            `json:"ns_per_op"`               // always present
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`  // -benchmem
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"` // -benchmem
+	MBPerSec    float64            `json:"mb_per_sec,omitempty"`    // b.SetBytes
+	Extra       map[string]float64 `json:"extra,omitempty"`         // b.ReportMetric units
+}
+
+// BenchReport is the JSON document: run environment plus results.
+type BenchReport struct {
+	GoOS    string        `json:"goos,omitempty"`
+	GoArch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// ParseGoBench parses the text output of `go test -bench`, collecting the
+// goos/goarch/pkg/cpu header lines and every benchmark result line.
+// Non-benchmark lines (test log output, PASS/ok trailers) are ignored.
+func ParseGoBench(r io.Reader) (*BenchReport, error) {
+	rep := &BenchReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.GoOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			rep.GoArch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseBenchLine(line)
+			if !ok {
+				continue
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchkit: reading bench output: %w", err)
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-8  100  123 ns/op  [value unit]..."
+// line; ok is false for lines that merely start with "Benchmark" (e.g. log
+// output) but do not have the result shape.
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 {
+		return BenchResult{}, false
+	}
+	res := BenchResult{Name: fields[0]}
+	// Split a trailing -N GOMAXPROCS suffix off the name.
+	if i := strings.LastIndex(res.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(res.Name[i+1:]); err == nil {
+			res.Name, res.Procs = res.Name[:i], procs
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	res.Iterations = iters
+	sawNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = val
+			sawNs = true
+		case "B/op":
+			res.BytesPerOp = val
+		case "allocs/op":
+			res.AllocsPerOp = val
+		case "MB/s":
+			res.MBPerSec = val
+		default:
+			if res.Extra == nil {
+				res.Extra = make(map[string]float64)
+			}
+			res.Extra[unit] = val
+		}
+	}
+	return res, sawNs
+}
+
+// WriteJSON renders the report as indented JSON.
+func (rep *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return fmt.Errorf("benchkit: encoding bench report: %w", err)
+	}
+	return nil
+}

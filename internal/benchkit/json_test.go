@@ -1,0 +1,92 @@
+package benchkit
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: sofos
+cpu: AMD EPYC 7B13
+BenchmarkStoreBulkLoad/columnar-4         	     100	  11897139 ns/op	 9437345 B/op	      62 allocs/op
+BenchmarkExecJoinHeavyParallel/workers=4-4	      39	  29341025 ns/op
+BenchmarkWithMetric-4	     500	   2001234 ns/op	        12.50 rows/s
+some unrelated log line
+BenchmarkNotAResultLine ran fine
+PASS
+ok  	sofos	42.1s
+`
+
+func TestParseGoBench(t *testing.T) {
+	rep, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "sofos" || rep.CPU != "AMD EPYC 7B13" {
+		t.Errorf("header = %+v", rep)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Name != "BenchmarkStoreBulkLoad/columnar" || r.Procs != 4 ||
+		r.Iterations != 100 || r.NsPerOp != 11897139 ||
+		r.BytesPerOp != 9437345 || r.AllocsPerOp != 62 {
+		t.Errorf("result[0] = %+v", r)
+	}
+	if r := rep.Results[1]; r.Name != "BenchmarkExecJoinHeavyParallel/workers=4" || r.NsPerOp != 29341025 {
+		t.Errorf("result[1] = %+v", r)
+	}
+	if r := rep.Results[2]; r.Extra["rows/s"] != 12.5 {
+		t.Errorf("result[2] extra = %+v", r.Extra)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep, err := ParseGoBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back BenchReport
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v\n%s", err, b.String())
+	}
+	if len(back.Results) != 3 || back.Results[0].Name != rep.Results[0].Name {
+		t.Errorf("round trip lost results: %+v", back.Results)
+	}
+}
+
+func TestParseGoBenchEmpty(t *testing.T) {
+	rep, err := ParseGoBench(strings.NewReader("PASS\nok \tsofos\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("results = %+v", rep.Results)
+	}
+}
+
+func TestTimingMinIsTrueMinimum(t *testing.T) {
+	var tm Timing
+	if tm.Min() != 0 {
+		t.Error("empty Min != 0")
+	}
+	// Add samples descending so the minimum is last; before sorting kicks in,
+	// a rank-based shortcut would be wrong for large n.
+	for i := 2_000_000; i > 0; i-- {
+		tm.Add(time.Duration(i))
+	}
+	if got := tm.Min(); got != 1 {
+		t.Errorf("Min = %d, want 1", got)
+	}
+	if got := tm.Max(); got != 2_000_000 {
+		t.Errorf("Max = %d, want 2000000", got)
+	}
+}

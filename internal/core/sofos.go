@@ -11,6 +11,7 @@ import (
 
 	"sofos/internal/benchkit"
 	"sofos/internal/cost"
+	"sofos/internal/engine"
 	"sofos/internal/facet"
 	"sofos/internal/rewrite"
 	"sofos/internal/selection"
@@ -19,6 +20,14 @@ import (
 	"sofos/internal/views"
 	"sofos/internal/workload"
 )
+
+// Options configure a System beyond its graph and facet.
+type Options struct {
+	// Workers bounds intra-query parallelism (engine.Options.Workers) and the
+	// goroutines used for batch view materialization and refresh. 0 means one
+	// worker per logical CPU; 1 forces serial execution throughout.
+	Workers int
+}
 
 // System is one SOFOS instance: a knowledge graph G, an analytical facet F,
 // the induced view lattice V(F), the expanded graph G+ with the currently
@@ -30,25 +39,37 @@ type System struct {
 	Catalog  *views.Catalog
 	Rewriter *rewrite.Rewriter
 
+	// Workers is the resolved parallelism every system operation uses:
+	// query execution, batch materialization, and refresh.
+	Workers int
+
 	provider *cost.Provider // lazily computed full-lattice statistics
 }
 
-// New builds a system over a graph and facet. The graph is compacted up
-// front: systems are built after bulk loading, and every downstream engine
-// scan and cardinality estimate is cheapest against delta-free runs.
+// New builds a system over a graph and facet with default options. The graph
+// is compacted up front: systems are built after bulk loading, and every
+// downstream engine scan and cardinality estimate is cheapest against
+// delta-free runs.
 func New(g *store.Graph, f *facet.Facet) (*System, error) {
+	return NewWithOptions(g, f, Options{})
+}
+
+// NewWithOptions is New with explicit execution options.
+func NewWithOptions(g *store.Graph, f *facet.Facet, opts Options) (*System, error) {
 	g.Compact()
 	l, err := facet.NewLattice(f)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	catalog := views.NewCatalog(g, f)
+	engOpts := engine.Options{Workers: opts.Workers}
+	catalog := views.NewCatalogWithOptions(g, f, engOpts)
 	return &System{
 		Graph:    g,
 		Facet:    f,
 		Lattice:  l,
 		Catalog:  catalog,
 		Rewriter: rewrite.New(catalog),
+		Workers:  engOpts.EffectiveWorkers(),
 	}, nil
 }
 
@@ -112,20 +133,23 @@ func (s *System) SelectViewsByMemory(m cost.Model, budgetBytes int64) (*selectio
 	})
 }
 
-// Materialize materializes every view of a selection into G+. After the last
-// view's encoding is merged it compacts G+'s delta overlay, so the online
-// module's queries run against pure sorted permutation runs.
+// Materialize materializes every view of a selection into G+, computing
+// independent views on the system's worker pool. After the last view's
+// encoding is merged it compacts G+'s delta overlay, so the online module's
+// queries run against pure sorted permutation runs.
 func (s *System) Materialize(sel *selection.Selection) ([]*views.Materialized, error) {
-	out := make([]*views.Materialized, 0, len(sel.Views))
-	for _, v := range sel.Views {
-		m, err := s.Catalog.Materialize(v)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, m)
+	out, err := s.Catalog.MaterializeAll(sel.Views, s.Workers)
+	if err != nil {
+		return nil, err
 	}
 	s.Catalog.Expanded().Compact()
 	return out, nil
+}
+
+// Refresh brings every stale materialized view up to date with the current
+// base graph, recomputing view contents on the system's worker pool.
+func (s *System) Refresh() (int, error) {
+	return s.Catalog.RefreshAllParallel(s.Workers)
 }
 
 // Reset drops all materialized views, restoring G+ to G.
@@ -152,12 +176,13 @@ func (s *System) GenerateWorkload(cfg workload.Config) (*workload.Workload, erro
 
 // QueryOutcome records one workload query's execution.
 type QueryOutcome struct {
-	Index   int
-	Text    string
-	Via     string // answering source: view ID or "base"
-	Reason  string // fallback reason when Via == "base"
-	Rows    int
-	Elapsed time.Duration
+	Index      int
+	Text       string
+	Via        string // answering source: view ID or "base"
+	Reason     string // fallback reason when Via == "base"
+	Rows       int
+	Partitions int // parallel partitions the engine ran (0 = serial)
+	Elapsed    time.Duration
 }
 
 // WorkloadReport aggregates a workload run.
@@ -165,6 +190,7 @@ type WorkloadReport struct {
 	PerQuery []QueryOutcome
 	Timing   benchkit.Timing
 	ViewHits int
+	Workers  int // engine parallelism the queries ran with
 }
 
 // HitRate is the fraction of queries answered from views.
@@ -178,7 +204,7 @@ func (r *WorkloadReport) HitRate() float64 {
 // RunWorkload answers every workload query against the current catalog state
 // and collects per-query outcomes — the "Query performance analyzer" panel.
 func (s *System) RunWorkload(w *workload.Workload) (*WorkloadReport, error) {
-	rep := &WorkloadReport{}
+	rep := &WorkloadReport{Workers: s.Workers}
 	for i, q := range w.Queries {
 		ans, err := s.Answer(q.Parsed)
 		if err != nil {
@@ -189,12 +215,13 @@ func (s *System) RunWorkload(w *workload.Workload) (*WorkloadReport, error) {
 		}
 		rep.Timing.Add(ans.Elapsed)
 		rep.PerQuery = append(rep.PerQuery, QueryOutcome{
-			Index:   i,
-			Text:    q.Text,
-			Via:     ans.ViaLabel(),
-			Reason:  ans.Reason,
-			Rows:    len(ans.Result.Rows),
-			Elapsed: ans.Elapsed,
+			Index:      i,
+			Text:       q.Text,
+			Via:        ans.ViaLabel(),
+			Reason:     ans.Reason,
+			Rows:       len(ans.Result.Rows),
+			Partitions: ans.Result.Stats.Partitions,
+			Elapsed:    ans.Elapsed,
 		})
 	}
 	return rep, nil
@@ -226,12 +253,13 @@ func (s *System) RunWorkloadParallel(w *workload.Workload, workers int) (*Worklo
 					continue
 				}
 				results[i].outcome = QueryOutcome{
-					Index:   i,
-					Text:    q.Text,
-					Via:     ans.ViaLabel(),
-					Reason:  ans.Reason,
-					Rows:    len(ans.Result.Rows),
-					Elapsed: ans.Elapsed,
+					Index:      i,
+					Text:       q.Text,
+					Via:        ans.ViaLabel(),
+					Reason:     ans.Reason,
+					Rows:       len(ans.Result.Rows),
+					Partitions: ans.Result.Stats.Partitions,
+					Elapsed:    ans.Elapsed,
 				}
 			}
 		}()
@@ -243,7 +271,7 @@ func (s *System) RunWorkloadParallel(w *workload.Workload, workers int) (*Worklo
 	for wk := 0; wk < workers; wk++ {
 		<-done
 	}
-	rep := &WorkloadReport{}
+	rep := &WorkloadReport{Workers: s.Workers}
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err

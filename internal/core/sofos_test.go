@@ -310,3 +310,67 @@ func TestTrainLearnedEndToEnd(t *testing.T) {
 		t.Error("learned selection materialized nothing")
 	}
 }
+
+func TestNewWithOptionsWorkers(t *testing.T) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(g, f, Options{Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Workers != 3 {
+		t.Errorf("Workers = %d, want 3", s.Workers)
+	}
+	// Default options resolve to at least one worker.
+	if d := sys(t); d.Workers < 1 {
+		t.Errorf("default Workers = %d", d.Workers)
+	}
+	// The workload report carries the parallelism it ran with.
+	w, err := s.GenerateWorkload(workload.Config{Size: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.RunWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers != 3 {
+		t.Errorf("report Workers = %d, want 3", rep.Workers)
+	}
+}
+
+func TestSystemRefresh(t *testing.T) {
+	s := sys(t)
+	models, err := s.AnalyticModels(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := s.SelectViews(models[2], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Materialize(sel); err != nil {
+		t.Fatal(err)
+	}
+	// No mutation: nothing to refresh.
+	if n, err := s.Refresh(); err != nil || n != 0 {
+		t.Fatalf("refresh on fresh views: n=%d err=%v", n, err)
+	}
+	// Mutate the base through the catalog, then refresh the stale views.
+	ts := s.Graph.SortedTriples()
+	if !s.Catalog.Delete(ts[0]) {
+		t.Fatal("delete failed")
+	}
+	n, err := s.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Error("no views refreshed after base mutation")
+	}
+	if len(s.Catalog.StaleViews()) != 0 {
+		t.Error("stale views remain after Refresh")
+	}
+}

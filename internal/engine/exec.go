@@ -3,6 +3,7 @@ package engine
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -26,6 +27,22 @@ type Options struct {
 	// triple patterns in query text order. Exists for the join-ordering
 	// ablation benchmark; results are identical, only performance differs.
 	NaiveOrder bool
+
+	// Workers bounds the goroutines used for data-parallel execution of one
+	// query: leading-range partitioning (store.Iterator.Split), intermediate
+	// row-chunk fan-out, and the parallel aggregation merge. 0 (the default)
+	// means runtime.GOMAXPROCS(0); 1 forces fully serial execution. Results
+	// are identical at every setting — partitions are contiguous and merged
+	// in partition order.
+	Workers int
+}
+
+// EffectiveWorkers resolves Workers: 0 means one worker per logical CPU.
+func (o Options) EffectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Engine executes queries against one graph.
@@ -51,7 +68,17 @@ type ExecStats struct {
 	PatternScans     int           // triple-pattern index lookups issued
 	IntermediateRows int64         // binding rows produced across all joins
 	ResultRows       int           // final rows returned
+	Workers          int           // configured parallelism for this execution
+	Partitions       int           // parallel partitions run (0 = fully serial)
 	Elapsed          time.Duration // wall time of Execute
+}
+
+// fold accumulates another context's work counters; Elapsed, Workers and
+// ResultRows are set once by the caller.
+func (s *ExecStats) fold(o *ExecStats) {
+	s.PatternScans += o.PatternScans
+	s.IntermediateRows += o.IntermediateRows
+	s.Partitions += o.Partitions
 }
 
 // Result is a solution sequence: named columns over rows of values.
@@ -134,6 +161,15 @@ func (a *rowArena) clone(row binding) binding {
 	return r
 }
 
+// execCtx is the per-goroutine execution state: a private row arena plus work
+// counters. The serial path uses one; every parallel partition owns its own,
+// and the counters are folded into the query's ExecStats after the partitions
+// join, so no execution state is ever shared between workers.
+type execCtx struct {
+	arena rowArena
+	stats ExecStats
+}
+
 // run executes a compiled plan.
 func (e *Engine) run(p *Plan) (*Result, error) {
 	q := p.query
@@ -154,8 +190,9 @@ func (e *Engine) run(p *Plan) (*Result, error) {
 	var rows []binding
 	var stats ExecStats
 	var err error
+	workers := e.opts.EffectiveWorkers()
+	stats.Workers = workers
 	cap := rowCap(p)
-	arena := &rowArena{width: len(p.vars)}
 	if len(p.unions) > 0 {
 		// Bag union: concatenate the branch solution sequences.
 		for i := range p.unions {
@@ -170,7 +207,7 @@ func (e *Engine) run(p *Plan) (*Result, error) {
 				}
 				brCap = cap - len(rows)
 			}
-			brRows, err := e.runBranch(br, p, brCap, &stats, arena)
+			brRows, err := e.runBranch(br, p, brCap, &stats, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -178,13 +215,13 @@ func (e *Engine) run(p *Plan) (*Result, error) {
 		}
 	} else {
 		branch := p.main
-		rows, err = e.runBranch(&branch, p, cap, &stats, arena)
+		rows, err = e.runBranch(&branch, p, cap, &stats, workers)
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	out, err := e.finish(rows, p)
+	out, err := e.finish(rows, p, &stats)
 	if err != nil {
 		return nil, err
 	}
@@ -213,26 +250,107 @@ func rowCap(p *Plan) int {
 // runBranch executes one conjunctive branch: required steps, then optional
 // left-joins, then late filters. A non-zero cap bounds the produced rows
 // (LIMIT pushdown).
-func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats, arena *rowArena) ([]binding, error) {
+//
+// With workers > 1 it executes the branch data-parallel: if the leading
+// pattern's index range is large it is Split into per-worker sub-ranges and
+// the downstream pipeline runs per partition; otherwise steps run serially
+// until the intermediate row set is wide enough to chunk across workers.
+// Partitions are contiguous and their outputs concatenated in partition
+// order, so the rows returned are identical to serial execution.
+func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats, workers int) ([]binding, error) {
+	ctx := &execCtx{arena: rowArena{width: len(p.vars)}}
+	rows := e.seedRows(br, p, ctx)
+	steps := br.steps
+	for workers > 1 && len(rows) > 0 && len(steps) > 0 {
+		if len(rows) >= workers*parallelMinRowsPerWorker {
+			stats.fold(&ctx.stats)
+			return e.runRowChunks(rows, p, br, steps, cap, stats, workers)
+		}
+		// Not enough work to fan out yet: advance one step serially and
+		// reassess (a selective first pattern often explodes on step two).
+		stepCap := 0
+		if len(steps) == 1 {
+			stepCap = cap
+		}
+		if len(rows) == 1 {
+			it, ok := e.leadingScan(rows[0], steps[0].pat)
+			if !ok {
+				rows = nil // constant term missing: the pattern cannot match
+				break
+			}
+			ctx.stats.PatternScans++
+			if it.Remaining() >= parallelMinScan {
+				stats.fold(&ctx.stats)
+				return e.runSplitScan(it, rows[0], p, br, steps, cap, stats, workers)
+			}
+			// Reuse the probe scan for the serial step rather than paying
+			// scan setup twice on selective (point-lookup) chains.
+			rows = e.runLeadingPartition(it, rows[0], p, steps[0], len(steps) == 1, stepCap, ctx)
+		} else {
+			var err error
+			rows, err = e.runSteps(rows, p, steps[:1], stepCap, ctx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		steps = steps[1:]
+	}
+	// The final step may have fanned out wide after the loop's last width
+	// check: optional left-joins and late filters are per-row independent, so
+	// chunk them too when there is enough work.
+	if workers > 1 && len(rows) >= workers*parallelMinRowsPerWorker &&
+		(len(br.optionals) > 0 || len(br.lateFilter) > 0) {
+		stats.fold(&ctx.stats)
+		return e.runRowChunks(rows, p, br, steps, cap, stats, workers)
+	}
+	rows, err := e.runTail(rows, p, br, steps, cap, ctx)
+	stats.fold(&ctx.stats)
+	return rows, err
+}
+
+// seedRows builds the branch's initial binding rows: the cross product of its
+// VALUES clauses, or one empty row when there are none.
+func (e *Engine) seedRows(br *branchPlan, p *Plan, ctx *execCtx) []binding {
 	rows := []binding{make(binding, len(p.vars))}
-	// VALUES clauses: cross product of the inline bindings.
 	for _, ib := range br.inline {
 		var next []binding
 		for _, row := range rows {
 			for _, id := range ib.ids {
-				nr := arena.clone(row)
+				nr := ctx.arena.clone(row)
 				nr[ib.slot] = id
 				next = append(next, nr)
 			}
 		}
 		rows = next
 	}
-	rows, err := e.runSteps(rows, p, br.steps, cap, stats, arena)
+	return rows
+}
+
+// leadingScan resolves a pattern against one row and opens its range scan,
+// reporting false when a constant term is missing from the graph (the pattern
+// cannot match, which the serial step handles identically).
+func (e *Engine) leadingScan(row binding, cp compiledPattern) (store.Iterator, bool) {
+	if cp.s.missing || cp.p.missing || cp.o.missing {
+		return store.Iterator{}, false
+	}
+	resolve := func(ct compiledTerm) rdf.ID {
+		if !ct.isVar {
+			return ct.id
+		}
+		return row[ct.slot]
+	}
+	return e.graph.Scan(resolve(cp.s), resolve(cp.p), resolve(cp.o)), true
+}
+
+// runTail finishes a branch pipeline for one partition's rows: the remaining
+// steps, then optional left-joins and late filters.
+func (e *Engine) runTail(rows []binding, p *Plan, br *branchPlan, steps []step, cap int, ctx *execCtx) ([]binding, error) {
+	rows, err := e.runSteps(rows, p, steps, cap, ctx)
 	if err != nil {
 		return nil, err
 	}
 	for i := range br.optionals {
-		rows, err = e.runOptional(rows, p, &br.optionals[i], stats, arena)
+		rows, err = e.runOptional(rows, p, &br.optionals[i], ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +371,7 @@ func (e *Engine) runBranch(br *branchPlan, p *Plan, cap int, stats *ExecStats, a
 // non-zero cap stops producing rows on the final step once cap rows exist —
 // safe because every filter is attached to some step and nothing downstream
 // drops rows when the planner passes a cap (see rowCap).
-func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats *ExecStats, arena *rowArena) ([]binding, error) {
+func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, ctx *execCtx) ([]binding, error) {
 	for si, st := range steps {
 		if len(rows) == 0 {
 			return rows, nil
@@ -269,11 +387,11 @@ func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats 
 			if cap > 0 && last && len(next) >= cap {
 				break
 			}
-			stats.PatternScans++
+			ctx.stats.PatternScans++
 			e.matchPattern(&it, row, scratch, st.pat, func(extended binding) bool {
 				if len(st.filters) == 0 || e.filtersPass(extended, p, st.filters) {
-					next = append(next, arena.clone(extended))
-					stats.IntermediateRows++
+					next = append(next, ctx.arena.clone(extended))
+					ctx.stats.IntermediateRows++
 				}
 				return !(cap > 0 && last && len(next) >= cap)
 			})
@@ -284,10 +402,10 @@ func (e *Engine) runSteps(rows []binding, p *Plan, steps []step, cap int, stats 
 }
 
 // runOptional left-joins each row with the optional block.
-func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *ExecStats, arena *rowArena) ([]binding, error) {
+func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, ctx *execCtx) ([]binding, error) {
 	var out []binding
 	for _, row := range rows {
-		matches, err := e.runSteps([]binding{row}, p, op.steps, 0, stats, arena)
+		matches, err := e.runSteps([]binding{row}, p, op.steps, 0, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -302,7 +420,7 @@ func (e *Engine) runOptional(rows []binding, p *Plan, op *optionalPlan, stats *E
 		}
 		if len(matches) == 0 {
 			// No match: keep the row with the optional's own slots unbound.
-			clean := arena.clone(row)
+			clean := ctx.arena.clone(row)
 			for _, s := range op.ownSlots {
 				clean[s] = rdf.NoID
 			}
@@ -332,6 +450,14 @@ func (e *Engine) matchPattern(it *store.Iterator, row, scratch binding, cp compi
 	}
 	s, p, o := resolve(cp.s), resolve(cp.p), resolve(cp.o)
 	e.graph.ScanInto(it, s, p, o)
+	yieldMatches(it, row, scratch, cp, yield)
+}
+
+// yieldMatches drains an already-opened scan, binding each triple into
+// scratch over row and yielding the surviving extensions. Shared between the
+// serial per-row path (matchPattern) and the parallel leading-partition path
+// (runLeadingPartition), so the two cannot drift apart.
+func yieldMatches(it *store.Iterator, row, scratch binding, cp compiledPattern, yield func(binding) bool) {
 	for it.Next() {
 		ms, mp, mo := it.Triple()
 		copy(scratch, row)
@@ -391,13 +517,14 @@ func projectionVars(q *sparql.Query) []string {
 }
 
 // finish applies grouping/aggregation, HAVING, projection, DISTINCT,
-// ORDER BY and LIMIT/OFFSET to the joined rows.
-func (e *Engine) finish(rows []binding, p *Plan) (*Result, error) {
+// ORDER BY and LIMIT/OFFSET to the joined rows. stats supplies the worker
+// budget and receives the partition count of a parallel aggregation pass.
+func (e *Engine) finish(rows []binding, p *Plan, stats *ExecStats) (*Result, error) {
 	q := p.query
 	res := &Result{Vars: projectionVars(q)}
 
 	if q.HasAggregates() || len(q.GroupBy) > 0 {
-		if err := e.finishAggregate(rows, p, res); err != nil {
+		if err := e.finishAggregate(rows, p, res, stats); err != nil {
 			return nil, err
 		}
 	} else {
@@ -438,8 +565,80 @@ type groupState struct {
 	accs []algebra.Accumulator
 }
 
-// finishAggregate groups rows and computes aggregates.
-func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result) error {
+// aggState is the grouping state over one row partition: per-group
+// accumulators plus first-seen key order.
+type aggState struct {
+	groups map[string]*groupState
+	order  []string
+}
+
+// buildAggState folds one contiguous row partition into grouping state.
+func (e *Engine) buildAggState(rows []binding, groupSlots, aggSlots []int, aggItems []sparql.SelectItem) *aggState {
+	st := &aggState{groups: make(map[string]*groupState)}
+	// Group keys are the raw slot IDs in fixed-width binary — the
+	// map[string] lookup on string(keyBuf) does not allocate on hit, so a
+	// row belonging to an existing group costs no heap traffic.
+	var keyBuf []byte
+	for _, row := range rows {
+		keyBuf = keyBuf[:0]
+		for _, s := range groupSlots {
+			keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(row[s]))
+		}
+		g, ok := st.groups[string(keyBuf)]
+		if !ok {
+			key := string(keyBuf)
+			g = &groupState{
+				key:  make([]algebra.Value, len(groupSlots)),
+				accs: make([]algebra.Accumulator, len(aggItems)),
+			}
+			for j, s := range groupSlots {
+				if row[s] != rdf.NoID {
+					g.key[j] = algebra.Bind(e.graph.Dict().Term(row[s]))
+				}
+			}
+			for j, item := range aggItems {
+				g.accs[j] = algebra.NewAccumulator(item)
+			}
+			st.groups[key] = g
+			st.order = append(st.order, key)
+		}
+		for i, s := range aggSlots {
+			switch {
+			case s == aggSlotStar: // COUNT(*)
+				g.accs[i].Add(algebra.Bind(rdf.NewBoolean(true)))
+			case s == aggSlotNone || row[s] == rdf.NoID:
+				g.accs[i].Add(algebra.Unbound)
+			default:
+				g.accs[i].Add(algebra.Bind(e.graph.Dict().Term(row[s])))
+			}
+		}
+	}
+	return st
+}
+
+// foldAggStates folds src into dst in partition order: groups first seen in
+// src are appended, shared groups fold their accumulators. Because row
+// partitions are contiguous and folded left to right, group order and
+// aggregate inputs match a serial pass over the concatenated rows.
+func foldAggStates(dst, src *aggState) {
+	for _, key := range src.order {
+		g := src.groups[key]
+		d, ok := dst.groups[key]
+		if !ok {
+			dst.groups[key] = g
+			dst.order = append(dst.order, key)
+			continue
+		}
+		for i := range d.accs {
+			d.accs[i].Fold(g.accs[i])
+		}
+	}
+}
+
+// finishAggregate groups rows and computes aggregates. With workers > 1 and
+// enough rows, partitions are grouped concurrently and the partial states
+// merged in order (the parallel-safe aggregation merge).
+func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result, stats *ExecStats) error {
 	q := p.query
 	groupSlots := make([]int, len(q.GroupBy))
 	for i, v := range q.GroupBy {
@@ -462,47 +661,7 @@ func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result) error {
 			aggSlots[i] = s
 		}
 	}
-	groups := make(map[string]*groupState)
-	var orderKeys []string // deterministic group output order (first seen)
-
-	// Group keys are the raw slot IDs in fixed-width binary — the
-	// map[string] lookup on string(keyBuf) does not allocate on hit, so a
-	// row belonging to an existing group costs no heap traffic.
-	var keyBuf []byte
-	for _, row := range rows {
-		keyBuf = keyBuf[:0]
-		for _, s := range groupSlots {
-			keyBuf = binary.LittleEndian.AppendUint32(keyBuf, uint32(row[s]))
-		}
-		g, ok := groups[string(keyBuf)]
-		if !ok {
-			key := string(keyBuf)
-			g = &groupState{
-				key:  make([]algebra.Value, len(groupSlots)),
-				accs: make([]algebra.Accumulator, len(aggItems)),
-			}
-			for j, s := range groupSlots {
-				if row[s] != rdf.NoID {
-					g.key[j] = algebra.Bind(e.graph.Dict().Term(row[s]))
-				}
-			}
-			for j, item := range aggItems {
-				g.accs[j] = algebra.NewAccumulator(item)
-			}
-			groups[key] = g
-			orderKeys = append(orderKeys, key)
-		}
-		for i, s := range aggSlots {
-			switch {
-			case s == aggSlotStar: // COUNT(*)
-				g.accs[i].Add(algebra.Bind(rdf.NewBoolean(true)))
-			case s == aggSlotNone || row[s] == rdf.NoID:
-				g.accs[i].Add(algebra.Unbound)
-			default:
-				g.accs[i].Add(algebra.Bind(e.graph.Dict().Term(row[s])))
-			}
-		}
-	}
+	state := e.aggregateRows(rows, groupSlots, aggSlots, aggItems, stats)
 
 	// Aggregates without GROUP BY over an empty input yield a single group.
 	if len(rows) == 0 && len(q.GroupBy) == 0 {
@@ -527,8 +686,8 @@ func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result) error {
 			selIdx[i] = -1
 		}
 	}
-	for _, key := range orderKeys {
-		g := groups[key]
+	for _, key := range state.order {
+		g := state.groups[key]
 		// Build the projected row, plus a resolver map when HAVING needs it.
 		var aggVals map[string]algebra.Value
 		if q.Having != nil {

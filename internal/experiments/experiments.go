@@ -35,13 +35,20 @@ type Env struct {
 	Workload *workload.Workload
 }
 
-// NewEnv builds a dataset-backed environment with a generated workload.
+// NewEnv builds a dataset-backed environment with a generated workload and
+// default system options (parallel execution at GOMAXPROCS).
 func NewEnv(dataset string, scale int, seed int64, workloadSize int) (*Env, error) {
+	return NewEnvWithOptions(dataset, scale, seed, workloadSize, core.Options{})
+}
+
+// NewEnvWithOptions is NewEnv with explicit system options, letting callers
+// pin the worker count for serial-vs-parallel comparisons.
+func NewEnvWithOptions(dataset string, scale int, seed int64, workloadSize int, opts core.Options) (*Env, error) {
 	g, f, err := datasets.BuildWithFacet(dataset, scale, seed)
 	if err != nil {
 		return nil, err
 	}
-	s, err := core.New(g, f)
+	s, err := core.NewWithOptions(g, f, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -54,6 +61,10 @@ func NewEnv(dataset string, scale int, seed int64, workloadSize int) (*Env, erro
 
 // DefaultEnvs builds the three demo environments at laptop scales.
 func DefaultEnvs(seed int64, workloadSize int) ([]*Env, error) {
+	return defaultEnvs(seed, workloadSize, core.Options{})
+}
+
+func defaultEnvs(seed int64, workloadSize int, opts core.Options) ([]*Env, error) {
 	specs := []struct {
 		name  string
 		scale int
@@ -64,7 +75,7 @@ func DefaultEnvs(seed int64, workloadSize int) ([]*Env, error) {
 	}
 	var out []*Env
 	for _, sp := range specs {
-		e, err := NewEnv(sp.name, sp.scale, seed, workloadSize)
+		e, err := NewEnvWithOptions(sp.name, sp.scale, seed, workloadSize, opts)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: building %s env: %w", sp.name, err)
 		}
@@ -589,7 +600,13 @@ func max(a, b int) int {
 // MeasureAll runs every experiment with default parameters, returning the
 // rendered tables in order. Used by cmd/sofos-bench.
 func MeasureAll(seed int64, workloadSize, k int, quick bool) ([]*benchkit.Table, error) {
-	envs, err := DefaultEnvs(seed, workloadSize)
+	return MeasureAllWithOptions(seed, workloadSize, k, quick, core.Options{})
+}
+
+// MeasureAllWithOptions is MeasureAll with explicit system options (worker
+// count), so cmd/sofos-bench can pin parallelism from the command line.
+func MeasureAllWithOptions(seed int64, workloadSize, k int, quick bool, opts core.Options) ([]*benchkit.Table, error) {
+	envs, err := defaultEnvs(seed, workloadSize, opts)
 	if err != nil {
 		return nil, err
 	}

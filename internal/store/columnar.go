@@ -272,3 +272,53 @@ func (it *Iterator) O() rdf.ID { return it.o }
 
 // Remaining returns the exact number of triples Next has yet to yield.
 func (it *Iterator) Remaining() int { return len(it.base) + len(it.extra) - len(it.dels) }
+
+// Split partitions the iterator's remaining triples into at most n
+// sub-iterators covering contiguous, disjoint key ranges, such that running
+// the sub-iterators in order yields exactly the sequence the receiver would
+// have yielded. The receiver is not consumed. Each part shares the immutable
+// base run (and so stays a consistent snapshot) and owns a disjoint slice of
+// the delta buffers, so the parts may be iterated from different goroutines
+// concurrently. This is the data-parallel scan primitive: the engine splits a
+// leading pattern range into per-worker sub-ranges.
+func (it *Iterator) Split(n int) []Iterator {
+	if n <= 1 || it.Remaining() == 0 {
+		return []Iterator{*it}
+	}
+	if len(it.base) == 0 {
+		// Pure-delta range: chunk the sorted inserts evenly. Tombstones only
+		// ever cancel base triples, so none can be pending here.
+		return splitExtras(it.kind, it.extra, n)
+	}
+	parts := make([]Iterator, 0, n)
+	prevExtra, prevDel := 0, 0
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(it.base)/n, (i+1)*len(it.base)/n
+		p := Iterator{kind: it.kind, base: it.base[lo:hi]}
+		if i == n-1 {
+			p.extra = it.extra[prevExtra:]
+			p.dels = it.dels[prevDel:]
+		} else if hi < len(it.base) {
+			// Delta entries below the next chunk's first key belong here
+			// (lower-bound search: first key ≥ the boundary).
+			boundary := it.base[hi]
+			extraHi := searchPrefix(it.extra, prevExtra, boundary, 3, false)
+			delHi := searchPrefix(it.dels, prevDel, boundary, 3, false)
+			p.extra = it.extra[prevExtra:extraHi]
+			p.dels = it.dels[prevDel:delHi]
+			prevExtra, prevDel = extraHi, delHi
+		}
+		parts = append(parts, p)
+	}
+	return parts
+}
+
+// splitExtras chunks a sorted insert-only sequence into n sub-iterators.
+func splitExtras(kind permKind, extra []rdf.EncodedTriple, n int) []Iterator {
+	parts := make([]Iterator, 0, n)
+	for i := 0; i < n; i++ {
+		lo, hi := i*len(extra)/n, (i+1)*len(extra)/n
+		parts = append(parts, Iterator{kind: kind, extra: extra[lo:hi]})
+	}
+	return parts
+}

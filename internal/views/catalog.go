@@ -55,18 +55,27 @@ type Catalog struct {
 	expanded *store.Graph
 	baseEng  *engine.Engine
 	expEng   *engine.Engine
+	engOpts  engine.Options // options the engines were built with
 	mats     map[facet.Mask]*Materialized
 }
 
 // NewCatalog clones base into a fresh expanded graph G+.
 func NewCatalog(base *store.Graph, f *facet.Facet) *Catalog {
+	return NewCatalogWithOptions(base, f, engine.Options{})
+}
+
+// NewCatalogWithOptions is NewCatalog with explicit engine options, so a
+// caller can bound (or disable) parallel query execution on both the base
+// and expanded engines.
+func NewCatalogWithOptions(base *store.Graph, f *facet.Facet, opts engine.Options) *Catalog {
 	expanded := base.Clone()
 	return &Catalog{
 		facet:    f,
 		base:     base,
 		expanded: expanded,
-		baseEng:  engine.New(base),
-		expEng:   engine.New(expanded),
+		baseEng:  engine.NewWithOptions(base, opts),
+		expEng:   engine.NewWithOptions(expanded, opts),
+		engOpts:  opts,
 		mats:     make(map[facet.Mask]*Materialized),
 	}
 }

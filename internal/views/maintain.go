@@ -76,6 +76,18 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 	if err != nil {
 		return nil, fmt.Errorf("views: recomputing %s: %w", v, err)
 	}
+	return c.applyRefresh(v, fresh, start)
+}
+
+// applyRefresh swaps freshly computed view contents in for the current
+// materialization, applying the encoding diff to G+. The compute phase is
+// separated out so RefreshAllParallel can recompute many views concurrently
+// and serialize only this mutation step.
+func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time) (*Materialized, error) {
+	mat, ok := c.mats[v.Mask]
+	if !ok {
+		return nil, fmt.Errorf("views: view %s is not materialized", v)
+	}
 	oldTriples, err := Encode(mat.Data)
 	if err != nil {
 		return nil, err
@@ -129,14 +141,6 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 	return updated, nil
 }
 
-// RefreshAll refreshes every stale view, returning how many were refreshed.
-func (c *Catalog) RefreshAll() (int, error) {
-	n := 0
-	for _, v := range c.StaleViews() {
-		if _, err := c.Refresh(v); err != nil {
-			return n, err
-		}
-		n++
-	}
-	return n, nil
-}
+// RefreshAll refreshes every stale view serially, returning how many were
+// refreshed. See RefreshAllParallel for the multi-worker variant.
+func (c *Catalog) RefreshAll() (int, error) { return c.RefreshAllParallel(1) }

@@ -1,0 +1,176 @@
+package views
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sofos/internal/engine"
+	"sofos/internal/facet"
+)
+
+// Parallel offline-module operations. View contents are computed read-only —
+// either against the base graph (the store supports lock-free snapshot
+// scans) or by rolling up an already-materialized ancestor's immutable Data —
+// so independent lattice views can be computed concurrently with zero
+// coordination. Only the encoding into G+ mutates the expanded graph, and
+// that stays serial, batched between waves.
+
+// MaterializeAll materializes every listed view, computing independent view
+// contents on a bounded pool of up to workers goroutines. The batch is
+// processed in waves: a view that a finer batch member covers waits for that
+// ancestor's wave, so the cheap roll-up path of Materialize is preserved
+// (e.g. the full view computes first, its children then roll up from it in
+// parallel). Records are returned in input order; already-materialized views
+// return their existing records, and duplicates resolve to one record.
+func (c *Catalog) MaterializeAll(vs []facet.View, workers int) ([]*Materialized, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var pending []facet.View
+	seen := make(map[facet.Mask]bool, len(vs))
+	for _, v := range vs {
+		if v.Facet != c.facet {
+			return nil, fmt.Errorf("views: view %s belongs to a different facet", v)
+		}
+		if seen[v.Mask] || c.Has(v.Mask) {
+			continue
+		}
+		seen[v.Mask] = true
+		pending = append(pending, v)
+	}
+	for len(pending) > 0 {
+		wave, rest := nextWave(pending)
+		if err := c.materializeWave(wave, workers); err != nil {
+			return nil, err
+		}
+		pending = rest
+	}
+	out := make([]*Materialized, len(vs))
+	for i, v := range vs {
+		m, ok := c.mats[v.Mask]
+		if !ok {
+			return nil, fmt.Errorf("views: %s missing after batch materialization", v)
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// nextWave splits pending views into those computable now (not covered by a
+// finer pending view) and the rest, preserving input order. Covers is a
+// strict partial order over distinct masks, so the wave is never empty.
+func nextWave(pending []facet.View) (wave, rest []facet.View) {
+	for _, v := range pending {
+		covered := false
+		for _, u := range pending {
+			if u.Mask != v.Mask && u.Covers(v) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			rest = append(rest, v)
+		} else {
+			wave = append(wave, v)
+		}
+	}
+	return wave, rest
+}
+
+// waveEngine builds the base-graph engine a compute pool of the given size
+// uses: the catalog's worker budget is divided between the pool and each
+// query, so a batch never multiplies the two levels of parallelism into
+// workers² goroutines. A pool of one view keeps full intra-query
+// parallelism; a full-width pool runs each query serially.
+func (c *Catalog) waveEngine(total, pool int) *engine.Engine {
+	if pool <= 1 {
+		return c.baseEng
+	}
+	opts := c.engOpts
+	opts.Workers = max(1, total/pool)
+	return engine.NewWithOptions(c.base, opts)
+}
+
+// waveResult is one view's computed contents plus its compute start time
+// (the anchor for the record's Elapsed measurement).
+type waveResult struct {
+	data  *Data
+	start time.Time
+	err   error
+}
+
+// computeWave runs compute(eng, v) for every view on a bounded worker pool
+// and returns the per-view results. The catalog must not be mutated while
+// the pool drains; callers apply mutations serially afterwards.
+func (c *Catalog) computeWave(vs []facet.View, workers int,
+	compute func(*engine.Engine, facet.View) (*Data, error)) []waveResult {
+	results := make([]waveResult, len(vs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	pool := min(workers, len(vs))
+	eng := c.waveEngine(workers, pool)
+	for w := 0; w < pool; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i].start = time.Now()
+				results[i].data, results[i].err = compute(eng, vs[i])
+			}
+		}()
+	}
+	for i := range vs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// materializeWave computes one wave's view contents in parallel, then
+// encodes them into G+ serially in wave order.
+func (c *Catalog) materializeWave(wave []facet.View, workers int) error {
+	results := c.computeWave(wave, workers, func(eng *engine.Engine, v facet.View) (*Data, error) {
+		// c.mats is read-only during a wave (encoding happens after the pool
+		// drains), so bestSource needs no locking.
+		if src := c.bestSource(v); src != nil {
+			return RollUp(src.Data, v)
+		}
+		return Compute(eng, v)
+	})
+	for i := range wave {
+		if results[i].err != nil {
+			return results[i].err
+		}
+		if _, err := c.MaterializeData(results[i].data, results[i].start); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RefreshAllParallel refreshes every stale view, recomputing their contents
+// on up to workers goroutines and applying the encoding diffs to G+ serially.
+// It returns how many views were refreshed.
+func (c *Catalog) RefreshAllParallel(workers int) (int, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	stale := c.StaleViews()
+	if len(stale) == 0 {
+		return 0, nil
+	}
+	results := c.computeWave(stale, workers, Compute)
+	n := 0
+	for i, v := range stale {
+		if results[i].err != nil {
+			return n, fmt.Errorf("views: recomputing %s: %w", v, results[i].err)
+		}
+		if _, err := c.applyRefresh(v, results[i].data, results[i].start); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

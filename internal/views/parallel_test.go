@@ -1,0 +1,130 @@
+package views
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+)
+
+// latticeViews lists every view of the facet's lattice, finest first so the
+// batch exercises the roll-up wave ordering.
+func latticeViews(f *facet.Facet) []facet.View {
+	var out []facet.View
+	for m := int(f.FullMask()); m >= 0; m-- {
+		out = append(out, f.View(facet.Mask(m)))
+	}
+	return out
+}
+
+// TestMaterializeAllMatchesSerial materializes the whole lattice via the
+// parallel batch path and via serial Materialize calls, asserting identical
+// view contents, G+ triples, and roll-up sourcing for the children.
+func TestMaterializeAllMatchesSerial(t *testing.T) {
+	g := popGraph(t, 3, 5, 4, 3)
+	f := popFacet(t, "AVG") // AVG exercises the (Sum, Count) roll-up state
+	vs := latticeViews(f)
+
+	serial := NewCatalog(g.Clone(), f)
+	for _, v := range vs {
+		if _, err := serial.Materialize(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		par := NewCatalog(g.Clone(), f)
+		mats, err := par.MaterializeAll(vs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(mats) != len(vs) {
+			t.Fatalf("workers=%d: %d records for %d views", workers, len(mats), len(vs))
+		}
+		for i, v := range vs {
+			want, _ := serial.Get(v.Mask)
+			got := mats[i]
+			if !reflect.DeepEqual(got.Data.Groups, want.Data.Groups) {
+				t.Errorf("workers=%d: view %s groups differ from serial", workers, v)
+			}
+			if v.Mask != f.FullMask() && got.Data.Source == "base" {
+				t.Errorf("workers=%d: view %s computed from base, expected roll-up", workers, v)
+			}
+		}
+		if par.Expanded().Len() != serial.Expanded().Len() {
+			t.Errorf("workers=%d: |G+| = %d, serial %d",
+				workers, par.Expanded().Len(), serial.Expanded().Len())
+		}
+	}
+}
+
+// TestMaterializeAllDuplicatesAndExisting covers dedup and already-present
+// views in one batch.
+func TestMaterializeAllDuplicatesAndExisting(t *testing.T) {
+	g := popGraph(t, 4, 4, 3, 2)
+	f := popFacet(t, "SUM")
+	c := NewCatalog(g, f)
+	top := f.View(f.FullMask())
+	if _, err := c.Materialize(top); err != nil {
+		t.Fatal(err)
+	}
+	child := f.View(facet.MaskFromBits(0))
+	mats, err := c.MaterializeAll([]facet.View{top, child, child, top}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mats) != 4 || mats[0] != mats[3] || mats[1] != mats[2] {
+		t.Errorf("batch records not shared across duplicates")
+	}
+}
+
+// TestRefreshAllParallelMatchesSerial mutates the base, then refreshes the
+// stale lattice with 1 and 4 workers against independent clones, asserting
+// identical results.
+func TestRefreshAllParallelMatchesSerial(t *testing.T) {
+	f := popFacet(t, "SUM")
+	build := func() *Catalog {
+		c := NewCatalog(popGraph(t, 5, 4, 3, 2), f)
+		if _, err := c.MaterializeAll(latticeViews(f), 2); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	mutate := func(c *Catalog) {
+		ex := func(s string) rdf.Term { return rdf.NewIRI("http://ex.org/" + s) }
+		for i := 0; i < 5; i++ {
+			obs := ex(fmt.Sprintf("fresh%d", i))
+			for _, tr := range []rdf.Triple{
+				{S: obs, P: ex("country"), O: rdf.NewLiteral("C99")},
+				{S: obs, P: ex("lang"), O: rdf.NewLiteral("L99")},
+				{S: obs, P: ex("year"), O: rdf.NewYear(2030)},
+				{S: obs, P: ex("pop"), O: rdf.NewInteger(int64(100 + i))},
+			} {
+				if _, err := c.Insert(tr); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	want := build()
+	mutate(want)
+	if n, err := want.RefreshAll(); err != nil || n == 0 {
+		t.Fatalf("serial refresh: n=%d err=%v", n, err)
+	}
+	got := build()
+	mutate(got)
+	if n, err := got.RefreshAllParallel(4); err != nil || n == 0 {
+		t.Fatalf("parallel refresh: n=%d err=%v", n, err)
+	}
+	if got.Expanded().Len() != want.Expanded().Len() {
+		t.Errorf("parallel refresh |G+| = %d, serial %d", got.Expanded().Len(), want.Expanded().Len())
+	}
+	for _, v := range latticeViews(f) {
+		gm, _ := got.Get(v.Mask)
+		wm, _ := want.Get(v.Mask)
+		if !reflect.DeepEqual(gm.Data.Groups, wm.Data.Groups) {
+			t.Errorf("view %s groups differ after parallel refresh", v)
+		}
+	}
+}
