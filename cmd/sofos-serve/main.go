@@ -1,0 +1,130 @@
+// Command sofos-serve runs the SOFOS online module as a concurrent HTTP
+// analytics server over one dataset's facet: queries are answered through
+// the view rewriter, updates flow through the catalog so views turn stale,
+// and a result cache keyed on the catalog generation serves repeated
+// queries without re-execution.
+//
+//	sofos-serve -dataset dbpedia -k 3                 # serve on :8080
+//	curl 'localhost:8080/query?q=SELECT+...'          # answer a query
+//	curl -X POST localhost:8080/update -d '{"insert": "<s> <p> <o> ."}'
+//	curl localhost:8080/views                         # list materializations
+//	curl localhost:8080/stats                         # serving health
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+
+	"sofos/internal/core"
+	"sofos/internal/cost"
+	"sofos/internal/datasets"
+	"sofos/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sofos-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed command line.
+type config struct {
+	addr          string
+	dataset       string
+	scale         int
+	seed          int64
+	model         string
+	k             int
+	workers       int
+	maxConcurrent int
+	cacheEntries  int
+}
+
+// parseFlags parses the command line into a config.
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("sofos-serve", flag.ContinueOnError)
+	c := &config{}
+	fs.StringVar(&c.addr, "addr", ":8080", "listen address")
+	fs.StringVar(&c.dataset, "dataset", "dbpedia", "dataset: lubm, dbpedia, swdf")
+	fs.IntVar(&c.scale, "scale", 0, "dataset scale (0 = default)")
+	fs.Int64Var(&c.seed, "seed", 1, "dataset seed")
+	fs.StringVar(&c.model, "model", "aggvalues", "cost model for the initial view selection")
+	fs.IntVar(&c.k, "k", 3, "views to materialize at startup (0 = none)")
+	fs.IntVar(&c.workers, "workers", 0, "intra-query parallelism (0 = all CPUs)")
+	fs.IntVar(&c.maxConcurrent, "max-concurrent", 0, "admission limit on concurrently executing queries (0 = 2x CPUs)")
+	fs.IntVar(&c.cacheEntries, "cache", 0, "result cache capacity in entries (0 = default 4096, negative = disabled)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildServer constructs the system and server for a config — separated
+// from run so tests can build without listening.
+func buildServer(c *config) (*server.Server, error) {
+	g, f, err := datasets.BuildWithFacet(c.dataset, c.scale, c.seed)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.NewWithOptions(g, f, core.Options{Workers: c.workers})
+	if err != nil {
+		return nil, err
+	}
+	if c.k > 0 {
+		models, err := sys.AnalyticModels(c.seed)
+		if err != nil {
+			return nil, err
+		}
+		var picked cost.Model
+		for _, m := range models {
+			if m.Name() == c.model {
+				picked = m
+				break
+			}
+		}
+		if picked == nil {
+			return nil, fmt.Errorf("unknown model %q (use random, triples, aggvalues, or nodes)", c.model)
+		}
+		sel, err := sys.SelectViews(picked, c.k)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sys.Materialize(sel); err != nil {
+			return nil, err
+		}
+		ids := make([]string, 0, len(sel.Views))
+		for _, v := range sel.Views {
+			ids = append(ids, v.ID())
+		}
+		log.Printf("materialized %d views under %s: %v", len(ids), c.model, ids)
+	}
+	return server.New(sys, server.Config{
+		MaxConcurrent: c.maxConcurrent,
+		CacheEntries:  c.cacheEntries,
+		SelectionSeed: c.seed,
+	}), nil
+}
+
+func run(args []string) error {
+	c, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	srv, err := buildServer(c)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	sys := srv.System()
+	log.Printf("serving %s (%d triples, facet %s, %d workers) on %s",
+		c.dataset, sys.Graph.Len(), sys.Facet.Name, sys.Workers, ln.Addr())
+	return http.Serve(ln, srv.Handler())
+}

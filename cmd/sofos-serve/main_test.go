@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	c, err := parseFlags([]string{"-dataset", "lubm", "-scale", "1", "-k", "0", "-addr", ":0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.dataset != "lubm" || c.scale != 1 || c.k != 0 || c.addr != ":0" {
+		t.Errorf("unexpected config: %+v", c)
+	}
+	if _, err := parseFlags([]string{"-scale", "banana"}); err == nil {
+		t.Error("bad flag value accepted")
+	}
+}
+
+func TestBuildServerRejectsUnknowns(t *testing.T) {
+	if _, err := buildServer(&config{dataset: "nope", k: 0}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := buildServer(&config{dataset: "lubm", scale: 1, model: "nope", k: 1}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+// TestEndToEnd builds the server on a small dataset with an initial
+// selection and exercises every endpoint through the HTTP stack.
+func TestEndToEnd(t *testing.T) {
+	srv, err := buildServer(&config{dataset: "lubm", scale: 1, seed: 1, model: "aggvalues", k: 2, workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string, out any) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: malformed JSON: %v", path, err)
+		}
+		return resp.StatusCode
+	}
+
+	var health map[string]bool
+	if code := get("/healthz", &health); code != http.StatusOK || !health["ok"] {
+		t.Fatalf("healthz = %v (status %d)", health, code)
+	}
+
+	var views struct {
+		Materialized []struct {
+			ID string `json:"id"`
+		} `json:"materialized"`
+	}
+	if code := get("/views", &views); code != http.StatusOK {
+		t.Fatalf("views status %d", code)
+	}
+	if len(views.Materialized) == 0 {
+		t.Fatal("startup selection materialized no views")
+	}
+
+	// The apex (no GROUP BY) is answerable from any materialized view.
+	q := srv.System().Facet.View(0).AnalyticalQuery().String()
+	var ans struct {
+		Vars   []string   `json:"vars"`
+		Rows   [][]string `json:"rows"`
+		Via    string     `json:"via"`
+		Cached bool       `json:"cached"`
+	}
+	if code := get("/query?q="+url.QueryEscape(q), &ans); code != http.StatusOK {
+		t.Fatalf("query status %d", code)
+	}
+	if len(ans.Rows) == 0 {
+		t.Fatal("apex query returned no rows")
+	}
+	if ans.Via == "base" {
+		t.Errorf("apex query fell back to base answering")
+	}
+	if code := get("/query?q="+url.QueryEscape(q), &ans); code != http.StatusOK || !ans.Cached {
+		t.Errorf("repeat query not cached (status %d, cached %v)", code, ans.Cached)
+	}
+
+	up := `{"insert": "<http://e2e.test/s> <http://e2e.test/p> <http://e2e.test/o> ."}`
+	resp, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader(up))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upOut struct {
+		Inserted int `json:"inserted"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&upOut)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || upOut.Inserted != 1 {
+		t.Fatalf("update: status %d, inserted %d, err %v", resp.StatusCode, upOut.Inserted, err)
+	}
+
+	var stats struct {
+		Queries int64 `json:"queries"`
+		Updates int64 `json:"updates"`
+	}
+	if code := get("/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Queries != 2 || stats.Updates != 1 {
+		t.Errorf("stats = %+v, want 2 queries / 1 update", stats)
+	}
+}

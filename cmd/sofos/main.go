@@ -322,27 +322,53 @@ func cmdWorkload(args []string, w io.Writer) error {
 	return nil
 }
 
-// cmdReplay loads a saved workload and runs it under a model's selection.
+// cmdReplay loads a saved workload and runs it under a model's selection,
+// either in process or against a running sofos-serve instance.
 func cmdReplay(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	c := addCommon(fs)
 	file := fs.String("queries", "", "workload file written by 'sofos workload'")
 	clients := fs.Int("clients", 1, "concurrent replay clients (multi-client throughput; -workers controls per-query parallelism)")
+	serverURL := fs.String("server", "", "replay over HTTP against a sofos-serve base URL instead of in process (views and workers are the server's)")
+	rounds := fs.Int("rounds", 1, "with -server: replay the workload this many times (repeat rounds hit the result cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *file == "" {
 		return fmt.Errorf("replay requires -queries <file>")
 	}
-	s, err := buildSystem(c)
-	if err != nil {
-		return err
-	}
 	f, err := os.Open(*file)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if *serverURL != "" {
+		// HTTP replay only sends query text; the serving side owns the
+		// dataset and views, so skip building the (possibly huge) graph.
+		wl, err := workload.LoadQueries(f)
+		if err != nil {
+			return err
+		}
+		rep, err := workload.ReplayHTTP(workload.HTTPConfig{
+			BaseURL: *serverURL, Clients: *clients, Rounds: *rounds,
+		}, wl)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "replayed %d requests against %s (%d clients, %d rounds)\n",
+			rep.Timing.N(), *serverURL, *clients, *rounds)
+		fmt.Fprintf(w, "mean %s  p50 %s  p95 %s  view hits %.0f%%  cache hits %.0f%%\n",
+			benchkit.FmtDuration(rep.Timing.Mean()),
+			benchkit.FmtDuration(rep.Timing.P50()),
+			benchkit.FmtDuration(rep.Timing.P95()),
+			rep.HitRate()*100,
+			rep.CacheHitRate()*100)
+		return nil
+	}
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
 	wl, err := workload.Load(f, s.Facet)
 	if err != nil {
 		return err

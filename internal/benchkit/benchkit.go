@@ -1,7 +1,3 @@
-// Package benchkit provides the measurement utilities behind SOFOS's
-// performance comparisons: duration aggregates with percentiles, Spearman
-// rank correlation for cost-model fidelity, and plain-text/markdown table
-// rendering for the experiment reports.
 package benchkit
 
 import (

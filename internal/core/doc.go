@@ -1,0 +1,26 @@
+// Package core wires SOFOS together, implementing the architecture of
+// Figure 2 of the paper: an offline module (view selection + view
+// materialization) and an online module (query processing via rewriting,
+// with performance comparison). It is the public face every example, CLI,
+// benchmark, and the HTTP server drive.
+//
+// A System binds one knowledge graph G to one analytical facet F and owns
+// the artifacts derived from them:
+//
+//   - the view lattice V(F) (facet.Lattice) — every granularity the facet
+//     can be aggregated at;
+//   - the catalog (views.Catalog) — the expanded graph G+ holding the
+//     currently materialized views, plus maintenance state;
+//   - the rewriter (rewrite.Rewriter) — the online module answering queries
+//     from the best usable view, falling back to G;
+//   - the cost-model suite (cost.Model) and the greedy selectors
+//     (selection.Greedy / GreedyMemory) of the offline module.
+//
+// The usual lifecycle is New (or NewWithOptions to pin the worker count),
+// SelectViews with a chosen cost model, Materialize, then Answer /
+// RunWorkload; Refresh brings stale views up to date after Insert/Delete
+// mutations through the catalog. Generation, GraphVersion, and ViewSetHash
+// expose the version counters a serving layer (internal/server) needs to
+// key result caches and detect staleness without reaching into the
+// catalog's internals.
+package core

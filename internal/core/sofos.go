@@ -1,12 +1,8 @@
-// Package core wires SOFOS together, implementing the architecture of
-// Figure 2 of the paper: an offline module (view selection + view
-// materialization) and an online module (query processing via rewriting,
-// with performance comparison). It is the public face every example, CLI,
-// and benchmark drives.
 package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"sofos/internal/benchkit"
@@ -43,7 +39,11 @@ type System struct {
 	// query execution, batch materialization, and refresh.
 	Workers int
 
-	provider *cost.Provider // lazily computed full-lattice statistics
+	// provider holds the lazily computed full-lattice statistics;
+	// providerMu makes the one-time initialization safe when concurrent
+	// readers (e.g. the server's view-management path) race to be first.
+	provider   *cost.Provider
+	providerMu sync.Mutex
 }
 
 // New builds a system over a graph and facet with default options. The graph
@@ -77,6 +77,8 @@ func NewWithOptions(g *store.Graph, f *facet.Facet, opts Options) (*System, erro
 // view's group/triple/node counts. This is the demo's "Full Lattice"
 // exploration step and the substrate of the analytic cost models.
 func (s *System) Provider() (*cost.Provider, error) {
+	s.providerMu.Lock()
+	defer s.providerMu.Unlock()
 	if s.provider != nil {
 		return s.provider, nil
 	}
@@ -159,6 +161,28 @@ func (s *System) Reset() { s.Catalog.Reset() }
 func (s *System) Answer(q *sparql.Query) (*rewrite.Answer, error) {
 	return s.Rewriter.Answer(q)
 }
+
+// AnswerWithWorkers answers one query with an explicit intra-query worker
+// bound, overriding the system default. 0 falls back to the system's
+// workers; the serving layer uses this for per-request admission control.
+func (s *System) AnswerWithWorkers(q *sparql.Query, workers int) (*rewrite.Answer, error) {
+	if workers <= 0 {
+		workers = s.Workers
+	}
+	return s.Rewriter.AnswerWith(q, engine.Options{Workers: workers})
+}
+
+// Generation returns the catalog mutation counter: it increases on every
+// committed change that can alter a query answer (inserts, deletes,
+// materializations, drops, refreshes). See views.Catalog.Generation.
+func (s *System) Generation() int64 { return s.Catalog.Generation() }
+
+// GraphVersion returns the base graph's mutation counter.
+func (s *System) GraphVersion() int64 { return s.Graph.Version() }
+
+// ViewSetHash returns an order-independent hash of the materialized view
+// set. Callers must not race it with catalog mutations.
+func (s *System) ViewSetHash() uint64 { return s.Catalog.ViewSetHash() }
 
 // AnswerString parses and answers a query.
 func (s *System) AnswerString(src string) (*rewrite.Answer, error) {

@@ -1,0 +1,27 @@
+// Package engine executes SPARQL queries of the SOFOS fragment against a
+// store.Graph. It compiles a query into a physical plan — index-backed
+// triple-pattern scans in a greedy selectivity order with filters pushed to
+// their earliest applicable position — and then runs a binding-propagation
+// join, followed by OPTIONAL left-joins, grouping/aggregation, HAVING,
+// DISTINCT, ORDER BY, and LIMIT/OFFSET.
+//
+// Execution is data-parallel by default (Options.Workers; 0 means one
+// worker per logical CPU, 1 forces serial). Three mechanisms share the
+// work, all built on the store's lock-free snapshot iterators:
+//
+//   - leading-range split: the first join step's index range is partitioned
+//     into contiguous per-worker sub-ranges (store.Iterator.Split) and each
+//     worker runs the whole downstream pipeline over its partition;
+//   - row-chunk fan-out: when the leading pattern is selective, steps run
+//     serially until the intermediate row set is wide enough, then the
+//     remaining pipeline fans out over contiguous row chunks;
+//   - parallel aggregation merge: GROUP BY state accumulates per partition
+//     and the partial accumulators fold left-to-right
+//     (algebra.Accumulator.Fold).
+//
+// Partitions are contiguous in the serial iteration order and merged in
+// partition order, so results are bit-identical to serial execution at
+// every worker count; the package's differential tests assert this under
+// -race. ExecStats on every Result reports the scan, row, and partition
+// counters the online module's performance analyzer displays.
+package engine

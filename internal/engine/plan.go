@@ -1,9 +1,3 @@
-// Package engine executes SPARQL queries of the SOFOS fragment against a
-// store.Graph. It compiles a query into a physical plan — index-backed
-// triple-pattern scans in a greedy selectivity order with filters pushed to
-// their earliest applicable position — and then runs a binding-propagation
-// join, followed by OPTIONAL left-joins, grouping/aggregation, HAVING,
-// DISTINCT, ORDER BY, and LIMIT/OFFSET.
 package engine
 
 import (

@@ -1,13 +1,3 @@
-// Package experiments implements the eight reproducible experiments of
-// DESIGN.md §5, one per artifact of the paper's demonstration scenario:
-// the four GUI panels of Figure 3 (full lattice, cost-function selection,
-// materialized-lattice trade-off, query performance analyzer), cost-model
-// fidelity, learned-model training, the memory-budget variant, and the
-// hands-on challenge (greedy vs optimal regret).
-//
-// Every experiment takes a deterministic Env and returns a benchkit.Table;
-// cmd/sofos-bench renders them and bench_test.go wraps them as testing.B
-// benchmarks.
 package experiments
 
 import (

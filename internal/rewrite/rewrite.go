@@ -154,22 +154,41 @@ func (r *Rewriter) ChooseView(required facet.Mask) (*views.Materialized, bool) {
 	return best, best != nil
 }
 
-// Answer answers q, preferring materialized views.
+// Answer answers q, preferring materialized views, with the catalog's
+// default engine options.
 func (r *Rewriter) Answer(q *sparql.Query) (*Answer, error) {
+	return r.answer(q, r.catalog.BaseEngine(), r.catalog.ExpandedEngine())
+}
+
+// AnswerWith is Answer with an explicit worker bound, so a serving layer
+// can cap one request's intra-query parallelism independently of the
+// catalog-wide default. All other engine options (e.g. join-order
+// ablation) are inherited from the catalog. Engines are stateless handles
+// over the graphs, so building a pair per call costs nothing.
+func (r *Rewriter) AnswerWith(q *sparql.Query, opts engine.Options) (*Answer, error) {
+	merged := r.catalog.EngineOptions()
+	merged.Workers = opts.Workers
+	return r.answer(q,
+		engine.NewWithOptions(r.catalog.Base(), merged),
+		engine.NewWithOptions(r.catalog.Expanded(), merged))
+}
+
+// answer runs the rewriting pipeline against the given base/expanded engines.
+func (r *Rewriter) answer(q *sparql.Query, baseEng, expEng *engine.Engine) (*Answer, error) {
 	start := time.Now()
 	an := r.analyze(q)
 	if an.reason != "" {
-		return r.answerBase(q, an.reason, start)
+		return r.answerBase(q, an.reason, start, baseEng)
 	}
 	mat, ok := r.ChooseView(an.groupMask | an.filterMask)
 	if !ok {
-		return r.answerBase(q, "no materialized view covers the query dimensions", start)
+		return r.answerBase(q, "no materialized view covers the query dimensions", start, baseEng)
 	}
 	rq, err := r.translate(q, an, mat)
 	if err != nil {
 		return nil, fmt.Errorf("rewrite: translating %s: %w", mat.View(), err)
 	}
-	res, err := r.catalog.ExpandedEngine().Execute(rq)
+	res, err := expEng.Execute(rq)
 	if err != nil {
 		return nil, fmt.Errorf("rewrite: executing rewritten query: %w", err)
 	}
@@ -186,12 +205,24 @@ func (r *Rewriter) Answer(q *sparql.Query) (*Answer, error) {
 }
 
 // answerBase executes q on the base graph G.
-func (r *Rewriter) answerBase(q *sparql.Query, reason string, start time.Time) (*Answer, error) {
-	res, err := r.catalog.BaseEngine().Execute(q)
+func (r *Rewriter) answerBase(q *sparql.Query, reason string, start time.Time, baseEng *engine.Engine) (*Answer, error) {
+	res, err := baseEng.Execute(q)
 	if err != nil {
 		return nil, fmt.Errorf("rewrite: base execution: %w", err)
 	}
 	return &Answer{Result: res, Reason: reason, Elapsed: time.Since(start)}, nil
+}
+
+// CacheKey returns a canonical, prefix-independent text of q, suitable as
+// the query part of a result-cache key: two queries that parse to the same
+// AST produce the same key regardless of whitespace, prefix labels, or
+// clause spelling (constants print as full IRIs, clauses in canonical
+// order). Pair it with the catalog generation and view-set hash to key a
+// cache that invalidates exactly when an answer could change.
+func CacheKey(q *sparql.Query) string {
+	c := *q // shallow copy: only Prefixes is cleared, the rest is shared
+	c.Prefixes = nil
+	return c.String()
 }
 
 // translate builds the rewritten query over the view encoding:

@@ -1,0 +1,359 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"sofos/internal/cost"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+)
+
+// updateRequest is the /update request body: N-Triples text blocks to
+// insert into and delete from the base graph. The whole batch commits under
+// one write-lock acquisition, so concurrent queries see either none or all
+// of it.
+type updateRequest struct {
+	Insert string `json:"insert,omitempty"` // N-Triples text
+	Delete string `json:"delete,omitempty"` // N-Triples text
+}
+
+// updateResponse reports what one batch changed.
+type updateResponse struct {
+	Inserted   int   `json:"inserted"` // triples actually new
+	Deleted    int   `json:"deleted"`  // triples actually removed
+	Stale      int   `json:"stale"`    // materialized views now stale
+	Generation int64 `json:"generation"`
+}
+
+// handleUpdate applies one batched write through the catalog so base graph
+// and G+ stay consistent and materialized views turn stale.
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST a JSON body")
+		return
+	}
+	var req updateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	inserts, err := parseTriples(req.Insert)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "insert: %v", err)
+		return
+	}
+	deletes, err := parseTriples(req.Delete)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "delete: %v", err)
+		return
+	}
+	if len(inserts) == 0 && len(deletes) == 0 {
+		httpError(w, http.StatusBadRequest, "empty update batch")
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := updateResponse{}
+	for _, t := range inserts {
+		added, err := s.sys.Catalog.Insert(t)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "inserting %s: %v", t, err)
+			return
+		}
+		if added {
+			resp.Inserted++
+		}
+	}
+	for _, t := range deletes {
+		if s.sys.Catalog.Delete(t) {
+			resp.Deleted++
+		}
+	}
+	resp.Stale = len(s.sys.Catalog.StaleViews())
+	resp.Generation = s.sys.Generation()
+	s.updates.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseTriples parses an N-Triples text block ("" means none).
+func parseTriples(text string) ([]rdf.Triple, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, nil
+	}
+	return rdf.NewParser(strings.NewReader(text)).ParseAll()
+}
+
+// viewInfo describes one materialized view in /views responses.
+type viewInfo struct {
+	ID      string   `json:"id"`
+	Dims    []string `json:"dims"`
+	Groups  int      `json:"groups"`
+	Triples int      `json:"triples"` // encoding triples in G+
+	Stale   bool     `json:"stale"`
+}
+
+// viewsResponse is the GET /views response body.
+type viewsResponse struct {
+	Facet        string     `json:"facet"`
+	LatticeViews int        `json:"lattice_views"`
+	Materialized []viewInfo `json:"materialized"`
+	Generation   int64      `json:"generation"`
+}
+
+// viewsRequest is the POST /views action body.
+type viewsRequest struct {
+	// Action is one of "materialize", "refresh", "drop", "reset".
+	Action string `json:"action"`
+	// View names one view (dimension names joined by "+", or "apex") for
+	// materialize/drop. Empty with materialize means select by Model and K.
+	View string `json:"view,omitempty"`
+	// Model and K drive cost-based selection for "materialize" without View.
+	Model string `json:"model,omitempty"`
+	K     int    `json:"k,omitempty"`
+}
+
+// viewsActionResponse reports a POST /views outcome.
+type viewsActionResponse struct {
+	Action     string   `json:"action"`
+	Views      []string `json:"views,omitempty"` // views acted on
+	Refreshed  int      `json:"refreshed"`       // refresh only
+	Generation int64    `json:"generation"`
+}
+
+// handleViews lists (GET) or manages (POST) materializations.
+func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		resp := viewsResponse{
+			Facet:        s.sys.Facet.Name,
+			LatticeViews: s.sys.Lattice.Size(),
+			Materialized: []viewInfo{},
+			Generation:   s.sys.Generation(),
+		}
+		for _, m := range s.sys.Catalog.Materialized() {
+			v := m.View()
+			resp.Materialized = append(resp.Materialized, viewInfo{
+				ID:      v.ID(),
+				Dims:    v.Dims(),
+				Groups:  m.Data.NumGroups(),
+				Triples: m.Triples,
+				Stale:   s.sys.Catalog.Stale(v.Mask),
+			})
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case http.MethodPost:
+		var req viewsRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+		s.handleViewsAction(w, req)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET lists views, POST manages them")
+	}
+}
+
+// handleViewsAction dispatches one POST /views action.
+func (s *Server) handleViewsAction(w http.ResponseWriter, req viewsRequest) {
+	switch req.Action {
+	case "materialize":
+		s.actionMaterialize(w, req)
+	case "refresh":
+		s.actionRefresh(w)
+	case "drop":
+		v, err := s.resolveView(req.View)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if !s.sys.Catalog.Drop(v) {
+			httpError(w, http.StatusNotFound, "view %s is not materialized", v.ID())
+			return
+		}
+		writeJSON(w, http.StatusOK, viewsActionResponse{
+			Action: "drop", Views: []string{v.ID()}, Generation: s.sys.Generation(),
+		})
+	case "reset":
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.sys.Reset()
+		writeJSON(w, http.StatusOK, viewsActionResponse{
+			Action: "reset", Generation: s.sys.Generation(),
+		})
+	default:
+		httpError(w, http.StatusBadRequest,
+			"unknown action %q (use materialize, refresh, drop, reset)", req.Action)
+	}
+}
+
+// actionMaterialize materializes one named view, or a cost-model selection
+// when no view is named. Like refresh, the expensive read-only phases —
+// lattice statistics, selection, view-content computation — run under the
+// read lock so queries keep flowing; only the G+ encoding takes the write
+// lock (Catalog.PlanMaterialize / CommitMaterialize).
+func (s *Server) actionMaterialize(w http.ResponseWriter, req viewsRequest) {
+	s.mu.RLock()
+	targets, err := s.materializeTargets(req)
+	if err != nil {
+		s.mu.RUnlock()
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	plan, err := s.sys.Catalog.PlanMaterialize(targets, s.sys.Workers)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "computing view contents: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.sys.Catalog.CommitMaterialize(plan); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "materializing: %v", err)
+		return
+	}
+	resp := viewsActionResponse{Action: "materialize", Generation: s.sys.Generation()}
+	for _, v := range targets {
+		resp.Views = append(resp.Views, v.ID())
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// materializeTargets resolves a materialize request to concrete views: the
+// named view, or a cost-model selection. Read-only; callers hold the read
+// lock (System.Provider serializes its own lazy initialization).
+func (s *Server) materializeTargets(req viewsRequest) ([]facet.View, error) {
+	if req.View != "" {
+		v, err := s.resolveView(req.View)
+		if err != nil {
+			return nil, err
+		}
+		return []facet.View{v}, nil
+	}
+	model := req.Model
+	if model == "" {
+		model = "aggvalues"
+	}
+	k := req.K
+	if k <= 0 {
+		k = 3
+	}
+	models, err := s.sys.AnalyticModels(s.cfg.SelectionSeed)
+	if err != nil {
+		return nil, fmt.Errorf("computing lattice statistics: %w", err)
+	}
+	var picked cost.Model
+	for _, m := range models {
+		if m.Name() == model {
+			picked = m
+			break
+		}
+	}
+	if picked == nil {
+		return nil, fmt.Errorf("unknown model %q (use random, triples, aggvalues, or nodes)", model)
+	}
+	sel, err := s.sys.SelectViews(picked, k)
+	if err != nil {
+		return nil, fmt.Errorf("selecting views: %w", err)
+	}
+	return sel.Views, nil
+}
+
+// actionRefresh refreshes stale views: contents are recomputed under the
+// read lock (queries keep flowing), only the diff apply takes the write
+// lock.
+func (s *Server) actionRefresh(w http.ResponseWriter) {
+	s.mu.RLock()
+	plan, err := s.sys.Catalog.PlanRefresh(s.sys.Workers)
+	s.mu.RUnlock()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "recomputing stale views: %v", err)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.sys.Catalog.CommitRefresh(plan)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "applying refresh: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, viewsActionResponse{
+		Action: "refresh", Refreshed: n, Generation: s.sys.Generation(),
+	})
+}
+
+// resolveView maps a view ID ("lang+year" or "apex") to a facet view.
+func (s *Server) resolveView(id string) (facet.View, error) {
+	if id == "apex" {
+		return s.sys.Facet.View(0), nil
+	}
+	return s.sys.Facet.ViewByDims(strings.Split(id, "+")...)
+}
+
+// statsResponse is the GET /stats response body.
+type statsResponse struct {
+	UptimeS         float64    `json:"uptime_s"`
+	Facet           string     `json:"facet"`
+	Dims            []string   `json:"dims"`
+	BaseTriples     int        `json:"base_triples"`
+	ExpandedTriples int        `json:"expanded_triples"`
+	Amplification   float64    `json:"amplification"`
+	Materialized    int        `json:"materialized_views"`
+	StaleViews      int        `json:"stale_views"`
+	Generation      int64      `json:"generation"`
+	GraphVersion    int64      `json:"graph_version"`
+	ViewSetHash     string     `json:"view_set_hash"`
+	Workers         int        `json:"workers"`
+	MaxConcurrent   int        `json:"max_concurrent"`
+	InFlight        int        `json:"in_flight"` // queries holding execution slots
+	Queries         int64      `json:"queries"`
+	Updates         int64      `json:"updates"`
+	Cache           CacheStats `json:"cache"`
+}
+
+// handleStats reports serving health.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	resp := statsResponse{
+		UptimeS:         time.Since(s.started).Seconds(),
+		Facet:           s.sys.Facet.Name,
+		Dims:            s.sys.Facet.Dims,
+		BaseTriples:     s.sys.Graph.Len(),
+		ExpandedTriples: s.sys.Catalog.Expanded().Len(),
+		Amplification:   s.sys.Catalog.StorageAmplification(),
+		Materialized:    len(s.sys.Catalog.Materialized()),
+		StaleViews:      len(s.sys.Catalog.StaleViews()),
+		Generation:      s.sys.Generation(),
+		GraphVersion:    s.sys.GraphVersion(),
+		ViewSetHash:     strconv.FormatUint(s.sys.ViewSetHash(), 16),
+		Workers:         s.sys.Workers,
+		MaxConcurrent:   s.cfg.MaxConcurrent,
+		InFlight:        len(s.sem),
+		Queries:         s.queries.Load(),
+		Updates:         s.updates.Load(),
+	}
+	if s.cache != nil {
+		resp.Cache = s.cache.stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// resultCache is a sharded LRU over rendered query responses. Keys embed the
+// catalog generation and view-set hash (see Server.cacheKey), so a write
+// never serves a stale entry: it bumps the generation, every later lookup
+// uses a new key, and the orphaned entries age out of the LRU naturally.
+// Sharding keeps the per-lookup critical section off the contended path when
+// many clients replay the same hot workload.
+type resultCache struct {
+	shards []cacheShard
+	mask   uint64 // len(shards)-1; len is a power of two
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// cacheShard is one LRU segment: a keyed list in recency order.
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recent; values are *cacheEntry
+	items map[string]*list.Element
+	cap   int
+}
+
+// cacheEntry stores the fully rendered JSON body of a cached answer (with
+// the cached flag already set), so a hit is one byte-slice write — no
+// re-execution and no re-encoding.
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// numCacheShards is fixed at a small power of two: enough to spread lock
+// contention across CPUs without fragmenting tiny caches.
+const numCacheShards = 16
+
+// newResultCache builds a cache holding up to capacity entries in total.
+// A capacity below numCacheShards still grants each shard one slot.
+func newResultCache(capacity int) *resultCache {
+	per := capacity / numCacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &resultCache{shards: make([]cacheShard, numCacheShards), mask: numCacheShards - 1}
+	for i := range c.shards {
+		c.shards[i] = cacheShard{ll: list.New(), items: make(map[string]*list.Element), cap: per}
+	}
+	return c
+}
+
+// fnv-1a constants, inlined so shard selection allocates nothing on the
+// per-request hot path.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func (c *resultCache) shard(key string) *cacheShard {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= fnvPrime64
+	}
+	return &c.shards[h&c.mask]
+}
+
+// get returns the cached body for key, promoting it to most recent and
+// counting a hit or miss.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	body, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return body, ok
+}
+
+// recheck is get for the second lookup of one request (after admission):
+// a hit still counts, but a miss was already counted by the fast path.
+func (c *resultCache) recheck(key string) ([]byte, bool) {
+	body, ok := c.lookup(key)
+	if ok {
+		c.hits.Add(1)
+	}
+	return body, ok
+}
+
+func (c *resultCache) lookup(key string) ([]byte, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put inserts (or refreshes) an entry, evicting the least recent on overflow.
+func (c *resultCache) put(key string, body []byte) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body})
+	if s.ll.Len() > s.cap {
+		oldest := s.ll.Back()
+		s.ll.Remove(oldest)
+		delete(s.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+// len returns the live entry count across shards.
+func (c *resultCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// CacheStats reports cache effectiveness for /stats.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+func (c *resultCache) stats() CacheStats {
+	return CacheStats{
+		Entries:   c.len(),
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+}

@@ -1,0 +1,137 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+// TestServeWhileRefresh hammers /query from many clients while a writer
+// applies update batches and refreshes the materialized views, asserting
+// under -race that every response is well-formed and equal to the answer at
+// SOME committed catalog state: the returned sum must be one of the prefix
+// sums the writer produced (an answer from a not-yet-refreshed view equals
+// an earlier committed state, which is still consistent — SOFOS refreshes
+// views on demand, not on write).
+func TestServeWhileRefresh(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxConcurrent: 8})
+
+	// Materialize views so queries are answered through the rewriter and
+	// refresh has real work: country answers countryQuery, and the apex
+	// roll-up path exercises re-aggregation.
+	var act viewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
+		t.Fatalf("materialize returned status %d", code)
+	}
+
+	const rounds = 12
+	const popPerRound = 1_000_000 // dwarfs base pops so each state is distinct
+
+	// validSums[i] is the apex sum after i committed update batches. Batches
+	// commit atomically under the server's write lock, so no other sums can
+	// ever be observed.
+	base := numCell(t, query(t, ts, apexQuery).Rows[0][0])
+	validSums := make(map[float64]bool, rounds+1)
+	sum := base
+	validSums[sum] = true
+	for i := 0; i < rounds; i++ {
+		sum += popPerRound
+		validSums[sum] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errc := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errc <- err:
+		default:
+		}
+	}
+
+	// Readers: alternate the apex and per-country queries until told to stop.
+	for r := 0; r < 6; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			client := ts.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := apexQuery
+				if i%2 == 1 {
+					q = countryQuery
+				}
+				resp, err := client.Post(ts.URL+"/query", "application/json",
+					jsonBody(queryRequest{Query: q}))
+				if err != nil {
+					report(fmt.Errorf("reader %d: %v", r, err))
+					return
+				}
+				var out queryResponse
+				err = json.NewDecoder(resp.Body).Decode(&out)
+				resp.Body.Close()
+				if err != nil {
+					report(fmt.Errorf("reader %d: malformed JSON: %v", r, err))
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					report(fmt.Errorf("reader %d: status %d", r, resp.StatusCode))
+					return
+				}
+				if q == apexQuery {
+					if len(out.Rows) != 1 || len(out.Rows[0]) != 1 {
+						report(fmt.Errorf("reader %d: apex shape %v", r, out.Rows))
+						return
+					}
+					got, err := parseNum(out.Rows[0][0])
+					if err != nil {
+						report(fmt.Errorf("reader %d: %v", r, err))
+						return
+					}
+					if !validSums[got] {
+						report(fmt.Errorf("reader %d: sum %v matches no committed catalog state", r, got))
+						return
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: insert a batch, then refresh, every round.
+	for i := 0; i < rounds; i++ {
+		var up updateResponse
+		if code := postJSON(t, ts.URL+"/update",
+			updateRequest{Insert: obsTriples(fmt.Sprintf("race%d", i), popPerRound)}, &up); code != http.StatusOK {
+			t.Fatalf("round %d: update status %d", i, code)
+		}
+		if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "refresh"}, &act); code != http.StatusOK {
+			t.Fatalf("round %d: refresh status %d", i, code)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// After the last refresh the view is fresh: the final answer must be the
+	// final sum, served via the materialized view.
+	final := query(t, ts, apexQuery)
+	if got := numCell(t, final.Rows[0][0]); got != sum {
+		t.Fatalf("final sum = %v, want %v", got, sum)
+	}
+	if final.Via != "country" {
+		t.Errorf("final answer came via %q, want the country view", final.Via)
+	}
+	st := srv.cache.stats()
+	if st.Hits+st.Misses == 0 {
+		t.Error("cache saw no traffic")
+	}
+}

@@ -1,0 +1,303 @@
+// Package server exposes a SOFOS system over HTTP: the online module as a
+// concurrent analytics service. Four endpoints cover the demo's live loop —
+// /query answers analytical queries through the rewriter (so materialized
+// views are used transparently), /update applies batched inserts and
+// deletes, /views lists and manages materializations, and /stats reports
+// serving and cache health.
+//
+// Concurrency model: queries share the read side of one RWMutex and execute
+// against the store's lock-free snapshot iterators, so readers never block
+// each other; all catalog mutations (updates, materialize/drop/reset,
+// refresh commits) serialize on the write side, so every answer is
+// consistent with exactly one catalog generation. View refresh recomputes
+// contents on the read side (PlanRefresh) and only takes the write lock for
+// the short diff-apply step (CommitRefresh), keeping the service available
+// during maintenance. A global semaphore bounds concurrently executing
+// queries (admission control), and a sharded LRU result cache keyed on
+// (normalized query, catalog generation, view-set hash) serves repeated
+// queries without re-execution while never returning a stale answer.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sofos/internal/core"
+	"sofos/internal/rewrite"
+	"sofos/internal/sparql"
+)
+
+// Config tunes a Server; the zero value is the production default.
+type Config struct {
+	// MaxConcurrent bounds queries executing at once (admission control).
+	// Further requests queue until a slot frees. 0 means 2×GOMAXPROCS.
+	MaxConcurrent int
+
+	// MaxWorkers caps the per-request intra-query parallelism a client may
+	// ask for via the "workers" field. 0 means the system's worker count.
+	MaxWorkers int
+
+	// CacheEntries is the result cache capacity in entries. 0 means 4096;
+	// negative disables caching.
+	CacheEntries int
+
+	// SelectionSeed seeds cost models for POST /views materialize-by-model
+	// actions, so runtime selections reproduce the startup-time ones made
+	// with the same seed. 0 means 1.
+	SelectionSeed int64
+}
+
+// withDefaults resolves zero fields.
+func (c Config) withDefaults(sys *core.System) Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxWorkers <= 0 {
+		c.MaxWorkers = sys.Workers
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.SelectionSeed == 0 {
+		c.SelectionSeed = 1
+	}
+	return c
+}
+
+// Server serves one SOFOS system over HTTP. Create with New, mount via
+// Handler.
+type Server struct {
+	sys *core.System
+	cfg Config
+
+	// mu orders queries against catalog mutations: every answer is computed
+	// entirely within one read-side critical section, so it reflects exactly
+	// one catalog generation; every mutation holds the write side.
+	mu sync.RWMutex
+
+	cache *resultCache  // nil when disabled
+	sem   chan struct{} // admission semaphore, capacity MaxConcurrent
+
+	// keyPrefix memoizes the "<generation>|<view-set hash>|" cache-key
+	// prefix so the hot read path does not rebuild the view-set hash on
+	// every request; it is recomputed only after the generation moves.
+	keyPrefix atomic.Value // of prefixState
+
+	mux     *http.ServeMux
+	started time.Time
+
+	queries atomic.Int64 // /query requests answered (including cache hits)
+	updates atomic.Int64 // /update batches applied
+}
+
+// New wraps a system in a server with the given configuration.
+func New(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults(sys)
+	s := &Server{
+		sys:     sys,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newResultCache(cfg.CacheEntries)
+	}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/update", s.handleUpdate)
+	s.mux.HandleFunc("/views", s.handleViews)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// System returns the served system (for tests and embedding callers).
+func (s *Server) System() *core.System { return s.sys }
+
+// prefixState is one memoized cache-key prefix (see Server.keyPrefix).
+type prefixState struct {
+	generation int64
+	prefix     string
+}
+
+// cacheKey builds the result-cache key for a query under the current
+// catalog state. Callers must hold s.mu (either side): the generation and
+// view-set hash must belong to the same state the answer is computed in —
+// which also means the generation cannot move mid-call, so concurrent
+// readers memoizing the same prefix store identical values.
+func (s *Server) cacheKey(norm string) string {
+	gen := s.sys.Generation()
+	if p, ok := s.keyPrefix.Load().(prefixState); ok && p.generation == gen {
+		return p.prefix + norm
+	}
+	prefix := strconv.FormatInt(gen, 10) + "|" +
+		strconv.FormatUint(s.sys.ViewSetHash(), 16) + "|"
+	s.keyPrefix.Store(prefixState{generation: gen, prefix: prefix})
+	return prefix + norm
+}
+
+// queryRequest is the /query request body. GET requests pass the query in
+// the "q" parameter and workers in "workers" instead.
+type queryRequest struct {
+	Query   string `json:"query"`
+	Workers int    `json:"workers,omitempty"` // intra-query parallelism cap
+}
+
+// queryResponse is the /query response body. Rows are rendered terms in
+// SELECT order. Cached responses re-serve a previous execution's rows;
+// ElapsedUS then reports the original execution time.
+type queryResponse struct {
+	Vars       []string   `json:"vars"`
+	Rows       [][]string `json:"rows"`
+	Via        string     `json:"via"`              // answering view ID or "base"
+	Reason     string     `json:"reason,omitempty"` // base fallback reason
+	Generation int64      `json:"generation"`       // catalog generation answered at
+	Cached     bool       `json:"cached"`
+	ElapsedUS  int64      `json:"elapsed_us"`
+}
+
+// handleQuery answers one analytical query, consulting the result cache
+// first. Admission: cache hits bypass the semaphore (they execute nothing);
+// misses wait for an execution slot.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	switch r.Method {
+	case http.MethodGet:
+		req.Query = r.URL.Query().Get("q")
+		if ws := r.URL.Query().Get("workers"); ws != "" {
+			n, err := strconv.Atoi(ws)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, "bad workers parameter %q", ws)
+				return
+			}
+			req.Workers = n
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "use GET ?q= or POST a JSON body")
+		return
+	}
+	if req.Query == "" {
+		httpError(w, http.StatusBadRequest, "empty query")
+		return
+	}
+	q, err := sparql.Parse(req.Query)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "parse error: %v", err)
+		return
+	}
+	norm := rewrite.CacheKey(q)
+
+	// Fast path: serve from the cache under the read lock (the key must be
+	// computed in the same state the entry was stored under).
+	if s.cache != nil {
+		s.mu.RLock()
+		body, ok := s.cache.get(s.cacheKey(norm))
+		s.mu.RUnlock()
+		if ok {
+			s.queries.Add(1)
+			writeCachedBody(w, body)
+			return
+		}
+	}
+
+	// Admission control: occupy an execution slot before taking the read
+	// lock, so queued queries do not hold the lock and block writers.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-r.Context().Done():
+		httpError(w, http.StatusServiceUnavailable, "request canceled while queued")
+		return
+	}
+
+	workers := req.Workers
+	if workers <= 0 || workers > s.cfg.MaxWorkers {
+		workers = s.cfg.MaxWorkers
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key := s.cacheKey(norm) // state may have advanced since the fast path
+	if s.cache != nil {
+		if body, ok := s.cache.recheck(key); ok {
+			s.queries.Add(1)
+			writeCachedBody(w, body)
+			return
+		}
+	}
+	ans, err := s.sys.AnswerWithWorkers(q, workers)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "execution error: %v", err)
+		return
+	}
+	resp := &queryResponse{
+		Vars:       ans.Result.Vars,
+		Rows:       renderRows(ans),
+		Via:        ans.ViaLabel(),
+		Reason:     ans.Reason,
+		Generation: s.sys.Generation(),
+		ElapsedUS:  ans.Elapsed.Microseconds(),
+	}
+	if s.cache != nil {
+		// Render the cached variant once at insert time; hits serve the
+		// bytes verbatim instead of re-encoding the rows per request.
+		resp.Cached = true
+		if body, err := json.Marshal(resp); err == nil {
+			s.cache.put(key, body)
+		}
+		resp.Cached = false
+	}
+	s.queries.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// renderRows renders result values as strings in SELECT order.
+func renderRows(ans *rewrite.Answer) [][]string {
+	rows := make([][]string, len(ans.Result.Rows))
+	for i, row := range ans.Result.Rows {
+		cells := make([]string, len(row))
+		for j, v := range row {
+			cells[j] = v.String()
+		}
+		rows[i] = cells
+	}
+	return rows
+}
+
+// writeCachedBody serves a pre-rendered cached response body.
+func writeCachedBody(w http.ResponseWriter, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(body)
+}
+
+// errorResponse is the JSON body of every non-200 response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// Encoding errors past the header are unrecoverable mid-stream; the
+	// client sees a truncated body and re-requests.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -2,8 +2,10 @@ package views
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"sofos/internal/algebra"
@@ -57,6 +59,13 @@ type Catalog struct {
 	expEng   *engine.Engine
 	engOpts  engine.Options // options the engines were built with
 	mats     map[facet.Mask]*Materialized
+
+	// generation counts committed catalog mutations: base-graph inserts and
+	// deletes, materializations, drops, resets, and refreshes. Two reads that
+	// observe the same generation observed the same catalog state, so the
+	// counter is the invalidation key for any result cache layered on top
+	// (see internal/server). Atomic so monitoring reads never race writers.
+	generation atomic.Int64
 }
 
 // NewCatalog clones base into a fresh expanded graph G+.
@@ -82,6 +91,37 @@ func NewCatalogWithOptions(base *store.Graph, f *facet.Facet, opts engine.Option
 
 // Facet returns the catalog's facet.
 func (c *Catalog) Facet() *facet.Facet { return c.facet }
+
+// Generation returns the catalog mutation counter. It increases on every
+// committed change that can alter a query answer — Insert, Delete,
+// Materialize, Drop, Reset, Refresh — and never repeats within one catalog's
+// lifetime, so (query, generation) identifies a unique answer.
+func (c *Catalog) Generation() int64 { return c.generation.Load() }
+
+// bump records one committed mutation.
+func (c *Catalog) bump() { c.generation.Add(1) }
+
+// ViewSetHash returns an order-independent hash of the materialized view
+// set. Unlike Generation it is stable across mutations that do not change
+// which views are materialized, letting caches distinguish "same views,
+// newer data" from "different views". Callers must not race it with
+// catalog mutations.
+func (c *Catalog) ViewSetHash() uint64 {
+	ids := make([]string, 0, len(c.mats))
+	for _, m := range c.mats {
+		ids = append(ids, m.Data.View.ID())
+	}
+	sort.Strings(ids)
+	h := fnv.New64a()
+	for _, id := range ids {
+		h.Write([]byte(id))
+		h.Write([]byte{0})
+	}
+	return h.Sum64()
+}
+
+// EngineOptions returns the options the catalog's engines were built with.
+func (c *Catalog) EngineOptions() engine.Options { return c.engOpts }
 
 // Base returns the original graph G.
 func (c *Catalog) Base() *store.Graph { return c.base }
@@ -201,6 +241,7 @@ func (c *Catalog) MaterializeData(data *Data, start time.Time) (*Materialized, e
 		baseVersion: c.base.Version(),
 	}
 	c.mats[data.View.Mask] = m
+	c.bump()
 	return m, nil
 }
 
@@ -266,6 +307,7 @@ func (c *Catalog) drop(v facet.View) bool {
 		c.expanded.RemoveTriples(triples)
 	}
 	delete(c.mats, v.Mask)
+	c.bump()
 	return true
 }
 

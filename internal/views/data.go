@@ -1,8 +1,3 @@
-// Package views implements view computation and materialization (§3.1 of the
-// SOFOS paper). A view's contents are computed either directly from the base
-// graph G or by rolling up an already-materialized finer view; they are then
-// encoded back into RDF as blank nodes carrying the aggregation values — a
-// generalization of the MARVEL encoding — producing the expanded graph G+.
 package views
 
 import (

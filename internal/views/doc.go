@@ -1,0 +1,24 @@
+// Package views implements view computation and materialization (§3.1 of
+// the SOFOS paper). A view's contents are computed either directly from the
+// base graph G or by rolling up an already-materialized finer view; they
+// are then encoded back into RDF as blank nodes carrying the aggregation
+// values — a generalization of the MARVEL encoding — producing the
+// expanded graph G+.
+//
+// The Catalog is the package's center: it owns G+ (a clone of G plus every
+// materialized view's encoding), tracks which views of a facet are
+// materialized, and routes each materialization through the cheapest
+// source (base computation or ancestor roll-up). Batch operations
+// (MaterializeAll, RefreshAllParallel) compute independent views on a
+// bounded worker pool in cover-order waves and serialize only the G+
+// encoding step.
+//
+// Maintenance: Insert and Delete mutate G and mirror into G+, turning
+// materialized views stale (Stale/StaleViews compare each record's base
+// version against Graph.Version). Refresh recomputes a view and applies
+// the minimal encoding diff to G+; PlanRefresh/CommitRefresh split that
+// into a read-only compute phase and a short mutation phase so a serving
+// layer can refresh concurrently with query traffic. Generation counts
+// every committed catalog mutation and, with ViewSetHash, gives caches an
+// exact invalidation key.
+package views

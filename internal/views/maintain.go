@@ -26,6 +26,7 @@ func (c *Catalog) Insert(t rdf.Triple) (bool, error) {
 		if _, err := c.expanded.Add(t); err != nil {
 			return false, fmt.Errorf("views: mirroring insert into G+: %w", err)
 		}
+		c.bump()
 	}
 	return added, nil
 }
@@ -35,6 +36,7 @@ func (c *Catalog) Delete(t rdf.Triple) bool {
 	removed := c.base.Remove(t)
 	if removed {
 		c.expanded.Remove(t)
+		c.bump()
 	}
 	return removed
 }
@@ -72,18 +74,22 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 		return mat, nil
 	}
 	start := time.Now()
+	baseVersion := c.base.Version()
 	fresh, err := Compute(c.baseEng, v)
 	if err != nil {
 		return nil, fmt.Errorf("views: recomputing %s: %w", v, err)
 	}
-	return c.applyRefresh(v, fresh, start)
+	return c.applyRefresh(v, fresh, start, baseVersion)
 }
 
 // applyRefresh swaps freshly computed view contents in for the current
 // materialization, applying the encoding diff to G+. The compute phase is
-// separated out so RefreshAllParallel can recompute many views concurrently
-// and serialize only this mutation step.
-func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time) (*Materialized, error) {
+// separated out so PlanRefresh/CommitRefresh can recompute many views
+// concurrently (or off the write path entirely) and serialize only this
+// mutation step. baseVersion is the base graph's version the fresh contents
+// were computed against; recording it (rather than the commit-time version)
+// keeps a view correctly marked stale when the base advanced mid-refresh.
+func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time, baseVersion int64) (*Materialized, error) {
 	mat, ok := c.mats[v.Mask]
 	if !ok {
 		return nil, fmt.Errorf("views: view %s is not materialized", v)
@@ -135,9 +141,10 @@ func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time) (*Mat
 		Nodes:       st.Nodes,
 		Bytes:       bytes,
 		Elapsed:     time.Since(start),
-		baseVersion: c.base.Version(),
+		baseVersion: baseVersion,
 	}
 	c.mats[v.Mask] = updated
+	c.bump()
 	return updated, nil
 }
 

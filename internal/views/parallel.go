@@ -150,27 +150,147 @@ func (c *Catalog) materializeWave(wave []facet.View, workers int) error {
 	return nil
 }
 
-// RefreshAllParallel refreshes every stale view, recomputing their contents
-// on up to workers goroutines and applying the encoding diffs to G+ serially.
-// It returns how many views were refreshed.
-func (c *Catalog) RefreshAllParallel(workers int) (int, error) {
+// MaterializePlan holds computed view contents ready to be encoded into
+// G+. Like RefreshPlan, producing it only reads the catalog; committing it
+// is the sole mutation.
+type MaterializePlan struct {
+	views  []facet.View
+	data   []*Data
+	starts []time.Time
+}
+
+// Len returns the number of views the plan materializes.
+func (p *MaterializePlan) Len() int { return len(p.views) }
+
+// PlanMaterialize computes contents for every listed view not already
+// materialized, on up to workers goroutines, without mutating the catalog.
+// Each view computes from its cheapest committed source — a materialized
+// ancestor roll-up or the base graph; unlike MaterializeAll it does not
+// roll up from batch siblings, since nothing is encoded until commit.
+// Returns nil when every listed view is already materialized. The caller
+// must not run catalog mutations concurrently with planning.
+func (c *Catalog) PlanMaterialize(vs []facet.View, workers int) (*MaterializePlan, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var pending []facet.View
+	seen := make(map[facet.Mask]bool, len(vs))
+	for _, v := range vs {
+		if v.Facet != c.facet {
+			return nil, fmt.Errorf("views: view %s belongs to a different facet", v)
+		}
+		if seen[v.Mask] || c.Has(v.Mask) {
+			continue
+		}
+		seen[v.Mask] = true
+		pending = append(pending, v)
+	}
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	plan := &MaterializePlan{views: pending}
+	results := c.computeWave(pending, workers, func(eng *engine.Engine, v facet.View) (*Data, error) {
+		if src := c.bestSource(v); src != nil {
+			return RollUp(src.Data, v)
+		}
+		return Compute(eng, v)
+	})
+	for i, v := range pending {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("views: computing %s: %w", v, results[i].err)
+		}
+		plan.data = append(plan.data, results[i].data)
+		plan.starts = append(plan.starts, results[i].start)
+	}
+	return plan, nil
+}
+
+// CommitMaterialize encodes planned contents into G+ serially, returning
+// the records in plan order. Committing a nil plan is a no-op. A view
+// materialized since planning keeps its existing record (MaterializeData
+// is idempotent per mask).
+func (c *Catalog) CommitMaterialize(p *MaterializePlan) ([]*Materialized, error) {
+	if p == nil {
+		return nil, nil
+	}
+	out := make([]*Materialized, 0, len(p.views))
+	for i := range p.views {
+		m, err := c.MaterializeData(p.data[i], p.starts[i])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// RefreshPlan holds recomputed contents for every view that was stale at
+// plan time, ready to be committed. Producing the plan only reads the
+// catalog (the compute phase); applying it is the sole mutation, so a
+// serving layer can plan concurrently with query traffic and serialize just
+// the short CommitRefresh step against it.
+type RefreshPlan struct {
+	views       []facet.View
+	data        []*Data
+	starts      []time.Time
+	baseVersion int64 // base graph version the contents were computed against
+}
+
+// Len returns the number of views the plan refreshes.
+func (p *RefreshPlan) Len() int { return len(p.views) }
+
+// PlanRefresh recomputes every stale view's contents on up to workers
+// goroutines without mutating the catalog. It returns nil when nothing is
+// stale. The caller must not run catalog mutations concurrently with
+// planning (the compute pool reads the materialization map and base graph).
+func (c *Catalog) PlanRefresh(workers int) (*RefreshPlan, error) {
 	if workers < 1 {
 		workers = 1
 	}
 	stale := c.StaleViews()
 	if len(stale) == 0 {
-		return 0, nil
+		return nil, nil
 	}
+	plan := &RefreshPlan{views: stale, baseVersion: c.base.Version()}
 	results := c.computeWave(stale, workers, Compute)
-	n := 0
 	for i, v := range stale {
 		if results[i].err != nil {
-			return n, fmt.Errorf("views: recomputing %s: %w", v, results[i].err)
+			return nil, fmt.Errorf("views: recomputing %s: %w", v, results[i].err)
 		}
-		if _, err := c.applyRefresh(v, results[i].data, results[i].start); err != nil {
+		plan.data = append(plan.data, results[i].data)
+		plan.starts = append(plan.starts, results[i].start)
+	}
+	return plan, nil
+}
+
+// CommitRefresh applies a plan's encoding diffs to G+ serially, returning
+// how many views were refreshed. Committing a nil plan is a no-op. A view
+// dropped since planning is skipped; a view re-materialized since planning
+// is overwritten with the plan's contents.
+func (c *Catalog) CommitRefresh(p *RefreshPlan) (int, error) {
+	if p == nil {
+		return 0, nil
+	}
+	n := 0
+	for i, v := range p.views {
+		if !c.Has(v.Mask) {
+			continue
+		}
+		if _, err := c.applyRefresh(v, p.data[i], p.starts[i], p.baseVersion); err != nil {
 			return n, err
 		}
 		n++
 	}
 	return n, nil
+}
+
+// RefreshAllParallel refreshes every stale view, recomputing their contents
+// on up to workers goroutines and applying the encoding diffs to G+ serially.
+// It returns how many views were refreshed.
+func (c *Catalog) RefreshAllParallel(workers int) (int, error) {
+	plan, err := c.PlanRefresh(workers)
+	if err != nil {
+		return 0, err
+	}
+	return c.CommitRefresh(plan)
 }

@@ -55,6 +55,29 @@ func Load(in io.Reader, f *facet.Facet) (*Workload, error) {
 	return w, nil
 }
 
+// LoadQueries reads a workload file without binding it to a facet: queries
+// are parsed for validity but the dimension masks are left empty. This is
+// all HTTP replay needs — it only sends the query text, and the serving
+// side owns the facet — so clients can skip building the dataset locally.
+func LoadQueries(in io.Reader) (*Workload, error) {
+	data, err := io.ReadAll(in)
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading: %w", err)
+	}
+	w := &Workload{}
+	for i, block := range splitBlocks(string(data)) {
+		q, err := sparql.Parse(block)
+		if err != nil {
+			return nil, fmt.Errorf("workload: query %d: %w", i, err)
+		}
+		w.Queries = append(w.Queries, Query{Parsed: q, Text: q.String()})
+	}
+	if len(w.Queries) == 0 {
+		return nil, fmt.Errorf("workload: file contains no queries")
+	}
+	return w, nil
+}
+
 // FromQuery wraps a parsed query as a workload entry, deriving the dimension
 // masks from its GROUP BY and FILTER clauses.
 func FromQuery(f *facet.Facet, q *sparql.Query) Query {

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sofos/internal/benchkit"
+)
+
+// HTTP replay: load generation against a running sofos-serve instance. The
+// in-process replay path (core.RunWorkloadParallel) measures the engine;
+// this client measures the whole serving stack — admission control, the
+// result cache, JSON rendering — from the network side.
+
+// HTTPConfig configures an HTTP replay run.
+type HTTPConfig struct {
+	// BaseURL is the server root, e.g. "http://localhost:8080".
+	BaseURL string
+	// Clients is the number of concurrent requesters (default 1).
+	Clients int
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+	// Rounds replays the workload this many times (default 1); repeated
+	// rounds measure the result cache's effect on a hot workload.
+	Rounds int
+}
+
+// withDefaults normalizes the configuration.
+func (c HTTPConfig) withDefaults() HTTPConfig {
+	if c.Clients < 1 {
+		c.Clients = 1
+	}
+	if c.Client == nil {
+		c.Client = http.DefaultClient
+	}
+	if c.Rounds < 1 {
+		c.Rounds = 1
+	}
+	return c
+}
+
+// HTTPOutcome records one replayed request.
+type HTTPOutcome struct {
+	Index   int    // position in the replay sequence
+	Via     string // answering source reported by the server
+	Cached  bool   // served from the result cache
+	Rows    int
+	Elapsed time.Duration // client-observed latency
+}
+
+// HTTPReport aggregates an HTTP replay run.
+type HTTPReport struct {
+	PerQuery  []HTTPOutcome
+	Timing    benchkit.Timing
+	ViewHits  int // answers served via a materialized view
+	CacheHits int // answers served from the result cache
+}
+
+// HitRate is the fraction of requests answered from views.
+func (r *HTTPReport) HitRate() float64 {
+	if len(r.PerQuery) == 0 {
+		return 0
+	}
+	return float64(r.ViewHits) / float64(len(r.PerQuery))
+}
+
+// CacheHitRate is the fraction of requests served from the result cache.
+func (r *HTTPReport) CacheHitRate() float64 {
+	if len(r.PerQuery) == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(len(r.PerQuery))
+}
+
+// httpAnswer is the subset of the server's /query response the client reads.
+type httpAnswer struct {
+	Rows   [][]string `json:"rows"`
+	Via    string     `json:"via"`
+	Cached bool       `json:"cached"`
+	Error  string     `json:"error"`
+}
+
+// ReplayHTTP replays the workload's queries against a server, cfg.Clients
+// at a time, repeating for cfg.Rounds. Outcomes are in replay order
+// (workload order within each round). The first transport error or non-200
+// aborts the run: in-flight requests finish, queued ones are skipped.
+func ReplayHTTP(cfg HTTPConfig, w *Workload) (*HTTPReport, error) {
+	cfg = cfg.withDefaults()
+	url := strings.TrimRight(cfg.BaseURL, "/") + "/query"
+	total := len(w.Queries) * cfg.Rounds
+	outcomes := make([]HTTPOutcome, total)
+	errs := make([]error, total)
+	jobs := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed.Load() {
+					continue // drain without issuing further requests
+				}
+				outcomes[i], errs[i] = replayOne(cfg.Client, url, w.Queries[i%len(w.Queries)].Text, i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < total; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &HTTPReport{}
+	for i, o := range outcomes {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("workload: replaying query %d: %w", i, errs[i])
+		}
+		if o.Via != "base" {
+			rep.ViewHits++
+		}
+		if o.Cached {
+			rep.CacheHits++
+		}
+		rep.Timing.Add(o.Elapsed)
+		rep.PerQuery = append(rep.PerQuery, o)
+	}
+	return rep, nil
+}
+
+// replayOne issues one /query request and parses the answer.
+func replayOne(client *http.Client, url, text string, index int) (HTTPOutcome, error) {
+	body, err := json.Marshal(map[string]string{"query": text})
+	if err != nil {
+		return HTTPOutcome{}, err
+	}
+	start := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return HTTPOutcome{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The body may be the server's {"error": ...} or an intermediary's
+		// HTML page; report the status either way.
+		var ans httpAnswer
+		if json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&ans) == nil && ans.Error != "" {
+			return HTTPOutcome{}, fmt.Errorf("status %d: %s", resp.StatusCode, ans.Error)
+		}
+		return HTTPOutcome{}, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var ans httpAnswer
+	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
+		return HTTPOutcome{}, fmt.Errorf("malformed response: %w", err)
+	}
+	return HTTPOutcome{
+		Index:   index,
+		Via:     ans.Via,
+		Cached:  ans.Cached,
+		Rows:    len(ans.Rows),
+		Elapsed: time.Since(start),
+	}, nil
+}

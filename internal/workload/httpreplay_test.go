@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// stubWorkload builds a minimal workload with n query texts (the HTTP
+// client only reads .Text, so no parsing is needed).
+func stubWorkload(n int) *Workload {
+	w := &Workload{}
+	for i := 0; i < n; i++ {
+		w.Queries = append(w.Queries, Query{Text: fmt.Sprintf("SELECT q%d", i)})
+	}
+	return w
+}
+
+// stubServer mimics /query: first sight of a query is uncached and "base",
+// repeats are cached and served via a view.
+func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/query" || r.Method != http.MethodPost {
+			http.Error(w, `{"error":"bad route"}`, http.StatusNotFound)
+			return
+		}
+		var req struct {
+			Query string `json:"query"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, `{"error":"bad body"}`, http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		cached := seen[req.Query]
+		seen[req.Query] = true
+		mu.Unlock()
+		via := "base"
+		if cached {
+			via = "v1"
+			hits.Add(1)
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"rows":   [][]string{{"x"}},
+			"via":    via,
+			"cached": cached,
+		})
+	})
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestReplayHTTP(t *testing.T) {
+	// One client keeps dispatch order deterministic: round two repeats
+	// every query, so exactly half the requests are cached.
+	ts, _ := stubServer(t)
+	w := stubWorkload(5)
+	rep, err := ReplayHTTP(HTTPConfig{BaseURL: ts.URL, Clients: 1, Rounds: 2}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.PerQuery); got != 10 {
+		t.Fatalf("replayed %d requests, want 10", got)
+	}
+	if rep.CacheHits != 5 {
+		t.Errorf("cache hits = %d, want 5", rep.CacheHits)
+	}
+	if rep.CacheHitRate() != 0.5 {
+		t.Errorf("cache hit rate = %v, want 0.5", rep.CacheHitRate())
+	}
+	if rep.HitRate() != 0.5 {
+		t.Errorf("view hit rate = %v, want 0.5", rep.HitRate())
+	}
+	if rep.Timing.N() != 10 {
+		t.Errorf("timing samples = %d, want 10", rep.Timing.N())
+	}
+}
+
+func TestReplayHTTPConcurrent(t *testing.T) {
+	// With concurrent clients a round-2 duplicate can race its round-1
+	// counterpart, so only the totals are deterministic.
+	ts, _ := stubServer(t)
+	w := stubWorkload(5)
+	rep, err := ReplayHTTP(HTTPConfig{BaseURL: ts.URL, Clients: 3, Rounds: 4}, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(rep.PerQuery); got != 20 {
+		t.Fatalf("replayed %d requests, want 20", got)
+	}
+	// Each of the 5 distinct queries is uncached exactly once at the stub.
+	if rep.CacheHits != 15 {
+		t.Errorf("cache hits = %d, want 15", rep.CacheHits)
+	}
+}
+
+func TestReplayHTTPErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]string{"error": "boom"})
+	}))
+	defer ts.Close()
+	if _, err := ReplayHTTP(HTTPConfig{BaseURL: ts.URL}, stubWorkload(1)); err == nil {
+		t.Fatal("expected an error from a failing server")
+	}
+	if _, err := ReplayHTTP(HTTPConfig{BaseURL: "http://127.0.0.1:0"}, stubWorkload(1)); err == nil {
+		t.Fatal("expected a transport error")
+	}
+}
