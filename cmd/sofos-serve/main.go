@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"time"
 
 	"sofos/internal/core"
 	"sofos/internal/cost"
@@ -126,5 +127,15 @@ func run(args []string) error {
 	sys := srv.System()
 	log.Printf("serving %s (%d triples, facet %s, %d workers) on %s",
 		c.dataset, sys.Graph.Len(), sys.Facet.Name, sys.Workers, ln.Addr())
-	return http.Serve(ln, srv.Handler())
+	// No WriteTimeout: analytical queries can legitimately run long, and the
+	// admission semaphore already bounds concurrent execution. The header and
+	// idle timeouts stop slow or stalled clients from pinning connections and
+	// goroutines forever.
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return hs.Serve(ln)
 }

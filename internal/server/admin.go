@@ -56,6 +56,17 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty update batch")
 		return
 	}
+	// Defense in depth for the all-or-nothing contract: Catalog.Insert fails
+	// only on RDF-invalid triples, and the N-Triples parser above already
+	// rejects those, so today nothing can fail mid-batch. This pre-flight
+	// keeps that true if parser and Validate ever drift apart — a 4xx
+	// response must always mean nothing was applied.
+	for _, t := range inserts {
+		if err := t.Validate(); err != nil {
+			httpError(w, http.StatusUnprocessableEntity, "insert %s: %v", t, err)
+			return
+		}
+	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -63,7 +74,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for _, t := range inserts {
 		added, err := s.sys.Catalog.Insert(t)
 		if err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "inserting %s: %v", t, err)
+			// Unreachable after the parse and pre-flight passes; if it ever
+			// fires the batch may be partially applied, so say so.
+			httpError(w, http.StatusInternalServerError,
+				"inserting %s after %d triples applied: %v", t, resp.Inserted, err)
 			return
 		}
 		if added {
@@ -218,13 +232,16 @@ func (s *Server) actionMaterialize(w http.ResponseWriter, req viewsRequest) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, err := s.sys.Catalog.CommitMaterialize(plan); err != nil {
+	mats, err := s.sys.Catalog.CommitMaterialize(plan)
+	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "materializing: %v", err)
 		return
 	}
+	// Report what was actually committed: targets already materialized at
+	// plan time are excluded from the plan and must not be listed as acted on.
 	resp := viewsActionResponse{Action: "materialize", Generation: s.sys.Generation()}
-	for _, v := range targets {
-		resp.Views = append(resp.Views, v.ID())
+	for _, m := range mats {
+		resp.Views = append(resp.Views, m.View().ID())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -231,8 +231,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	key := s.cacheKey(norm) // state may have advanced since the fast path
+	var key string
 	if s.cache != nil {
+		key = s.cacheKey(norm) // state may have advanced since the fast path
 		if body, ok := s.cache.recheck(key); ok {
 			s.queries.Add(1)
 			writeCachedBody(w, body)

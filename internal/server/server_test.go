@@ -372,6 +372,39 @@ func TestUpdateDelete(t *testing.T) {
 	}
 }
 
+// TestUpdateAtomicOnError: /update is documented as all-or-nothing, so a
+// batch that fails for any reason — here a parse error in the delete block,
+// submitted alongside a perfectly valid insert block — must leave the graph
+// untouched: no triples applied, generation unchanged, answers unchanged.
+func TestUpdateAtomicOnError(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	before := query(t, ts, apexQuery)
+	gen0 := srv.sys.Generation()
+	triples0 := srv.sys.Graph.Len()
+
+	var e errorResponse
+	code := postJSON(t, ts.URL+"/update", updateRequest{
+		Insert: obsTriples("freshAtomic", 500),
+		Delete: "<http://ex.org/x> <http://ex.org/y> not-a-term",
+	}, &e)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad batch: expected 400, got %d", code)
+	}
+	if e.Error == "" {
+		t.Error("bad batch: expected an error message")
+	}
+	if got := srv.sys.Graph.Len(); got != triples0 {
+		t.Errorf("failed batch mutated the graph: %d -> %d triples", triples0, got)
+	}
+	if got := srv.sys.Generation(); got != gen0 {
+		t.Errorf("failed batch advanced the generation: %d -> %d", gen0, got)
+	}
+	after := query(t, ts, apexQuery)
+	if numCell(t, after.Rows[0][0]) != numCell(t, before.Rows[0][0]) {
+		t.Error("failed batch changed the apex aggregate")
+	}
+}
+
 // TestCacheDisabled covers the negative-capacity escape hatch.
 func TestCacheDisabled(t *testing.T) {
 	srv, ts := newTestServer(t, Config{CacheEntries: -1})

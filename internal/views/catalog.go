@@ -195,23 +195,39 @@ func (c *Catalog) Materialize(v facet.View) (*Materialized, error) {
 		return m, nil
 	}
 	start := time.Now()
+	baseVersion := c.base.Version()
 	var data *Data
 	var err error
 	if src := c.bestSource(v); src != nil {
 		data, err = RollUp(src.Data, v)
+		// The roll-up reflects the ancestor's base version; if the ancestor
+		// is stale, the new view is born stale too.
+		baseVersion = src.baseVersion
 	} else {
 		data, err = Compute(c.baseEng, v)
 	}
 	if err != nil {
 		return nil, err
 	}
-	return c.MaterializeData(data, start)
+	return c.materializeData(data, start, baseVersion)
 }
 
 // MaterializeData encodes precomputed view data into G+. The start time, if
 // non-zero, anchors the Elapsed measurement (otherwise only encoding time is
-// counted).
+// counted). The data is assumed to reflect the current base graph; callers
+// that computed it against an earlier version (plan/commit pipelines,
+// roll-ups from possibly-stale ancestors) go through materializeData with an
+// explicit version instead.
 func (c *Catalog) MaterializeData(data *Data, start time.Time) (*Materialized, error) {
+	return c.materializeData(data, start, c.base.Version())
+}
+
+// materializeData is MaterializeData with an explicit base graph version to
+// record for staleness tracking: the version the contents were computed
+// against, which lags c.base.Version() when the base advanced after the
+// compute phase (see CommitMaterialize) or when the data rolled up from a
+// stale ancestor.
+func (c *Catalog) materializeData(data *Data, start time.Time, baseVersion int64) (*Materialized, error) {
 	if start.IsZero() {
 		start = time.Now()
 	}
@@ -238,7 +254,7 @@ func (c *Catalog) MaterializeData(data *Data, start time.Time) (*Materialized, e
 		Nodes:       st.Nodes,
 		Bytes:       bytes,
 		Elapsed:     time.Since(start),
-		baseVersion: c.base.Version(),
+		baseVersion: baseVersion,
 	}
 	c.mats[data.View.Mask] = m
 	c.bump()

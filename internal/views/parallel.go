@@ -128,13 +128,37 @@ func (c *Catalog) computeWave(vs []facet.View, workers int,
 	return results
 }
 
+// resolveSources picks each view's roll-up source exactly once, returning
+// the per-mask sources and the base graph version each view's contents will
+// reflect: the source's baseVersion for roll-ups (they differ from the
+// current version only when the source is stale), the current version for
+// base computations. bestSource breaks NumGroups ties by map iteration
+// order, so the caller must reuse this single resolution for both the
+// compute and the version record — resolving twice could roll up from one
+// ancestor while recording another's version.
+func (c *Catalog) resolveSources(vs []facet.View) (map[facet.Mask]*Materialized, []int64) {
+	baseVersion := c.base.Version()
+	srcs := make(map[facet.Mask]*Materialized, len(vs))
+	versions := make([]int64, len(vs))
+	for i, v := range vs {
+		versions[i] = baseVersion
+		if src := c.bestSource(v); src != nil {
+			srcs[v.Mask] = src
+			versions[i] = src.baseVersion
+		}
+	}
+	return srcs, versions
+}
+
 // materializeWave computes one wave's view contents in parallel, then
 // encodes them into G+ serially in wave order.
 func (c *Catalog) materializeWave(wave []facet.View, workers int) error {
+	// Wave members never cover each other, so committing earlier members in
+	// the loop below cannot change a later member's resolved source. The
+	// srcs map is read-only inside the pool, so sharing it needs no locking.
+	srcs, versions := c.resolveSources(wave)
 	results := c.computeWave(wave, workers, func(eng *engine.Engine, v facet.View) (*Data, error) {
-		// c.mats is read-only during a wave (encoding happens after the pool
-		// drains), so bestSource needs no locking.
-		if src := c.bestSource(v); src != nil {
+		if src := srcs[v.Mask]; src != nil {
 			return RollUp(src.Data, v)
 		}
 		return Compute(eng, v)
@@ -143,7 +167,7 @@ func (c *Catalog) materializeWave(wave []facet.View, workers int) error {
 		if results[i].err != nil {
 			return results[i].err
 		}
-		if _, err := c.MaterializeData(results[i].data, results[i].start); err != nil {
+		if _, err := c.materializeData(results[i].data, results[i].start, versions[i]); err != nil {
 			return err
 		}
 	}
@@ -157,6 +181,12 @@ type MaterializePlan struct {
 	views  []facet.View
 	data   []*Data
 	starts []time.Time
+	// versions records, per view, the base graph version its contents
+	// reflect: the plan-time base version, or — when rolled up from a
+	// materialized ancestor — that ancestor's baseVersion. Recording it
+	// (rather than the commit-time version) keeps a view correctly marked
+	// stale when the base advances between planning and commit.
+	versions []int64
 }
 
 // Len returns the number of views the plan materializes.
@@ -189,8 +219,10 @@ func (c *Catalog) PlanMaterialize(vs []facet.View, workers int) (*MaterializePla
 		return nil, nil
 	}
 	plan := &MaterializePlan{views: pending}
+	srcs, versions := c.resolveSources(pending)
+	plan.versions = versions
 	results := c.computeWave(pending, workers, func(eng *engine.Engine, v facet.View) (*Data, error) {
-		if src := c.bestSource(v); src != nil {
+		if src := srcs[v.Mask]; src != nil {
 			return RollUp(src.Data, v)
 		}
 		return Compute(eng, v)
@@ -207,15 +239,17 @@ func (c *Catalog) PlanMaterialize(vs []facet.View, workers int) (*MaterializePla
 
 // CommitMaterialize encodes planned contents into G+ serially, returning
 // the records in plan order. Committing a nil plan is a no-op. A view
-// materialized since planning keeps its existing record (MaterializeData
-// is idempotent per mask).
+// materialized since planning keeps its existing record (materializeData
+// is idempotent per mask). Each record carries the plan-time base version,
+// so a base-graph write that landed between planning and commit leaves the
+// new views marked stale rather than serving pre-write contents as fresh.
 func (c *Catalog) CommitMaterialize(p *MaterializePlan) ([]*Materialized, error) {
 	if p == nil {
 		return nil, nil
 	}
 	out := make([]*Materialized, 0, len(p.views))
 	for i := range p.views {
-		m, err := c.MaterializeData(p.data[i], p.starts[i])
+		m, err := c.materializeData(p.data[i], p.starts[i], p.versions[i])
 		if err != nil {
 			return nil, err
 		}

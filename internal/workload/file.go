@@ -37,20 +37,13 @@ func (w *Workload) Save(out io.Writer) error {
 // simply fall back to the base graph when answered — but unparseable ones
 // are an error.
 func Load(in io.Reader, f *facet.Facet) (*Workload, error) {
-	data, err := io.ReadAll(in)
+	w, err := LoadQueries(in)
 	if err != nil {
-		return nil, fmt.Errorf("workload: reading: %w", err)
+		return nil, err
 	}
-	w := &Workload{Facet: f}
-	for i, block := range splitBlocks(string(data)) {
-		q, err := sparql.Parse(block)
-		if err != nil {
-			return nil, fmt.Errorf("workload: query %d: %w", i, err)
-		}
-		w.Queries = append(w.Queries, FromQuery(f, q))
-	}
-	if len(w.Queries) == 0 {
-		return nil, fmt.Errorf("workload: file contains no queries")
+	w.Facet = f
+	for i, q := range w.Queries {
+		w.Queries[i] = FromQuery(f, q.Parsed)
 	}
 	return w, nil
 }
