@@ -712,6 +712,65 @@ func BenchmarkViewRefresh(b *testing.B) {
 	})
 }
 
+// benchRefreshPath drives the maintenance benchmark pair: a dbpedia-scale
+// graph (~100k triples at scale 2000) with the (country, lang) view
+// materialized, then per iteration one small update batch — an insert of a
+// fresh observation plus a delete of an older one — followed by a refresh.
+// With incremental maintenance on, the refresh replays just the batch's
+// delta (O(|ΔG|)); with it off, it re-runs the defining star join over the
+// whole graph. The Incremental/Full ratio in BENCH_pr.json tracks the
+// speedup trajectory of the O(|ΔG|) claim.
+func benchRefreshPath(b *testing.B, incremental bool) {
+	g, f, err := datasets.BuildWithFacet("dbpedia", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := views.NewCatalog(g.Clone(), f)
+	c.SetIncrementalMaintenance(incremental)
+	v := f.View(facet.MaskFromBits(0, 2)) // per (country, lang)
+	if _, err := c.Materialize(v); err != nil {
+		b.Fatal(err)
+	}
+	dbp := func(local string) rdf.Term { return rdf.NewIRI("http://dbpedia.org/property/" + local) }
+	obsTriples := func(i int) []rdf.Triple {
+		obs := rdf.NewIRI(fmt.Sprintf("http://dbpedia.org/resource/maintobs%d", i))
+		return []rdf.Triple{
+			{S: obs, P: dbp("country"), O: rdf.NewIRI("http://dbpedia.org/resource/Country0")},
+			{S: obs, P: dbp("language"), O: rdf.NewLiteral("English")},
+			{S: obs, P: dbp("year"), O: rdf.NewYear(2016)},
+			{S: obs, P: dbp("population"), O: rdf.NewInteger(int64(1000 + i))},
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var del []rdf.Triple
+		if i >= 2 {
+			del = obsTriples(i - 2) // retire an older observation: deltas flow both ways
+		}
+		if _, err := c.ApplyUpdate(obsTriples(i), del); err != nil {
+			b.Fatal(err)
+		}
+		m, err := c.Refresh(v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if incremental && m.Maint.LastPath != "incremental" {
+			b.Fatalf("refresh took path %q, want incremental", m.Maint.LastPath)
+		}
+		if !incremental && m.Maint.LastPath != "full" {
+			b.Fatalf("refresh took path %q, want full", m.Maint.LastPath)
+		}
+	}
+}
+
+// BenchmarkRefreshIncremental measures the O(|ΔG|) delta-replay refresh.
+func BenchmarkRefreshIncremental(b *testing.B) { benchRefreshPath(b, true) }
+
+// BenchmarkRefreshFull is the ablation baseline: the same workload with the
+// incremental path disabled, paying a full recompute per batch.
+func BenchmarkRefreshFull(b *testing.B) { benchRefreshPath(b, false) }
+
 // BenchmarkWorkloadGeneration measures query generation throughput.
 func BenchmarkWorkloadGeneration(b *testing.B) {
 	g, f, err := datasets.BuildWithFacet("swdf", 4, 1)

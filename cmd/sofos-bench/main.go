@@ -10,6 +10,7 @@
 //	sofos-bench -markdown -out EXPERIMENTS.out.md
 //	sofos-bench -seed 7 -workload 60 -k 3
 //	sofos-bench -workers 1           # force serial query execution
+//	sofos-bench -maintenance         # update-heavy replay: incremental vs full refresh
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"os"
 	"time"
 
+	"sofos/internal/benchkit"
 	"sofos/internal/core"
 	"sofos/internal/experiments"
 )
@@ -39,14 +41,35 @@ func run(args []string, stdout io.Writer) error {
 	markdown := fs.Bool("markdown", false, "render tables as markdown")
 	out := fs.String("out", "", "also write the report to this file")
 	workers := fs.Int("workers", 0, "parallel execution workers per query (0 = all CPUs, 1 = serial)")
+	maintenance := fs.Bool("maintenance", false, "run only the view-maintenance scenario: an update-heavy replay contrasting incremental O(|ΔG|) refresh with full recompute")
+	maintRounds := fs.Int("maintenance-rounds", 20, "update batches to replay in the maintenance scenario")
+	maintBatch := fs.Int("maintenance-batch", 16, "triples per update batch in the maintenance scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	start := time.Now()
-	tables, err := experiments.MeasureAllWithOptions(*seed, *workload, *k, *quick,
-		core.Options{Workers: *workers})
-	if err != nil {
-		return err
+	var tables []*benchkit.Table
+	var err error
+	if *maintenance {
+		scale := 150
+		if *quick {
+			scale = 40
+		}
+		env, eerr := experiments.NewEnvWithOptions("dbpedia", scale, *seed, 1, core.Options{Workers: *workers})
+		if eerr != nil {
+			return eerr
+		}
+		table, eerr := experiments.EMaintenance(env, *maintRounds, *maintBatch)
+		if eerr != nil {
+			return eerr
+		}
+		tables = []*benchkit.Table{table}
+	} else {
+		tables, err = experiments.MeasureAllWithOptions(*seed, *workload, *k, *quick,
+			core.Options{Workers: *workers})
+		if err != nil {
+			return err
+		}
 	}
 	w := stdout
 	var file *os.File

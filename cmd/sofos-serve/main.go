@@ -44,6 +44,7 @@ type config struct {
 	workers       int
 	maxConcurrent int
 	cacheEntries  int
+	cacheBytes    int64
 }
 
 // parseFlags parses the command line into a config.
@@ -59,6 +60,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&c.workers, "workers", 0, "intra-query parallelism (0 = all CPUs)")
 	fs.IntVar(&c.maxConcurrent, "max-concurrent", 0, "admission limit on concurrently executing queries (0 = 2x CPUs)")
 	fs.IntVar(&c.cacheEntries, "cache", 0, "result cache capacity in entries (0 = default 4096, negative = disabled)")
+	fs.Int64Var(&c.cacheBytes, "cache-bytes", 0, "result cache byte budget over rendered bodies (0 = entry bound only)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -107,6 +109,7 @@ func buildServer(c *config) (*server.Server, error) {
 	return server.New(sys, server.Config{
 		MaxConcurrent: c.maxConcurrent,
 		CacheEntries:  c.cacheEntries,
+		CacheBytes:    c.cacheBytes,
 		SelectionSeed: c.seed,
 	}), nil
 }

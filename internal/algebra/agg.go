@@ -41,6 +41,35 @@ func NewAccumulator(item sparql.SelectItem) Accumulator {
 	}
 }
 
+// Retractor is an Accumulator that additionally supports exact retraction:
+// Unadd removes one previously Added value, as if it had never been fed.
+// The self-maintainable aggregates under deletion implement it — COUNT,
+// SUM, and AVG (via its carried (sum, count) state). COUNT DISTINCT and
+// MIN/MAX deliberately do not: a distinct set or an extremum cannot be
+// maintained backwards without the group's full value multiset, which is
+// exactly why incremental view maintenance recomputes a MIN/MAX group when
+// a delete touches its stored extremum.
+type Retractor interface {
+	Accumulator
+	// Unadd retracts one value. Retracting a value that was never Added
+	// leaves the accumulator in an undefined (but non-panicking) state;
+	// callers are responsible for feeding only genuine deletions.
+	Unadd(v Value)
+}
+
+// CanRetract reports whether the aggregate of a select item supports exact
+// retraction — i.e. whether NewAccumulator(item) returns a Retractor.
+func CanRetract(item sparql.SelectItem) bool {
+	switch item.Agg {
+	case sparql.AggCount:
+		return !item.AggDistinct
+	case sparql.AggSum, sparql.AggAvg:
+		return true
+	default:
+		return false
+	}
+}
+
 // countAcc counts bound values (or all rows for COUNT(*), where the caller
 // feeds a bound placeholder per row).
 type countAcc struct{ n int64 }
@@ -48,6 +77,12 @@ type countAcc struct{ n int64 }
 func (a *countAcc) Add(v Value) {
 	if v.Bound {
 		a.n++
+	}
+}
+
+func (a *countAcc) Unadd(v Value) {
+	if v.Bound {
+		a.n--
 	}
 }
 
@@ -98,6 +133,21 @@ func (a *sumAcc) Add(v Value) {
 	a.sum += f
 }
 
+func (a *sumAcc) Unadd(v Value) {
+	if a.failed || !v.Bound {
+		return
+	}
+	f, ok := NumericValue(v.Term)
+	if !ok {
+		// A non-numeric retraction means the value was never cleanly added
+		// (its addition would have poisoned the group); poison rather than
+		// silently corrupt the sum.
+		a.failed = true
+		return
+	}
+	a.sum -= f
+}
+
 func (a *sumAcc) Fold(o Accumulator) {
 	b := o.(*sumAcc)
 	a.failed = a.failed || b.failed
@@ -131,6 +181,19 @@ func (a *avgAcc) Add(v Value) {
 	}
 	a.sum += f
 	a.n++
+}
+
+func (a *avgAcc) Unadd(v Value) {
+	if a.failed || !v.Bound {
+		return
+	}
+	f, ok := NumericValue(v.Term)
+	if !ok {
+		a.failed = true
+		return
+	}
+	a.sum -= f
+	a.n--
 }
 
 func (a *avgAcc) Fold(o Accumulator) {
@@ -170,7 +233,7 @@ func (a *minMaxAcc) Add(v Value) {
 		a.best = v
 		return
 	}
-	c := aggCompare(a.best.Term, v.Term)
+	c := AggCompare(a.best.Term, v.Term)
 	if (a.min && c > 0) || (!a.min && c < 0) {
 		a.best = v
 	}
@@ -194,13 +257,15 @@ func (a *minMaxAcc) Result() Value {
 	return a.best
 }
 
-// aggCompare orders any two bound terms for MIN/MAX accumulation. Terms in
+// AggCompare orders any two bound terms for MIN/MAX accumulation. Terms in
 // the same comparison class order by Compare semantics (numeric order,
 // lexical strings); across classes the class rank decides. The relation is a
 // transitive total preorder — the property that makes min/max folds
 // associative — which Compare alone (partial) and SortCompare (two-regime
-// within literals) are not.
-func aggCompare(a, b rdf.Term) int {
+// within literals) are not. Exported so incremental view maintenance can
+// merge insert-side MIN/MAX deltas with exactly the accumulator's order
+// (and detect the ambiguous ties that force a recompute).
+func AggCompare(a, b rdf.Term) int {
 	ca, cb := aggClass(a), aggClass(b)
 	if ca != cb {
 		if ca < cb {
@@ -310,5 +375,34 @@ func MergeAggregates(kind sparql.AggKind, a, b rdf.Term) (rdf.Term, error) {
 		return b, nil
 	default:
 		return rdf.Term{}, TypeErrorf("aggregate %v is not mergeable", kind)
+	}
+}
+
+// MergeDelta applies a delta aggregate to a stored aggregate of the same
+// kind — the entry point incremental view maintenance uses, mirroring
+// MergeAggregates. With retract false it merges an insert-side delta
+// (identical to MergeAggregates); with retract true it removes a
+// delete-side delta. SUM and COUNT are delta-mergeable in both directions;
+// MIN and MAX only insert-side (retracting a value that ties the stored
+// extremum needs the group's full multiset, so it is a type error here and
+// the caller must recompute); AVG is maintained through its (sum, count)
+// companions, so — as in MergeAggregates — it is always a type error.
+func MergeDelta(kind sparql.AggKind, cur, delta rdf.Term, retract bool) (rdf.Term, error) {
+	if !retract {
+		return MergeAggregates(kind, cur, delta)
+	}
+	switch kind {
+	case sparql.AggSum, sparql.AggCount:
+		fa, err := ParseNumeric(cur)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		fb, err := ParseNumeric(delta)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return FormatFloat(fa - fb), nil
+	default:
+		return rdf.Term{}, TypeErrorf("aggregate %v is not retractable", kind)
 	}
 }

@@ -263,8 +263,8 @@ func TestFoldMatchesSequential(t *testing.T) {
 func TestAggCompareTransitive(t *testing.T) {
 	a, b, c := rdf.NewLiteral("2a"), rdf.NewInteger(3), rdf.NewInteger(10)
 	// Numerics rank before strings, numerically ordered among themselves.
-	if !(aggCompare(b, c) < 0 && aggCompare(c, a) < 0 && aggCompare(b, a) < 0) {
+	if !(AggCompare(b, c) < 0 && AggCompare(c, a) < 0 && AggCompare(b, a) < 0) {
 		t.Errorf("aggCompare cycle: 3?10=%d 10?\"2a\"=%d 3?\"2a\"=%d",
-			aggCompare(b, c), aggCompare(c, a), aggCompare(b, a))
+			AggCompare(b, c), AggCompare(c, a), AggCompare(b, a))
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"sofos/internal/cost"
 	"sofos/internal/engine"
 	"sofos/internal/facet"
+	"sofos/internal/rdf"
 	"sofos/internal/rewrite"
 	"sofos/internal/selection"
 	"sofos/internal/sparql"
@@ -148,8 +149,17 @@ func (s *System) Materialize(sel *selection.Selection) ([]*views.Materialized, e
 	return out, nil
 }
 
+// ApplyUpdate commits one batched update (inserts first, then deletes)
+// through the catalog: base graph and G+ stay consistent, views turn stale,
+// and the batch's effective delta ΔG is captured so the next Refresh can
+// apply it incrementally instead of rescanning the graph.
+func (s *System) ApplyUpdate(inserts, deletes []rdf.Triple) (store.Delta, error) {
+	return s.Catalog.ApplyUpdate(inserts, deletes)
+}
+
 // Refresh brings every stale materialized view up to date with the current
-// base graph, recomputing view contents on the system's worker pool.
+// base graph: views whose staleness window the maintenance delta log covers
+// refresh in O(|ΔG|), the rest recompute on the system's worker pool.
 func (s *System) Refresh() (int, error) {
 	return s.Catalog.RefreshAllParallel(s.Workers)
 }

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sofos/internal/benchkit"
+	"sofos/internal/engine"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/views"
+)
+
+// EMaintenance replays an update-heavy workload — rounds of small
+// delete/re-insert batches — against two catalogs holding the same
+// materialized views: one refreshing through the incremental O(|ΔG|) delta
+// path, one forced down the full recompute path. Both sides see identical
+// batches, and their final view contents are cross-checked, so the table's
+// speedup column is also a differential correctness run. This is the
+// serve-while-update scenario the maintenance subsystem exists for.
+func EMaintenance(env *Env, rounds, batch int) (*benchkit.Table, error) {
+	if rounds <= 0 {
+		rounds = 20
+	}
+	if batch <= 0 {
+		batch = 16
+	}
+	f := env.System.Facet
+	targets := []facet.View{f.View(f.FullMask()), f.View(f.FullMask() & (f.FullMask() >> 1))}
+
+	type side struct {
+		name        string
+		incremental bool
+		total       time.Duration
+		perRound    benchkit.Timing
+		incRuns     int
+		data        *views.Data
+	}
+	sides := []*side{
+		{name: "incremental", incremental: true},
+		{name: "full-recompute", incremental: false},
+	}
+	for _, s := range sides {
+		g := env.System.Graph.Clone()
+		c := views.NewCatalogWithOptions(g, f, engine.Options{Workers: env.System.Workers})
+		c.SetIncrementalMaintenance(s.incremental)
+		if _, err := c.MaterializeAll(targets, env.System.Workers); err != nil {
+			return nil, fmt.Errorf("experiments: materializing for %s: %w", s.name, err)
+		}
+		// Identical batches on both sides: the clones share triple order, and
+		// the generator is re-seeded per side.
+		rng := rand.New(rand.NewSource(env.Seed + 77))
+		var pending []rdf.Triple // deleted last round, re-inserted next
+		for r := 0; r < rounds; r++ {
+			all := g.Triples()
+			var del []rdf.Triple
+			for i := 0; i < batch && len(all) > 0; i++ {
+				del = append(del, all[rng.Intn(len(all))])
+			}
+			if _, err := c.ApplyUpdate(pending, del); err != nil {
+				return nil, fmt.Errorf("experiments: %s round %d: %w", s.name, r, err)
+			}
+			pending = del
+			start := time.Now()
+			if _, err := c.RefreshAllParallel(env.System.Workers); err != nil {
+				return nil, fmt.Errorf("experiments: %s refresh %d: %w", s.name, r, err)
+			}
+			elapsed := time.Since(start)
+			s.total += elapsed
+			s.perRound.Add(elapsed)
+			for _, v := range targets {
+				if m, ok := c.Get(v.Mask); ok && m.Maint.LastPath == "incremental" {
+					s.incRuns++
+				}
+			}
+		}
+		m, _ := c.Get(targets[0].Mask)
+		s.data = m.Data
+	}
+
+	// Differential check: both sides must agree group for group.
+	if a, b := canonAgg(sides[0].data), canonAgg(sides[1].data); len(a) != len(b) {
+		return nil, fmt.Errorf("experiments: maintenance paths diverged (%d vs %d groups)", len(a), len(b))
+	} else {
+		for k, v := range a {
+			if b[k] != v {
+				return nil, fmt.Errorf("experiments: maintenance paths diverged at group %q: %q vs %q", k, v, b[k])
+			}
+		}
+	}
+
+	t := benchkit.NewTable(
+		fmt.Sprintf("Maintenance: %d rounds × %d-triple batches on %s@%d (%s)",
+			rounds, batch, env.Dataset, env.Scale, env.System.Catalog.MaintenanceMode()),
+		"path", "total refresh", "mean/round", "p95/round", "incremental refreshes")
+	for _, s := range sides {
+		t.AddRow(s.name,
+			s.total.Round(time.Microsecond).String(),
+			s.perRound.Mean().Round(time.Microsecond).String(),
+			s.perRound.P95().Round(time.Microsecond).String(),
+			fmt.Sprintf("%d/%d", s.incRuns, rounds*len(targets)))
+	}
+	if sides[0].total > 0 {
+		t.AddRow("speedup", fmt.Sprintf("%.1fx", float64(sides[1].total)/float64(sides[0].total)), "", "", "")
+	}
+	return t, nil
+}
+
+// canonAgg canonicalizes view contents for the cross-check.
+func canonAgg(d *views.Data) map[string]string {
+	out := make(map[string]string, len(d.Groups))
+	for _, g := range d.Groups {
+		key := ""
+		for _, kv := range g.Key {
+			key += kv.String() + "|"
+		}
+		out[key] = fmt.Sprintf("%s#%g#%g#%d", g.Agg.String(), g.Sum, g.Count, g.N)
+	}
+	return out
+}

@@ -16,22 +16,34 @@ import (
 // updateRequest is the /update request body: N-Triples text blocks to
 // insert into and delete from the base graph. The whole batch commits under
 // one write-lock acquisition, so concurrent queries see either none or all
-// of it.
+// of it. Maintain selects the view-maintenance mode: "" or "lazy" leaves
+// stale views for the next refresh; "eager" refreshes them in the same
+// critical section — cheap when the catalog's incremental O(|ΔG|) path
+// applies, since the committed delta is already captured.
 type updateRequest struct {
-	Insert string `json:"insert,omitempty"` // N-Triples text
-	Delete string `json:"delete,omitempty"` // N-Triples text
+	Insert   string `json:"insert,omitempty"`   // N-Triples text
+	Delete   string `json:"delete,omitempty"`   // N-Triples text
+	Maintain string `json:"maintain,omitempty"` // "", "lazy", or "eager"
 }
 
 // updateResponse reports what one batch changed.
 type updateResponse struct {
-	Inserted   int   `json:"inserted"` // triples actually new
-	Deleted    int   `json:"deleted"`  // triples actually removed
-	Stale      int   `json:"stale"`    // materialized views now stale
-	Generation int64 `json:"generation"`
+	Inserted    int   `json:"inserted"`              // triples actually new
+	Deleted     int   `json:"deleted"`               // triples actually removed
+	Stale       int   `json:"stale"`                 // materialized views still stale
+	Refreshed   int   `json:"refreshed,omitempty"`   // views refreshed (maintain=eager)
+	Incremental int   `json:"incremental,omitempty"` // of those, via the delta path
+	Generation  int64 `json:"generation"`
 }
 
 // handleUpdate applies one batched write through the catalog so base graph
-// and G+ stay consistent and materialized views turn stale.
+// and G+ stay consistent, materialized views turn stale, and the batch's
+// effective delta is captured for incremental maintenance. The catalog's
+// ApplyUpdate validates the whole insert batch before touching anything, so
+// a non-200 response from the apply step means nothing was applied. The one
+// exception is maintain=eager: a refresh failure returns 500 *after* the
+// batch has committed — the error body states what was applied so clients
+// do not re-send it.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST a JSON body")
@@ -40,6 +52,10 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	var req updateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Maintain != "" && req.Maintain != "lazy" && req.Maintain != "eager" {
+		httpError(w, http.StatusBadRequest, "unknown maintain mode %q (use lazy or eager)", req.Maintain)
 		return
 	}
 	inserts, err := parseTriples(req.Insert)
@@ -56,38 +72,34 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "empty update batch")
 		return
 	}
-	// Defense in depth for the all-or-nothing contract: Catalog.Insert fails
-	// only on RDF-invalid triples, and the N-Triples parser above already
-	// rejects those, so today nothing can fail mid-batch. This pre-flight
-	// keeps that true if parser and Validate ever drift apart — a 4xx
-	// response must always mean nothing was applied.
-	for _, t := range inserts {
-		if err := t.Validate(); err != nil {
-			httpError(w, http.StatusUnprocessableEntity, "insert %s: %v", t, err)
-			return
-		}
-	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	resp := updateResponse{}
-	for _, t := range inserts {
-		added, err := s.sys.Catalog.Insert(t)
+	d, err := s.sys.Catalog.ApplyUpdate(inserts, deletes)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
+		return
+	}
+	resp := updateResponse{Inserted: len(d.Inserted), Deleted: len(d.Deleted)}
+	if req.Maintain == "eager" {
+		plan, err := s.sys.Catalog.PlanRefresh(s.sys.Workers)
 		if err != nil {
-			// Unreachable after the parse and pre-flight passes; if it ever
-			// fires the batch may be partially applied, so say so.
 			httpError(w, http.StatusInternalServerError,
-				"inserting %s after %d triples applied: %v", t, resp.Inserted, err)
+				"batch applied (%d inserted, %d deleted) but eager refresh failed to plan: %v",
+				resp.Inserted, resp.Deleted, err)
 			return
 		}
-		if added {
-			resp.Inserted++
+		if plan != nil {
+			resp.Incremental = plan.Incremental()
 		}
-	}
-	for _, t := range deletes {
-		if s.sys.Catalog.Delete(t) {
-			resp.Deleted++
+		n, err := s.sys.Catalog.CommitRefresh(plan)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError,
+				"batch applied (%d inserted, %d deleted) and %d views refreshed, then eager refresh failed: %v",
+				resp.Inserted, resp.Deleted, n, err)
+			return
 		}
+		resp.Refreshed = n
 	}
 	resp.Stale = len(s.sys.Catalog.StaleViews())
 	resp.Generation = s.sys.Generation()
@@ -317,25 +329,40 @@ func (s *Server) resolveView(id string) (facet.View, error) {
 	return s.sys.Facet.ViewByDims(strings.Split(id, "+")...)
 }
 
+// viewMaintStats is one materialized view's maintenance health in /stats:
+// its maintainability classification, which refresh path last ran, and what
+// it cost.
+type viewMaintStats struct {
+	ID            string `json:"id"`
+	Groups        int    `json:"groups"`
+	Stale         bool   `json:"stale"`
+	Mode          string `json:"mode"`              // facet maintainability classification
+	LastPath      string `json:"last_refresh_path"` // initial, incremental, or full
+	LastRefreshUS int64  `json:"last_refresh_us"`
+	LastDeltaSize int    `json:"last_delta_size,omitempty"` // |ΔG| of the last incremental refresh
+}
+
 // statsResponse is the GET /stats response body.
 type statsResponse struct {
-	UptimeS         float64    `json:"uptime_s"`
-	Facet           string     `json:"facet"`
-	Dims            []string   `json:"dims"`
-	BaseTriples     int        `json:"base_triples"`
-	ExpandedTriples int        `json:"expanded_triples"`
-	Amplification   float64    `json:"amplification"`
-	Materialized    int        `json:"materialized_views"`
-	StaleViews      int        `json:"stale_views"`
-	Generation      int64      `json:"generation"`
-	GraphVersion    int64      `json:"graph_version"`
-	ViewSetHash     string     `json:"view_set_hash"`
-	Workers         int        `json:"workers"`
-	MaxConcurrent   int        `json:"max_concurrent"`
-	InFlight        int        `json:"in_flight"` // queries holding execution slots
-	Queries         int64      `json:"queries"`
-	Updates         int64      `json:"updates"`
-	Cache           CacheStats `json:"cache"`
+	UptimeS         float64          `json:"uptime_s"`
+	Facet           string           `json:"facet"`
+	Dims            []string         `json:"dims"`
+	BaseTriples     int              `json:"base_triples"`
+	ExpandedTriples int              `json:"expanded_triples"`
+	Amplification   float64          `json:"amplification"`
+	Materialized    int              `json:"materialized_views"`
+	StaleViews      int              `json:"stale_views"`
+	Maintenance     string           `json:"maintenance"` // facet maintainability classification
+	Views           []viewMaintStats `json:"views"`
+	Generation      int64            `json:"generation"`
+	GraphVersion    int64            `json:"graph_version"`
+	ViewSetHash     string           `json:"view_set_hash"`
+	Workers         int              `json:"workers"`
+	MaxConcurrent   int              `json:"max_concurrent"`
+	InFlight        int              `json:"in_flight"` // queries holding execution slots
+	Queries         int64            `json:"queries"`
+	Updates         int64            `json:"updates"`
+	Cache           CacheStats       `json:"cache"`
 }
 
 // handleStats reports serving health.
@@ -355,6 +382,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Amplification:   s.sys.Catalog.StorageAmplification(),
 		Materialized:    len(s.sys.Catalog.Materialized()),
 		StaleViews:      len(s.sys.Catalog.StaleViews()),
+		Maintenance:     s.sys.Catalog.MaintenanceMode().String(),
+		Views:           []viewMaintStats{},
 		Generation:      s.sys.Generation(),
 		GraphVersion:    s.sys.GraphVersion(),
 		ViewSetHash:     strconv.FormatUint(s.sys.ViewSetHash(), 16),
@@ -363,6 +392,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:        len(s.sem),
 		Queries:         s.queries.Load(),
 		Updates:         s.updates.Load(),
+	}
+	for _, m := range s.sys.Catalog.Materialized() {
+		v := m.View()
+		resp.Views = append(resp.Views, viewMaintStats{
+			ID:            v.ID(),
+			Groups:        m.Data.NumGroups(),
+			Stale:         s.sys.Catalog.Stale(v.Mask),
+			Mode:          m.Maint.Mode,
+			LastPath:      m.Maint.LastPath,
+			LastRefreshUS: m.Maint.LastCost.Microseconds(),
+			LastDeltaSize: m.Maint.DeltaSize,
+		})
 	}
 	if s.cache != nil {
 		resp.Cache = s.cache.stats()

@@ -21,12 +21,17 @@ type resultCache struct {
 	evictions atomic.Int64
 }
 
-// cacheShard is one LRU segment: a keyed list in recency order.
+// cacheShard is one LRU segment: a keyed list in recency order. Entries are
+// bounded by count (cap) and, when byteCap > 0, by the total rendered bytes
+// they hold — bodies are fully rendered []byte, so charging len(body)
+// against the budget is exact.
 type cacheShard struct {
-	mu    sync.Mutex
-	ll    *list.List // front = most recent; values are *cacheEntry
-	items map[string]*list.Element
-	cap   int
+	mu      sync.Mutex
+	ll      *list.List // front = most recent; values are *cacheEntry
+	items   map[string]*list.Element
+	cap     int
+	byteCap int64 // 0 = no byte budget
+	bytes   int64 // rendered bytes currently held
 }
 
 // cacheEntry stores the fully rendered JSON body of a cached answer (with
@@ -41,16 +46,22 @@ type cacheEntry struct {
 // contention across CPUs without fragmenting tiny caches.
 const numCacheShards = 16
 
-// newResultCache builds a cache holding up to capacity entries in total.
-// A capacity below numCacheShards still grants each shard one slot.
-func newResultCache(capacity int) *resultCache {
+// newResultCache builds a cache holding up to capacity entries in total,
+// charging rendered body sizes against maxBytes when it is positive (0
+// keeps the entry-count bound only). A capacity below numCacheShards still
+// grants each shard one slot.
+func newResultCache(capacity int, maxBytes int64) *resultCache {
 	per := capacity / numCacheShards
 	if per < 1 {
 		per = 1
 	}
+	bytesPer := maxBytes / numCacheShards
+	if maxBytes > 0 && bytesPer < 1 {
+		bytesPer = 1
+	}
 	c := &resultCache{shards: make([]cacheShard, numCacheShards), mask: numCacheShards - 1}
 	for i := range c.shards {
-		c.shards[i] = cacheShard{ll: list.New(), items: make(map[string]*list.Element), cap: per}
+		c.shards[i] = cacheShard{ll: list.New(), items: make(map[string]*list.Element), cap: per, byteCap: bytesPer}
 	}
 	return c
 }
@@ -105,48 +116,65 @@ func (c *resultCache) lookup(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
-// put inserts (or refreshes) an entry, evicting the least recent on overflow.
+// put inserts (or refreshes) an entry, evicting least-recent entries while
+// the shard overflows its entry count or byte budget.
 func (c *resultCache) put(key string, body []byte) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.items[key]; ok {
-		el.Value.(*cacheEntry).body = body
+		e := el.Value.(*cacheEntry)
+		s.bytes += int64(len(body)) - int64(len(e.body))
+		e.body = body
 		s.ll.MoveToFront(el)
-		return
+	} else {
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body})
+		s.bytes += int64(len(body))
 	}
-	s.items[key] = s.ll.PushFront(&cacheEntry{key: key, body: body})
-	if s.ll.Len() > s.cap {
+	// At least one entry always stays resident, so a single body larger than
+	// the shard budget is still served (and evicted by the next insert).
+	for s.ll.Len() > s.cap || (s.byteCap > 0 && s.bytes > s.byteCap && s.ll.Len() > 1) {
 		oldest := s.ll.Back()
 		s.ll.Remove(oldest)
-		delete(s.items, oldest.Value.(*cacheEntry).key)
+		e := oldest.Value.(*cacheEntry)
+		s.bytes -= int64(len(e.body))
+		delete(s.items, e.key)
 		c.evictions.Add(1)
 	}
 }
 
-// len returns the live entry count across shards.
-func (c *resultCache) len() int {
-	n := 0
+// usage returns the live entry count and rendered bytes across shards.
+func (c *resultCache) usage() (entries int, bytes int64) {
 	for i := range c.shards {
 		s := &c.shards[i]
 		s.mu.Lock()
-		n += s.ll.Len()
+		entries += s.ll.Len()
+		bytes += s.bytes
 		s.mu.Unlock()
 	}
-	return n
+	return entries, bytes
 }
 
-// CacheStats reports cache effectiveness for /stats.
+// CacheStats reports cache effectiveness and memory footprint for /stats.
 type CacheStats struct {
 	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`     // rendered bytes in use
+	MaxBytes  int64 `json:"max_bytes"` // configured byte budget (0 = unlimited)
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 }
 
 func (c *resultCache) stats() CacheStats {
+	entries, bytes := c.usage()
+	var maxBytes int64
+	for i := range c.shards {
+		maxBytes += c.shards[i].byteCap
+	}
 	return CacheStats{
-		Entries:   c.len(),
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  maxBytes,
 		Hits:      c.hits.Load(),
 		Misses:    c.misses.Load(),
 		Evictions: c.evictions.Load(),

@@ -47,6 +47,11 @@ type Config struct {
 	// negative disables caching.
 	CacheEntries int
 
+	// CacheBytes bounds the total rendered bytes the result cache may hold
+	// (bodies are stored fully rendered, so sizes are exact). 0 means no
+	// byte budget — the entry-count bound alone, today's default behavior.
+	CacheBytes int64
+
 	// SelectionSeed seeds cost models for POST /views materialize-by-model
 	// actions, so runtime selections reproduce the startup-time ones made
 	// with the same seed. 0 means 1.
@@ -107,7 +112,7 @@ func New(sys *core.System, cfg Config) *Server {
 		started: time.Now(),
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newResultCache(cfg.CacheEntries)
+		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/update", s.handleUpdate)

@@ -1,0 +1,160 @@
+package store
+
+import (
+	"fmt"
+	"maps"
+
+	"sofos/internal/rdf"
+)
+
+// Delta is the effective change ΔG of one committed update batch: the
+// triples that were actually new and the triples that were actually present
+// and removed, tagged with the graph-version interval the batch moved the
+// graph across. Writers capture it at commit time (see Graph.Apply) so view
+// maintenance can replay exactly the batches a stale view missed instead of
+// re-deriving the difference from two full graphs.
+type Delta struct {
+	Inserted []rdf.Triple // triples that were new (absent before, present after)
+	Deleted  []rdf.Triple // triples that were removed (present before, absent after)
+
+	// FromVersion and ToVersion are the graph's Version immediately before
+	// and after the batch; chained deltas with matching endpoints reconstruct
+	// ΔG across any retained interval.
+	FromVersion int64
+	ToVersion   int64
+}
+
+// Len is |ΔG|: the number of effective insertions plus deletions.
+func (d *Delta) Len() int { return len(d.Inserted) + len(d.Deleted) }
+
+// Empty reports whether the batch changed nothing.
+func (d *Delta) Empty() bool { return d.Len() == 0 }
+
+// Apply commits one batched update — inserts first, then deletes, matching
+// the /update endpoint's order — under a single lock acquisition and returns
+// the effective delta. A triple inserted (as new) and deleted by the same
+// batch cancels out of the delta entirely: the graph is unchanged with
+// respect to it. Inserts are validated up front, so an error means nothing
+// was applied.
+func (g *Graph) Apply(inserts, deletes []rdf.Triple) (Delta, error) {
+	for _, t := range inserts {
+		if err := t.Validate(); err != nil {
+			return Delta{}, fmt.Errorf("store: %w", err)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	d := Delta{FromVersion: g.version}
+	var insIdx map[rdf.EncodedTriple]int // effective insert key -> index in d.Inserted
+	if len(inserts) > 0 && len(deletes) > 0 {
+		insIdx = make(map[rdf.EncodedTriple]int, len(inserts))
+	}
+	for _, t := range inserts {
+		s, p, o := g.dict.Intern(t.S), g.dict.Intern(t.P), g.dict.Intern(t.O)
+		if g.addEncodedLocked(s, p, o) {
+			if insIdx != nil {
+				insIdx[rdf.EncodedTriple{s, p, o}] = len(d.Inserted)
+			}
+			d.Inserted = append(d.Inserted, t)
+		}
+	}
+	var cancelled map[int]bool // indices of d.Inserted undone by a same-batch delete
+	for _, t := range deletes {
+		s, ok := g.dict.Lookup(t.S)
+		if !ok {
+			continue
+		}
+		p, ok := g.dict.Lookup(t.P)
+		if !ok {
+			continue
+		}
+		o, ok := g.dict.Lookup(t.O)
+		if !ok {
+			continue
+		}
+		if !g.deleteLocked(s, p, o) {
+			continue
+		}
+		if i, ok := insIdx[rdf.EncodedTriple{s, p, o}]; ok {
+			if cancelled == nil {
+				cancelled = make(map[int]bool)
+			}
+			cancelled[i] = true
+			delete(insIdx, rdf.EncodedTriple{s, p, o})
+			continue
+		}
+		d.Deleted = append(d.Deleted, t)
+	}
+	if len(cancelled) > 0 {
+		kept := d.Inserted[:0]
+		for i, t := range d.Inserted {
+			if !cancelled[i] {
+				kept = append(kept, t)
+			}
+		}
+		d.Inserted = kept
+	}
+	g.maybeCompactLocked()
+	d.ToVersion = g.version
+	return d, nil
+}
+
+// OverlayWith returns a read-only union of the graph and the extra triples,
+// sharing the receiver's immutable sorted runs and its term dictionary: the
+// cost is O(|delta overlay| + |extra|), never O(|G|). Incremental view
+// maintenance uses it to evaluate delete-side joins against G ∪ Δ⁻ without
+// rebuilding the pre-update graph.
+//
+// The overlay supports the read API only (Scan, Match, Contains, Estimate,
+// Len, Triples); mutating it — or mutating the receiver or its dictionary
+// while the overlay is in use — is undefined. Component-count statistics
+// (DistinctNodes, DistinctPredicates) are not maintained and read as zero.
+// Extra triples whose terms were never interned in the receiver's dictionary
+// are skipped: such a triple cannot have been part of any earlier graph
+// state, and adding it would mutate the shared dictionary.
+func (g *Graph) OverlayWith(extra []rdf.Triple) *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	o := &Graph{
+		dict:    g.dict,
+		runs:    g.runs, // slice headers copy; the backing arrays are immutable
+		adds:    make(map[rdf.EncodedTriple]struct{}, len(g.adds)+len(extra)),
+		dels:    make(map[rdf.EncodedTriple]struct{}, len(g.dels)),
+		countS:  make(map[rdf.ID]int),
+		countP:  make(map[rdf.ID]int),
+		countO:  make(map[rdf.ID]int),
+		n:       g.n,
+		version: g.version,
+	}
+	maps.Copy(o.adds, g.adds)
+	maps.Copy(o.dels, g.dels)
+	for _, t := range extra {
+		s, ok := g.dict.Lookup(t.S)
+		if !ok {
+			continue
+		}
+		p, ok := g.dict.Lookup(t.P)
+		if !ok {
+			continue
+		}
+		ob, ok := g.dict.Lookup(t.O)
+		if !ok {
+			continue
+		}
+		k := rdf.EncodedTriple{s, p, ob}
+		if _, tomb := o.dels[k]; tomb {
+			delete(o.dels, k) // resurrect the still-present run entry
+			o.n++
+			continue
+		}
+		if _, dup := o.adds[k]; dup {
+			continue
+		}
+		if o.inRunsLocked(k) {
+			continue
+		}
+		o.adds[k] = struct{}{}
+		o.n++
+	}
+	return o
+}

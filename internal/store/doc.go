@@ -23,6 +23,12 @@
 // derive the expanded graph G+, exact pattern-cardinality Estimate for the
 // planner, per-predicate statistics (Stats), a binary snapshot format
 // (Save/Load), and Version — a mutation counter view catalogs compare to
-// detect staleness. NestedMapGraph preserves the seed's nested-map design
-// as a differential-testing and benchmarking baseline.
+// detect staleness. Apply commits a whole insert+delete batch under one
+// lock and returns its effective Delta (the triples actually added and
+// removed, tagged with the version interval) so writers capture ΔG at
+// commit time for incremental view maintenance; OverlayWith builds an
+// O(|Δ|) read-only union of the graph and extra triples — sharing the
+// immutable runs — which maintenance uses to evaluate delete-side joins
+// against the pre-update state. NestedMapGraph preserves the seed's
+// nested-map design as a differential-testing and benchmarking baseline.
 package store

@@ -1,10 +1,11 @@
 package views
 
 import (
+	"encoding/hex"
 	"fmt"
 	"hash/fnv"
 	"sort"
-	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -32,6 +33,24 @@ const (
 // group blank node.
 func DimPredicate(dim string) string { return NS + "d_" + dim }
 
+// Maintenance records how a materialization is kept consistent with the
+// base graph and which refresh path last ran — the per-view bookkeeping the
+// server's /stats endpoint reports.
+type Maintenance struct {
+	// Mode is the facet's maintainability classification — see
+	// MaintenanceMode: "self-maintainable-both", "self-maintainable-insert",
+	// or "recompute-only".
+	Mode string
+	// LastPath is how the record was last produced: "initial" (first
+	// materialization), "incremental" (delta application), or "full"
+	// (recompute + encoding diff).
+	LastPath string
+	// LastCost is the duration of the last refresh (zero until one runs).
+	LastCost time.Duration
+	// DeltaSize is |ΔG| replayed by the last incremental refresh.
+	DeltaSize int
+}
+
 // Materialized records one view materialized into G+.
 type Materialized struct {
 	Data    *Data
@@ -39,10 +58,31 @@ type Materialized struct {
 	Nodes   int           // distinct nodes in the encoding
 	Bytes   int64         // estimated encoding bytes
 	Elapsed time.Duration // total materialization time (compute + encode)
+	Maint   Maintenance   // maintenance mode and last-refresh bookkeeping
 
 	// baseVersion is the base graph's version at (re)materialization time,
 	// used for staleness detection (see Catalog.Stale).
 	baseVersion int64
+
+	// keyIdx lazily indexes Data.Groups by binary group key for the
+	// incremental maintenance path. Records are replaced wholesale on
+	// refresh, so the index is built at most once per record; the Once makes
+	// concurrent read-side planners safe.
+	keyIdxOnce sync.Once
+	keyIdx     map[string]int
+}
+
+// groupIndex returns the record's binary-key → group-position index,
+// building it on first use.
+func (m *Materialized) groupIndex() map[string]int {
+	m.keyIdxOnce.Do(func() {
+		idx := make(map[string]int, len(m.Data.Groups))
+		for i := range m.Data.Groups {
+			idx[binaryGroupKey(m.Data.Groups[i].Key)] = i
+		}
+		m.keyIdx = idx
+	})
+	return m.keyIdx
 }
 
 // View is a convenience accessor.
@@ -66,6 +106,24 @@ type Catalog struct {
 	// counter is the invalidation key for any result cache layered on top
 	// (see internal/server). Atomic so monitoring reads never race writers.
 	generation atomic.Int64
+
+	// log retains the effective deltas of committed update batches so stale
+	// views can refresh by replaying exactly the batches they missed — the
+	// O(|ΔG|) maintenance path of incremental.go.
+	log deltaLog
+
+	// maintMode is the facet's maintainability classification, fixed at
+	// catalog construction (it depends only on the facet's pattern and
+	// aggregate).
+	maintMode MaintenanceMode
+
+	// noIncremental forces every refresh down the full-recompute path;
+	// benchmarks and ablations flip it via SetIncrementalMaintenance.
+	noIncremental bool
+
+	// staleMemo caches the stale-view scan for one (generation, base
+	// version) state — see Catalog.staleNow.
+	staleMemo atomic.Pointer[staleState]
 }
 
 // NewCatalog clones base into a fresh expanded graph G+.
@@ -79,13 +137,14 @@ func NewCatalog(base *store.Graph, f *facet.Facet) *Catalog {
 func NewCatalogWithOptions(base *store.Graph, f *facet.Facet, opts engine.Options) *Catalog {
 	expanded := base.Clone()
 	return &Catalog{
-		facet:    f,
-		base:     base,
-		expanded: expanded,
-		baseEng:  engine.NewWithOptions(base, opts),
-		expEng:   engine.NewWithOptions(expanded, opts),
-		engOpts:  opts,
-		mats:     make(map[facet.Mask]*Materialized),
+		facet:     f,
+		base:      base,
+		expanded:  expanded,
+		baseEng:   engine.NewWithOptions(base, opts),
+		expEng:    engine.NewWithOptions(expanded, opts),
+		engOpts:   opts,
+		mats:      make(map[facet.Mask]*Materialized),
+		maintMode: maintenanceMode(f),
 	}
 }
 
@@ -240,7 +299,7 @@ func (c *Catalog) materializeData(data *Data, start time.Time, baseVersion int64
 	}
 	var bytes int64
 	for _, t := range triples {
-		bytes += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
+		bytes += tripleBytes(t)
 	}
 	// Bulk-load the encoding into G+ in one batch: a single lock acquisition
 	// and sorted-run merge instead of per-triple index maintenance.
@@ -254,11 +313,82 @@ func (c *Catalog) materializeData(data *Data, start time.Time, baseVersion int64
 		Nodes:       st.Nodes,
 		Bytes:       bytes,
 		Elapsed:     time.Since(start),
+		Maint:       Maintenance{Mode: c.maintMode.String(), LastPath: "initial"},
 		baseVersion: baseVersion,
 	}
 	c.mats[data.View.Mask] = m
 	c.bump()
 	return m, nil
+}
+
+// groupEncoder renders groups of one view as their G+ encoding, with the
+// per-view constant terms resolved once. Both the full Encode pass and the
+// incremental path's per-group diffs go through it, so the two cannot drift.
+type groupEncoder struct {
+	view    facet.View
+	dims    []string
+	dimPs   []rdf.Term
+	viewIRI rdf.Term
+	inView  rdf.Term
+	aggP    rdf.Term
+	sumP    rdf.Term
+	countP  rdf.Term
+	isAvg   bool
+}
+
+func newGroupEncoder(v facet.View) *groupEncoder {
+	e := &groupEncoder{
+		view:    v,
+		dims:    v.Dims(),
+		viewIRI: rdf.NewIRI(v.IRI()),
+		inView:  rdf.NewIRI(PredInView),
+		aggP:    rdf.NewIRI(PredAgg),
+		sumP:    rdf.NewIRI(PredSum),
+		countP:  rdf.NewIRI(PredCount),
+		isAvg:   v.Facet.Agg == sparql.AggAvg,
+	}
+	for _, d := range e.dims {
+		e.dimPs = append(e.dimPs, rdf.NewIRI(DimPredicate(d)))
+	}
+	return e
+}
+
+// groupLabel derives the group's blank-node label from its key content:
+// refreshes that keep a group's key keep its blank node, so an encoding diff
+// touches only the groups whose values actually changed. (The seed's
+// positional labels relabeled every group after a deleted one, producing
+// O(|V|) churn for a one-group change.) The label is a 128-bit FNV of the
+// canonical key bytes — collisions would merge two groups' encodings, so the
+// hash is sized to make them negligible.
+func (e *groupEncoder) groupLabel(key []algebra.Value) string {
+	h := fnv.New128a()
+	h.Write([]byte(binaryGroupKey(key)))
+	var buf [16]byte
+	return "g_" + e.view.Facet.Name + "_" + e.view.ID() + "_" + hex.EncodeToString(h.Sum(buf[:0]))
+}
+
+// encode renders one group's triples.
+func (e *groupEncoder) encode(g Group) ([]rdf.Triple, error) {
+	if len(g.Key) != len(e.dims) {
+		return nil, fmt.Errorf("views: group of %s has %d key values for %d dims", e.view, len(g.Key), len(e.dims))
+	}
+	b := rdf.NewBlank(e.groupLabel(g.Key))
+	out := make([]rdf.Triple, 0, 4+len(e.dims))
+	out = append(out, rdf.Triple{S: b, P: e.inView, O: e.viewIRI})
+	for j, kv := range g.Key {
+		if !kv.Bound {
+			continue
+		}
+		out = append(out, rdf.Triple{S: b, P: e.dimPs[j], O: kv.Term})
+	}
+	if g.Agg.Bound {
+		out = append(out, rdf.Triple{S: b, P: e.aggP, O: g.Agg.Term})
+	}
+	if e.isAvg {
+		out = append(out, rdf.Triple{S: b, P: e.sumP, O: algebraFormat(g.Sum)})
+		out = append(out, rdf.Triple{S: b, P: e.countP, O: algebraFormat(g.Count)})
+	}
+	return out, nil
 }
 
 // Encode renders view data as the blank-node RDF encoding added to G+:
@@ -267,37 +397,26 @@ func (c *Catalog) materializeData(data *Data, start time.Time, baseVersion int64
 //	_:g  sofos:d_<dim>  <dimension value> .   (per bound dimension)
 //	_:g  sofos:agg      "<aggregate>" .
 //	_:g  sofos:aggSum / sofos:aggCount ...    (AVG facets only)
+//
+// Group blank-node labels are content-keyed (see groupEncoder.groupLabel),
+// so a group's encoding is stable across refreshes while its key survives.
 func Encode(data *Data) ([]rdf.Triple, error) {
-	v := data.View
-	dims := v.Dims()
-	viewIRI := rdf.NewIRI(v.IRI())
-	inView := rdf.NewIRI(PredInView)
-	aggP := rdf.NewIRI(PredAgg)
-	sumP := rdf.NewIRI(PredSum)
-	countP := rdf.NewIRI(PredCount)
-	isAvg := v.Facet.Agg == sparql.AggAvg
+	e := newGroupEncoder(data.View)
 	var out []rdf.Triple
 	for i, g := range data.Groups {
-		if len(g.Key) != len(dims) {
-			return nil, fmt.Errorf("views: group %d of %s has %d key values for %d dims", i, v, len(g.Key), len(dims))
+		ts, err := e.encode(g)
+		if err != nil {
+			return nil, fmt.Errorf("views: group %d: %w", i, err)
 		}
-		b := rdf.NewBlank("g_" + v.Facet.Name + "_" + v.ID() + "_" + strconv.Itoa(i))
-		out = append(out, rdf.Triple{S: b, P: inView, O: viewIRI})
-		for j, kv := range g.Key {
-			if !kv.Bound {
-				continue
-			}
-			out = append(out, rdf.Triple{S: b, P: rdf.NewIRI(DimPredicate(dims[j])), O: kv.Term})
-		}
-		if g.Agg.Bound {
-			out = append(out, rdf.Triple{S: b, P: aggP, O: g.Agg.Term})
-		}
-		if isAvg {
-			out = append(out, rdf.Triple{S: b, P: sumP, O: algebraFormat(g.Sum)})
-			out = append(out, rdf.Triple{S: b, P: countP, O: algebraFormat(g.Count)})
-		}
+		out = append(out, ts...)
 	}
 	return out, nil
+}
+
+// tripleBytes estimates the stored size of one encoded triple, the unit the
+// catalog's Bytes accounting uses.
+func tripleBytes(t rdf.Triple) int64 {
+	return int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
 }
 
 // Drop removes a materialized view's triples from G+, reporting whether the

@@ -19,7 +19,19 @@ type Group struct {
 	Key        []algebra.Value // values of the view's kept dims, in view order
 	Agg        algebra.Value   // the facet aggregate for this group
 	Sum, Count float64         // AVG only: exact partial sums
+
+	// N is the group's contribution count: the number of solutions of the
+	// view's defining pattern that fall into this group (a hidden COUNT(*)
+	// companion Compute evaluates alongside the facet aggregate). The
+	// incremental maintenance path tracks it through insert and delete
+	// deltas — a group dies exactly when N reaches zero, which no stored
+	// aggregate alone can reveal under deletion.
+	N int64
 }
+
+// RowsAlias is the hidden COUNT(*) companion column Compute appends to every
+// view-defining query to populate Group.N.
+const RowsAlias = "__rows"
 
 // Data is the computed content of one view, independent of its RDF encoding.
 type Data struct {
@@ -32,10 +44,14 @@ type Data struct {
 // NumGroups is |Vi(G)|, the paper's "number of aggregated values" quantity.
 func (d *Data) NumGroups() int { return len(d.Groups) }
 
-// Compute evaluates the view's defining query on the engine's graph.
+// Compute evaluates the view's defining query on the engine's graph, with a
+// hidden COUNT(*) companion column so every group carries its contribution
+// count (see Group.N).
 func Compute(eng *engine.Engine, v facet.View) (*Data, error) {
 	start := time.Now()
 	q := v.Query()
+	q.Select = append(q.Select, sparql.SelectItem{Var: RowsAlias, Agg: sparql.AggCount})
+	rowsCol := len(q.Select) - 1
 	res, err := eng.Execute(q)
 	if err != nil {
 		return nil, fmt.Errorf("views: computing %s: %w", v, err)
@@ -53,6 +69,11 @@ func Compute(eng *engine.Engine, v facet.View) (*Data, error) {
 			}
 			if row[nd+2].Bound {
 				g.Count, _ = algebra.NumericValue(row[nd+2].Term)
+			}
+		}
+		if row[rowsCol].Bound {
+			if n, ok := algebra.NumericValue(row[rowsCol].Term); ok {
+				g.N = int64(n)
 			}
 		}
 		d.Groups = append(d.Groups, g)
@@ -91,6 +112,7 @@ func RollUp(parent *Data, target facet.View) (*Data, error) {
 		aggTerm    rdf.Term
 		aggBound   bool
 		sum, count float64
+		rows       int64
 		poisoned   bool
 	}
 	byKey := make(map[string]*acc)
@@ -111,6 +133,7 @@ func RollUp(parent *Data, target facet.View) (*Data, error) {
 			byKey[ks] = a
 			order = append(order, ks)
 		}
+		a.rows += g.N
 		if a.poisoned {
 			continue
 		}
@@ -139,7 +162,7 @@ func RollUp(parent *Data, target facet.View) (*Data, error) {
 	out := &Data{View: target, Source: "rollup:" + parent.View.ID()}
 	for _, ks := range order {
 		a := byKey[ks]
-		g := Group{Key: a.key}
+		g := Group{Key: a.key, N: a.rows}
 		switch {
 		case a.poisoned:
 			g.Agg = algebra.Unbound

@@ -13,12 +13,20 @@
 // bounded worker pool in cover-order waves and serialize only the G+
 // encoding step.
 //
-// Maintenance: Insert and Delete mutate G and mirror into G+, turning
-// materialized views stale (Stale/StaleViews compare each record's base
-// version against Graph.Version). Refresh recomputes a view and applies
-// the minimal encoding diff to G+; PlanRefresh/CommitRefresh split that
-// into a read-only compute phase and a short mutation phase so a serving
-// layer can refresh concurrently with query traffic. Generation counts
-// every committed catalog mutation and, with ViewSetHash, gives caches an
-// exact invalidation key.
+// Maintenance: ApplyUpdate (and the Insert/Delete shorthands) mutates G,
+// mirrors into G+, and captures the batch's effective delta (store.Delta)
+// into a per-catalog log, turning materialized views stale (the memoized
+// Stale/StaleViews compare each record's base version against
+// Graph.Version). Refresh brings a view up to date by the cheapest sound
+// path: for self-maintainable facets (COUNT/SUM, AVG via the stored
+// (Sum, Count) companions, MIN/MAX under insertion) whose staleness window
+// the delta log covers, it evaluates the defining query on the delta only
+// and applies per-group deltas in place — O(|ΔG|), with group births and
+// deaths decided by per-group contribution counts (Group.N) — falling back
+// to a full recompute exactly when a delete touches a MIN/MAX extremum or
+// the pattern/log is ineligible (see incremental.go and MaintenanceMode).
+// PlanRefresh/CommitRefresh split refresh into a read-only compute phase
+// and a short mutation phase so a serving layer can refresh concurrently
+// with query traffic. Generation counts every committed catalog mutation
+// and, with ViewSetHash, gives caches an exact invalidation key.
 package views

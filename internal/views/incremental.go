@@ -1,0 +1,797 @@
+package views
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"sofos/internal/algebra"
+	"sofos/internal/engine"
+	"sofos/internal/facet"
+	"sofos/internal/rdf"
+	"sofos/internal/sparql"
+	"sofos/internal/store"
+)
+
+// Incremental delta maintenance: the O(|ΔG|) refresh path.
+//
+// A committed update batch's effective delta (store.Delta, captured by
+// Graph.Apply) is retained in a per-catalog log. When a stale view refreshes,
+// instead of re-evaluating its defining query over the whole base graph, the
+// catalog evaluates the query *on the delta only* — the classic delta-join:
+// every (delta triple, triple pattern) pair that unifies seeds the remaining
+// pattern, substituted, against the graph, so the work is proportional to the
+// data incident to ΔG, never to |G|. The gained and lost solutions become
+// per-group deltas applied in place to the stored Data: COUNT/SUM adjust
+// directly, AVG adjusts through its stored (Sum, Count) companions, MIN/MAX
+// merge insert-side candidates and fall back to a full recompute exactly when
+// a delete touches a group's stored extremum. Per-group contribution counts
+// (Group.N) decide group births and deaths.
+//
+// Insert-side solutions are those of G_new that use at least one inserted
+// triple, evaluated directly against the current base graph. Delete-side
+// solutions are those of G_old that use at least one deleted triple; they are
+// enumerated against the overlay G_new ∪ Δ⁻ (store.Graph.OverlayWith — shares
+// the sorted runs, costs O(|Δ|)) and filtered to groundings that avoid Δ⁺,
+// which is exactly membership in G_old = (G_new ∖ Δ⁺) ∪ Δ⁻.
+
+// MaintenanceMode classifies how a facet's materialized views can be kept
+// consistent under base-graph updates.
+type MaintenanceMode int
+
+const (
+	// MaintainRecompute: the defining pattern or aggregate admits no delta
+	// application (OPTIONAL/UNION/FILTER/VALUES patterns, unknown
+	// aggregates); every refresh recomputes from the base graph.
+	MaintainRecompute MaintenanceMode = iota
+	// MaintainInserts: self-maintainable under insertion only (MIN/MAX).
+	// Deletes still apply incrementally unless one touches a group's stored
+	// extremum, which forces a full recompute of the view.
+	MaintainInserts
+	// MaintainBoth: self-maintainable under insertion and deletion —
+	// COUNT, SUM, and AVG via the stored (Sum, Count) companions.
+	MaintainBoth
+)
+
+// String renders the classification as /stats reports it.
+func (m MaintenanceMode) String() string {
+	switch m {
+	case MaintainBoth:
+		return "self-maintainable-both"
+	case MaintainInserts:
+		return "self-maintainable-insert"
+	default:
+		return "recompute-only"
+	}
+}
+
+// maintenanceMode classifies a facet. The seeded delta evaluation
+// substitutes bindings into a plain basic graph pattern; filters, optionals,
+// unions and inline data would need substitution into expression trees and
+// left-join deltas, so such facets stay on the recompute path. (Facet
+// aggregates are never COUNT DISTINCT — the facet fragment has no distinct
+// flag — so COUNT here is always the retractable plain count.)
+func maintenanceMode(f *facet.Facet) MaintenanceMode {
+	p := &f.Pattern
+	if len(p.Optionals) > 0 || len(p.Unions) > 0 || len(p.Filters) > 0 || len(p.Values) > 0 {
+		return MaintainRecompute
+	}
+	switch f.Agg {
+	case sparql.AggCount, sparql.AggSum, sparql.AggAvg:
+		return MaintainBoth
+	case sparql.AggMin, sparql.AggMax:
+		return MaintainInserts
+	default:
+		return MaintainRecompute
+	}
+}
+
+// MaintenanceMode returns the catalog facet's maintainability classification.
+func (c *Catalog) MaintenanceMode() MaintenanceMode { return c.maintMode }
+
+// SetIncrementalMaintenance enables or disables the incremental refresh
+// path (enabled by default). Disabling forces every refresh down the full
+// recompute-and-diff path; benchmarks use it as the ablation baseline.
+// Callers must not race it with refreshes.
+func (c *Catalog) SetIncrementalMaintenance(enabled bool) { c.noIncremental = !enabled }
+
+// binaryGroupKey renders a group key as canonical bytes: the map key the
+// incremental path indexes Data.Groups by, and the input of the stable
+// blank-node labels of the G+ encoding.
+func binaryGroupKey(key []algebra.Value) string {
+	var b strings.Builder
+	for _, kv := range key {
+		if !kv.Bound {
+			b.WriteByte(0xfe)
+			continue
+		}
+		b.WriteByte(byte(kv.Term.Kind))
+		b.WriteString(kv.Term.Value)
+		b.WriteByte(0)
+		b.WriteString(kv.Term.Datatype)
+		b.WriteByte(0)
+		b.WriteString(kv.Term.Lang)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// --- delta log ---
+
+// maxDeltaLogTriples caps the retained log. Beyond it the oldest segments
+// are dropped and views older than the remaining window fall back to a full
+// recompute — at that delta size the seeded joins stop being cheaper anyway.
+const maxDeltaLogTriples = 1 << 16
+
+// deltaLog retains the effective deltas of committed update batches, each
+// tagged with the base-version interval it spans. Contiguous segments
+// chained end to end reconstruct ΔG between any retained version and the
+// present, which is exactly what a stale view needs to refresh by replay.
+type deltaLog struct {
+	segs    []store.Delta
+	triples int
+}
+
+// record appends one committed batch. A gap in the version chain means a
+// mutation bypassed delta capture (e.g. a direct base-graph write), so
+// nothing older than the new batch can be replayed and the log restarts.
+func (l *deltaLog) record(d store.Delta) {
+	if d.FromVersion == d.ToVersion {
+		return // nothing moved; no segment needed
+	}
+	if n := len(l.segs); n > 0 && l.segs[n-1].ToVersion != d.FromVersion {
+		l.segs, l.triples = nil, 0
+	}
+	l.segs = append(l.segs, d)
+	l.triples += d.Len()
+}
+
+// prune drops segments no materialized view needs anymore (ToVersion ≤
+// minVersion) and enforces the size cap from the oldest end.
+func (l *deltaLog) prune(minVersion int64) {
+	i := 0
+	for i < len(l.segs) && l.segs[i].ToVersion <= minVersion {
+		l.triples -= l.segs[i].Len()
+		i++
+	}
+	for i < len(l.segs) && l.triples > maxDeltaLogTriples {
+		l.triples -= l.segs[i].Len()
+		i++
+	}
+	if i > 0 {
+		l.segs = append([]store.Delta(nil), l.segs[i:]...)
+	}
+}
+
+// since returns the net ΔG between base versions from and to, coalescing
+// insert-then-delete (and delete-then-reinsert) pairs across batches, in
+// first-touch order so replay is deterministic. ok is false when the log
+// does not cover the interval — the caller then recomputes in full.
+func (l *deltaLog) since(from, to int64) (ins, del []rdf.Triple, ok bool) {
+	if from == to {
+		return nil, nil, true
+	}
+	start := -1
+	for i := range l.segs {
+		if l.segs[i].FromVersion == from {
+			start = i
+			break
+		}
+	}
+	if start < 0 || l.segs[len(l.segs)-1].ToVersion != to {
+		return nil, nil, false
+	}
+	sign := make(map[rdf.Triple]int8)
+	var order []rdf.Triple
+	for _, s := range l.segs[start:] {
+		for _, t := range s.Inserted {
+			if v, seen := sign[t]; seen {
+				if v == -1 {
+					sign[t] = 0 // deleted earlier in the window: net unchanged
+				} else {
+					sign[t] = 1
+				}
+			} else {
+				sign[t] = 1
+				order = append(order, t)
+			}
+		}
+		for _, t := range s.Deleted {
+			if v, seen := sign[t]; seen {
+				if v == 1 {
+					sign[t] = 0 // inserted earlier in the window: net unchanged
+				} else {
+					sign[t] = -1
+				}
+			} else {
+				sign[t] = -1
+				order = append(order, t)
+			}
+		}
+	}
+	for _, t := range order {
+		switch sign[t] {
+		case 1:
+			ins = append(ins, t)
+		case -1:
+			del = append(del, t)
+		}
+	}
+	return ins, del, true
+}
+
+// --- delta-join evaluation ---
+
+// deltaRow is one solution of the view's defining pattern gained or lost by
+// the replayed delta, projected to what maintenance needs: the group key in
+// view order, the measure value, and the grounded pattern triples (for the
+// delete-side G_old membership filter). key is the canonical full variable
+// binding the seeded enumeration dedupes on — one solution may be discovered
+// from several delta seeds.
+type deltaRow struct {
+	key     string
+	dims    []algebra.Value
+	measure algebra.Value
+	ground  []rdf.Triple
+}
+
+// unify matches a delta triple against one triple pattern, returning the
+// variable bindings (consistent across repeated variables) or false.
+func unify(tp sparql.TriplePattern, t rdf.Triple) (map[string]rdf.Term, bool) {
+	theta := make(map[string]rdf.Term, 3)
+	bind := func(pt sparql.PatternTerm, term rdf.Term) bool {
+		if !pt.IsVar {
+			return pt.Term == term
+		}
+		if prev, ok := theta[pt.Var]; ok {
+			return prev == term
+		}
+		theta[pt.Var] = term
+		return true
+	}
+	if !bind(tp.S, t.S) || !bind(tp.P, t.P) || !bind(tp.O, t.O) {
+		return nil, false
+	}
+	return theta, true
+}
+
+// substitutePattern replaces bound variables with constants.
+func substitutePattern(tp sparql.TriplePattern, theta map[string]rdf.Term) sparql.TriplePattern {
+	sub := func(pt sparql.PatternTerm) sparql.PatternTerm {
+		if pt.IsVar {
+			if t, ok := theta[pt.Var]; ok {
+				return sparql.Constant(t)
+			}
+		}
+		return pt
+	}
+	return sparql.TriplePattern{S: sub(tp.S), P: sub(tp.P), O: sub(tp.O)}
+}
+
+// seedSolutions evaluates the pattern with the seed's bindings substituted:
+// the remaining triple patterns run against eng's graph and each solution is
+// returned as a full variable binding (theta plus the solved free variables).
+func seedSolutions(eng *engine.Engine, pats []sparql.TriplePattern, seedIdx int, theta map[string]rdf.Term) ([]map[string]rdf.Term, error) {
+	rest := make([]sparql.TriplePattern, 0, len(pats)-1)
+	seen := make(map[string]bool)
+	var free []string
+	for j, tp := range pats {
+		if j == seedIdx {
+			continue
+		}
+		stp := substitutePattern(tp, theta)
+		rest = append(rest, stp)
+		for _, v := range stp.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				free = append(free, v)
+			}
+		}
+	}
+	if len(free) == 0 {
+		// Fully ground remainder: the solution exists iff every grounded
+		// pattern is present.
+		for _, tp := range rest {
+			if !eng.Graph().Contains(rdf.Triple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term}) {
+				return nil, nil
+			}
+		}
+		b := make(map[string]rdf.Term, len(theta))
+		for k, v := range theta {
+			b[k] = v
+		}
+		return []map[string]rdf.Term{b}, nil
+	}
+	q := &sparql.Query{Where: sparql.GroupPattern{Triples: rest}, Limit: -1}
+	for _, v := range free {
+		q.Select = append(q.Select, sparql.SelectItem{Var: v})
+	}
+	res, err := eng.Execute(q)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]map[string]rdf.Term, 0, len(res.Rows))
+	for _, row := range res.Rows {
+		b := make(map[string]rdf.Term, len(theta)+len(free))
+		for k, v := range theta {
+			b[k] = v
+		}
+		complete := true
+		for ci, v := range free {
+			if !row[ci].Bound {
+				complete = false // unreachable for BGPs; defensive
+				break
+			}
+			b[v] = row[ci].Term
+		}
+		if complete {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// bindingKey canonicalizes a full binding over the pattern's variables.
+func bindingKey(vars []string, b map[string]rdf.Term) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		t := b[v]
+		sb.WriteByte(byte(t.Kind))
+		sb.WriteString(t.Value)
+		sb.WriteByte(0)
+		sb.WriteString(t.Datatype)
+		sb.WriteByte(0)
+		sb.WriteString(t.Lang)
+		sb.WriteByte(0)
+	}
+	return sb.String()
+}
+
+// groundTriple instantiates one pattern under a full binding.
+func groundTriple(tp sparql.TriplePattern, b map[string]rdf.Term) rdf.Triple {
+	g := func(pt sparql.PatternTerm) rdf.Term {
+		if pt.IsVar {
+			return b[pt.Var]
+		}
+		return pt.Term
+	}
+	return rdf.Triple{S: g(tp.S), P: g(tp.P), O: g(tp.O)}
+}
+
+// deltaSolutions enumerates the solutions of the view's defining pattern
+// that use at least one delta triple, deduplicated on the full binding: for
+// every (delta triple, pattern) pair that unifies, the substituted remainder
+// runs against eng's graph. Cost is proportional to the data incident to the
+// delta, never to |G|.
+func deltaSolutions(eng *engine.Engine, f *facet.Facet, dims []string, delta []rdf.Triple) ([]deltaRow, error) {
+	pats := f.Pattern.Triples
+	allVars := f.Pattern.Vars()
+	dedup := make(map[string]bool)
+	var out []deltaRow
+	for _, dt := range delta {
+		for i, tp := range pats {
+			theta, ok := unify(tp, dt)
+			if !ok {
+				continue
+			}
+			sols, err := seedSolutions(eng, pats, i, theta)
+			if err != nil {
+				return nil, err
+			}
+			for _, b := range sols {
+				key := bindingKey(allVars, b)
+				if dedup[key] {
+					continue
+				}
+				dedup[key] = true
+				r := deltaRow{key: key}
+				for _, d := range dims {
+					r.dims = append(r.dims, algebra.Bind(b[d]))
+				}
+				if f.Measure != "" {
+					if t, ok := b[f.Measure]; ok {
+						r.measure = algebra.Bind(t)
+					}
+				}
+				for _, p := range pats {
+					r.ground = append(r.ground, groundTriple(p, b))
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- group delta application ---
+
+// groupDelta accumulates one group's gained and lost measure values.
+type groupDelta struct {
+	key        []algebra.Value
+	ins, del   []algebra.Value
+	insN, delN int
+}
+
+// encodingDiff is the exact G+ mutation an incremental refresh commits.
+type encodingDiff struct {
+	add, remove []rdf.Triple
+}
+
+// applyDelta folds one group's delta into its stored aggregate state,
+// reporting false when exact application is impossible (poisoned group,
+// non-numeric measure, MIN/MAX extremum deletion, ambiguous MIN/MAX tie) —
+// the caller then falls back to a full recompute of the view. The
+// arithmetic goes through the algebra retraction entry points so the two
+// layers cannot drift: COUNT merges through algebra.MergeDelta, SUM seeds a
+// Retractor accumulator with the stored total and Adds/Unadds the delta
+// values, and AVG adjusts its stored (Sum, Count) companions — the exact
+// case MergeDelta's contract delegates to the companions.
+func applyDelta(agg sparql.AggKind, g Group, d *groupDelta, existing bool) (Group, bool) {
+	g.N += int64(d.insN - d.delN)
+	num := func(v algebra.Value) (float64, bool) {
+		if !v.Bound {
+			return 0, false
+		}
+		return algebra.NumericValue(v.Term)
+	}
+	switch agg {
+	case sparql.AggCount:
+		cur := rdf.NewInteger(0)
+		if g.Agg.Bound {
+			cur = g.Agg.Term
+		} else if existing {
+			return g, false // COUNT results are always bound; state is inconsistent
+		}
+		// Counts are integral, so MergeDelta's FormatFloat output is exactly
+		// the accumulator's NewInteger rendering.
+		cur, err := algebra.MergeDelta(agg, cur, rdf.NewInteger(int64(d.insN)), false)
+		if err != nil {
+			return g, false
+		}
+		cur, err = algebra.MergeDelta(agg, cur, rdf.NewInteger(int64(d.delN)), true)
+		if err != nil {
+			return g, false
+		}
+		if f, ok := algebra.NumericValue(cur); !ok || f < 0 {
+			return g, false
+		}
+		g.Agg = algebra.Bind(cur)
+	case sparql.AggSum:
+		if existing && !g.Agg.Bound {
+			return g, false // poisoned by a non-numeric measure: not maintainable
+		}
+		// Seed a retractable accumulator with the stored total, then replay
+		// the delta: adds for gained rows, retractions for lost ones. A
+		// non-numeric value poisons the accumulator (unbound result), which
+		// reports as non-maintainable below.
+		acc := algebra.NewAccumulator(sparql.SelectItem{Var: facet.AggAlias, Agg: agg, AggVar: "v"}).(algebra.Retractor)
+		if g.Agg.Bound {
+			acc.Add(g.Agg)
+		}
+		for _, v := range d.ins {
+			acc.Add(v)
+		}
+		for _, v := range d.del {
+			acc.Unadd(v)
+		}
+		res := acc.Result()
+		if !res.Bound {
+			return g, false
+		}
+		g.Agg = res
+	case sparql.AggAvg:
+		if existing && !g.Agg.Bound {
+			return g, false // poisoned (live BGP groups always have Count > 0)
+		}
+		sum, cnt := g.Sum, g.Count
+		for _, v := range d.ins {
+			f, ok := num(v)
+			if !ok {
+				return g, false
+			}
+			sum += f
+			cnt++
+		}
+		for _, v := range d.del {
+			f, ok := num(v)
+			if !ok {
+				return g, false
+			}
+			sum -= f
+			cnt--
+		}
+		if cnt < 0 {
+			return g, false
+		}
+		g.Sum, g.Count = sum, cnt
+		if cnt > 0 {
+			g.Agg = algebra.Bind(algebra.FormatFloat(sum / cnt))
+		} else {
+			g.Agg = algebra.Unbound
+		}
+	case sparql.AggMin, sparql.AggMax:
+		min := agg == sparql.AggMin
+		best := g.Agg
+		for _, dv := range d.del {
+			if !best.Bound || !dv.Bound {
+				return g, false
+			}
+			cmp := algebra.AggCompare(dv.Term, best.Term)
+			// A deleted value at or beyond the stored extremum may *be* the
+			// extremum occurrence: only the group's full multiset can tell.
+			if (min && cmp <= 0) || (!min && cmp >= 0) {
+				return g, false
+			}
+		}
+		for _, iv := range d.ins {
+			if !iv.Bound {
+				continue // mirror minMaxAcc: unbound inputs are ignored
+			}
+			if !best.Bound {
+				best = iv
+				continue
+			}
+			cmp := algebra.AggCompare(iv.Term, best.Term)
+			if cmp == 0 && iv.Term != best.Term {
+				// Distinct terms tying under AggCompare: which one a full
+				// recompute keeps depends on scan order, so stay bit-exact by
+				// recomputing.
+				return g, false
+			}
+			if (min && cmp < 0) || (!min && cmp > 0) {
+				best = iv
+			}
+		}
+		g.Agg = best
+	default:
+		return g, false
+	}
+	return g, true
+}
+
+// applyGroupDeltas applies the gained and lost solutions to a copy of the
+// stored view contents: births, in-place updates, and deaths, plus the exact
+// G+ encoding diff (content-keyed blank labels keep untouched groups'
+// triples in place). ok is false when any group needs a full recompute.
+func applyGroupDeltas(v facet.View, mat *Materialized, insRows, delRows []deltaRow) (*Data, *encodingDiff, bool, error) {
+	old := mat.Data
+	agg := v.Facet.Agg
+	deltas := make(map[string]*groupDelta)
+	var order []string
+	collect := func(rows []deltaRow, insert bool) {
+		for _, r := range rows {
+			k := binaryGroupKey(r.dims)
+			d, ok := deltas[k]
+			if !ok {
+				d = &groupDelta{key: r.dims}
+				deltas[k] = d
+				order = append(order, k)
+			}
+			if insert {
+				d.ins = append(d.ins, r.measure)
+				d.insN++
+			} else {
+				d.del = append(d.del, r.measure)
+				d.delN++
+			}
+		}
+	}
+	collect(insRows, true)
+	collect(delRows, false)
+
+	// The record's cached binary-key index (built once per record, not per
+	// refresh) locates each delta's group.
+	idx := mat.groupIndex()
+	newGroups := append([]Group(nil), old.Groups...)
+	dead := make(map[int]bool)
+	encChanged := make(map[int]bool)
+	var born []Group
+	for _, k := range order {
+		d := deltas[k]
+		i, exists := idx[k]
+		if !exists {
+			if d.delN > 0 {
+				return nil, nil, false, nil // deleting from an unknown group: state and log disagree
+			}
+			g, ok := applyDelta(agg, Group{Key: d.key}, d, false)
+			if !ok {
+				return nil, nil, false, nil
+			}
+			if g.N > 0 {
+				born = append(born, g)
+			}
+			continue
+		}
+		g, ok := applyDelta(agg, newGroups[i], d, true)
+		if !ok || g.N < 0 {
+			return nil, nil, false, nil
+		}
+		if g.N == 0 {
+			dead[i] = true
+			continue
+		}
+		prev := newGroups[i]
+		if g.Agg != prev.Agg || g.Sum != prev.Sum || g.Count != prev.Count {
+			encChanged[i] = true
+		}
+		newGroups[i] = g
+	}
+
+	// Render the exact encoding diff: only changed, dead, and born groups.
+	enc := newGroupEncoder(v)
+	diff := &encodingDiff{}
+	for i := range newGroups {
+		switch {
+		case dead[i]:
+			ts, err := enc.encode(old.Groups[i])
+			if err != nil {
+				return nil, nil, false, err
+			}
+			diff.remove = append(diff.remove, ts...)
+		case encChanged[i]:
+			oldTs, err := enc.encode(old.Groups[i])
+			if err != nil {
+				return nil, nil, false, err
+			}
+			newTs, err := enc.encode(newGroups[i])
+			if err != nil {
+				return nil, nil, false, err
+			}
+			oldSet := make(map[rdf.Triple]bool, len(oldTs))
+			for _, t := range oldTs {
+				oldSet[t] = true
+			}
+			for _, t := range newTs {
+				if oldSet[t] {
+					delete(oldSet, t)
+				} else {
+					diff.add = append(diff.add, t)
+				}
+			}
+			for _, t := range oldTs {
+				if oldSet[t] {
+					diff.remove = append(diff.remove, t)
+				}
+			}
+		}
+	}
+	for _, g := range born {
+		ts, err := enc.encode(g)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		diff.add = append(diff.add, ts...)
+	}
+
+	final := make([]Group, 0, len(newGroups)-len(dead)+len(born))
+	for i, g := range newGroups {
+		if !dead[i] {
+			final = append(final, g)
+		}
+	}
+	final = append(final, born...)
+	return &Data{View: v, Groups: final, Source: "incremental"}, diff, true, nil
+}
+
+// --- plan / commit ---
+
+// incrementalPlan is one view's planned delta application, produced on the
+// read path (PlanRefresh) and committed under the writer.
+type incrementalPlan struct {
+	oldMat    *Materialized // the record the deltas were computed against
+	data      *Data         // refreshed contents
+	diff      *encodingDiff // exact G+ mutation
+	deltaSize int           // |ΔG| replayed
+	toVersion int64         // base version the contents reflect
+}
+
+// planIncremental attempts the delta-application path for one stale view.
+// It returns nil (with no error) when the view is ineligible — recompute-only
+// facet, incremental maintenance disabled, the delta log does not cover the
+// view's staleness window — or when application hit a fallback condition
+// (MIN/MAX extremum delete, poisoned group, non-numeric measure). The caller
+// then recomputes in full. Read-only: callers must not run catalog mutations
+// concurrently.
+func (c *Catalog) planIncremental(v facet.View, mat *Materialized, eng *engine.Engine) (*incrementalPlan, error) {
+	if c.noIncremental || c.maintMode == MaintainRecompute || mat == nil {
+		return nil, nil
+	}
+	to := c.base.Version()
+	ins, del, ok := c.log.since(mat.baseVersion, to)
+	if !ok {
+		return nil, nil
+	}
+	dims := v.Dims()
+	insRows, err := deltaSolutions(eng, c.facet, dims, ins)
+	if err != nil {
+		return nil, fmt.Errorf("views: delta-evaluating %s (inserts): %w", v, err)
+	}
+	var delRows []deltaRow
+	if len(del) > 0 {
+		// Delete-side solutions held in G_old: enumerate over G ∪ Δ⁻ and keep
+		// groundings that avoid Δ⁺. Seeded joins are selective, so the overlay
+		// engine runs serially.
+		overlay := c.base.OverlayWith(del)
+		oeng := engine.NewWithOptions(overlay, engine.Options{Workers: 1, NaiveOrder: c.engOpts.NaiveOrder})
+		delRows, err = deltaSolutions(oeng, c.facet, dims, del)
+		if err != nil {
+			return nil, fmt.Errorf("views: delta-evaluating %s (deletes): %w", v, err)
+		}
+		if len(ins) > 0 {
+			insSet := make(map[rdf.Triple]bool, len(ins))
+			for _, t := range ins {
+				insSet[t] = true
+			}
+			kept := delRows[:0]
+			for _, r := range delRows {
+				usesIns := false
+				for _, gt := range r.ground {
+					if insSet[gt] {
+						usesIns = true
+						break
+					}
+				}
+				if !usesIns {
+					kept = append(kept, r)
+				}
+			}
+			delRows = kept
+		}
+	}
+	data, diff, ok, err := applyGroupDeltas(v, mat, insRows, delRows)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	return &incrementalPlan{
+		oldMat:    mat,
+		data:      data,
+		diff:      diff,
+		deltaSize: len(ins) + len(del),
+		toVersion: to,
+	}, nil
+}
+
+// commitIncremental applies a planned delta refresh to G+ and swaps the new
+// record in. It reports false (committing nothing) when the view's record
+// changed since planning — the view stays stale and the next refresh cycle
+// picks it up — so a stale plan can never clobber newer state.
+func (c *Catalog) commitIncremental(v facet.View, p *incrementalPlan, start time.Time) (*Materialized, bool, error) {
+	mat, ok := c.mats[v.Mask]
+	if !ok || mat != p.oldMat {
+		return nil, false, nil
+	}
+	// Small diffs go through the graph's delta overlay (Apply), not the
+	// bulk-merge LoadTriples path: the whole point is to avoid O(|G+|) work.
+	if _, err := c.expanded.Apply(p.diff.add, p.diff.remove); err != nil {
+		return nil, false, fmt.Errorf("views: applying incremental refresh of %s: %w", v, err)
+	}
+	bytes := mat.Bytes
+	for _, t := range p.diff.add {
+		bytes += tripleBytes(t)
+	}
+	for _, t := range p.diff.remove {
+		bytes -= tripleBytes(t)
+	}
+	st := ComputeStats(p.data)
+	p.data.ComputeTime = time.Since(start)
+	updated := &Materialized{
+		Data:    p.data,
+		Triples: mat.Triples + len(p.diff.add) - len(p.diff.remove),
+		Nodes:   st.Nodes,
+		Bytes:   bytes,
+		Elapsed: time.Since(start),
+		Maint: Maintenance{
+			Mode:      c.maintMode.String(),
+			LastPath:  "incremental",
+			LastCost:  time.Since(start),
+			DeltaSize: p.deltaSize,
+		},
+		baseVersion: p.toVersion,
+	}
+	c.mats[v.Mask] = updated
+	c.bump()
+	return updated, true, nil
+}

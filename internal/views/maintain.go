@@ -6,65 +6,120 @@ import (
 
 	"sofos/internal/facet"
 	"sofos/internal/rdf"
+	"sofos/internal/store"
 )
 
 // Maintenance: materialized views become stale when the base graph changes.
-// The catalog tracks the base graph's version at materialization time and
-// supports refresh — recomputing a view and applying the minimal diff of its
-// encoding to G+. This implements the "view maintenance" extension that
-// MARVEL and the SOFOS demo leave as an offline rebuild, done here without
-// rebuilding G+ from scratch.
+// The catalog tracks the base graph's version at materialization time,
+// retains the effective delta of every committed update batch (the delta
+// log of incremental.go), and refreshes stale views either by replaying the
+// missed deltas in O(|ΔG|) — the self-maintainable path — or by recomputing
+// from the base graph and applying the minimal encoding diff to G+.
 
-// Insert adds a triple to the base graph and mirrors it into G+ so the two
-// stay consistent; materialized views become stale (see Stale).
-func (c *Catalog) Insert(t rdf.Triple) (bool, error) {
-	added, err := c.base.Add(t)
+// ApplyUpdate commits one batched update — inserts first, then deletes —
+// through the catalog: the base graph and G+ stay consistent, materialized
+// views turn stale, and the batch's effective delta ΔG is captured into the
+// maintenance log so the next refresh can apply it without a full scan.
+// Inserts are validated up front; an error means nothing was applied.
+func (c *Catalog) ApplyUpdate(inserts, deletes []rdf.Triple) (store.Delta, error) {
+	d, err := c.base.Apply(inserts, deletes)
 	if err != nil {
-		return false, fmt.Errorf("views: inserting into base: %w", err)
+		return store.Delta{}, fmt.Errorf("views: applying update to base: %w", err)
 	}
-	if added {
-		if _, err := c.expanded.Add(t); err != nil {
-			return false, fmt.Errorf("views: mirroring insert into G+: %w", err)
-		}
+	if d.FromVersion == d.ToVersion {
+		return d, nil // true no-op: nothing moved, views stay fresh
+	}
+	// An empty delta whose version interval moved (a batch that inserted and
+	// deleted the same triples) still gets recorded: the log chain stays
+	// contiguous, and the next refresh replays it for free.
+	if _, err := c.expanded.Apply(d.Inserted, d.Deleted); err != nil {
+		return d, fmt.Errorf("views: mirroring update into G+: %w", err)
+	}
+	c.log.record(d)
+	c.log.prune(c.minBaseVersion())
+	if !d.Empty() {
 		c.bump()
 	}
-	return added, nil
+	return d, nil
+}
+
+// minBaseVersion is the oldest base version any materialized view still
+// reflects — deltas at or before it can never be replayed again.
+func (c *Catalog) minBaseVersion() int64 {
+	min := c.base.Version()
+	for _, m := range c.mats {
+		if m.baseVersion < min {
+			min = m.baseVersion
+		}
+	}
+	return min
+}
+
+// Insert adds a triple to the base graph and mirrors it into G+ so the two
+// stay consistent; materialized views become stale (see Stale) and the
+// insertion joins the maintenance delta log.
+func (c *Catalog) Insert(t rdf.Triple) (bool, error) {
+	d, err := c.ApplyUpdate([]rdf.Triple{t}, nil)
+	if err != nil {
+		return false, err
+	}
+	return len(d.Inserted) == 1, nil
 }
 
 // Delete removes a triple from the base graph and from G+.
 func (c *Catalog) Delete(t rdf.Triple) bool {
-	removed := c.base.Remove(t)
-	if removed {
-		c.expanded.Remove(t)
-		c.bump()
+	d, err := c.ApplyUpdate(nil, []rdf.Triple{t})
+	return err == nil && len(d.Deleted) == 1
+}
+
+// staleState memoizes the stale-view scan for one catalog state, keyed on
+// (generation, base version): /stats and refresh planning no longer rescan
+// every materialized view — each scan re-reading the base version under its
+// lock — on every call.
+type staleState struct {
+	generation  int64
+	baseVersion int64
+	views       []facet.View
+	masks       map[facet.Mask]bool
+}
+
+// staleNow returns the memoized stale set, rebuilding it only after the
+// catalog state moved. Concurrent readers may rebuild redundantly; they
+// store identical values. Callers must not mutate the returned state.
+func (c *Catalog) staleNow() *staleState {
+	gen, bv := c.generation.Load(), c.base.Version()
+	if s := c.staleMemo.Load(); s != nil && s.generation == gen && s.baseVersion == bv {
+		return s
 	}
-	return removed
+	s := &staleState{generation: gen, baseVersion: bv, masks: make(map[facet.Mask]bool)}
+	for _, mat := range c.Materialized() {
+		if mat.baseVersion != bv {
+			s.views = append(s.views, mat.View())
+			s.masks[mat.View().Mask] = true
+		}
+	}
+	c.staleMemo.Store(s)
+	return s
 }
 
 // Stale reports whether a materialized view was computed against an older
 // version of the base graph.
 func (c *Catalog) Stale(m facet.Mask) bool {
-	mat, ok := c.mats[m]
-	if !ok {
-		return false
-	}
-	return mat.baseVersion != c.base.Version()
+	return c.staleNow().masks[m]
 }
 
-// StaleViews lists the currently stale materialized views.
+// StaleViews lists the currently stale materialized views. The returned
+// slice is shared with the memo; callers must not mutate it.
 func (c *Catalog) StaleViews() []facet.View {
-	var out []facet.View
-	for _, mat := range c.Materialized() {
-		if c.Stale(mat.View().Mask) {
-			out = append(out, mat.View())
-		}
-	}
-	return out
+	return c.staleNow().views
 }
 
-// Refresh recomputes a stale view from the current base graph and applies
-// the encoding diff to G+: removed groups' triples are deleted, new ones
-// added, unchanged ones left in place. Refreshing a fresh view is a no-op.
+// Refresh brings a stale view up to date. When the facet is
+// self-maintainable and the delta log covers the view's staleness window, it
+// replays the missed ΔG directly onto the stored groups (O(|ΔG|)); otherwise
+// it recomputes from the current base graph and applies the encoding diff to
+// G+. Refreshing a fresh view is a no-op. The path taken is recorded in the
+// record's Maint field.
 func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 	mat, ok := c.mats[v.Mask]
 	if !ok {
@@ -74,6 +129,17 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 		return mat, nil
 	}
 	start := time.Now()
+	inc, err := c.planIncremental(v, mat, c.baseEng)
+	if err != nil {
+		return nil, err
+	}
+	if inc != nil {
+		if m, ok, err := c.commitIncremental(v, inc, start); err != nil {
+			return nil, err
+		} else if ok {
+			return m, nil
+		}
+	}
 	baseVersion := c.base.Version()
 	fresh, err := Compute(c.baseEng, v)
 	if err != nil {
@@ -83,12 +149,13 @@ func (c *Catalog) Refresh(v facet.View) (*Materialized, error) {
 }
 
 // applyRefresh swaps freshly computed view contents in for the current
-// materialization, applying the encoding diff to G+. The compute phase is
-// separated out so PlanRefresh/CommitRefresh can recompute many views
-// concurrently (or off the write path entirely) and serialize only this
-// mutation step. baseVersion is the base graph's version the fresh contents
-// were computed against; recording it (rather than the commit-time version)
-// keeps a view correctly marked stale when the base advanced mid-refresh.
+// materialization, applying the encoding diff to G+ — the full-recompute
+// refresh path. The compute phase is separated out so
+// PlanRefresh/CommitRefresh can recompute many views concurrently (or off
+// the write path entirely) and serialize only this mutation step.
+// baseVersion is the base graph's version the fresh contents were computed
+// against; recording it (rather than the commit-time version) keeps a view
+// correctly marked stale when the base advanced mid-refresh.
 func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time, baseVersion int64) (*Materialized, error) {
 	mat, ok := c.mats[v.Mask]
 	if !ok {
@@ -102,9 +169,8 @@ func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time, baseV
 	if err != nil {
 		return nil, err
 	}
-	// Diff by triple value. Group blank-node labels are positional, so a
-	// shifted group would produce spurious churn; the diff still yields a
-	// correct G+ because both sides are applied as sets.
+	// Diff by triple value: group blank labels are content-keyed, so only
+	// groups whose key or value actually changed contribute to the diff.
 	oldSet := make(map[rdf.Triple]struct{}, len(oldTriples))
 	for _, t := range oldTriples {
 		oldSet[t] = struct{}{}
@@ -117,7 +183,7 @@ func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time, baseV
 		} else {
 			toAdd = append(toAdd, t)
 		}
-		bytes += int64(len(t.S.Value) + len(t.P.Value) + len(t.O.Value) + len(t.O.Datatype) + 12)
+		bytes += tripleBytes(t)
 	}
 	// Apply the diff to G+ as two batches so the sorted runs merge once per
 	// direction instead of once per triple.
@@ -136,11 +202,16 @@ func (c *Catalog) applyRefresh(v facet.View, fresh *Data, start time.Time, baseV
 	}
 	st := ComputeStats(fresh)
 	updated := &Materialized{
-		Data:        fresh,
-		Triples:     len(newTriples),
-		Nodes:       st.Nodes,
-		Bytes:       bytes,
-		Elapsed:     time.Since(start),
+		Data:    fresh,
+		Triples: len(newTriples),
+		Nodes:   st.Nodes,
+		Bytes:   bytes,
+		Elapsed: time.Since(start),
+		Maint: Maintenance{
+			Mode:     c.maintMode.String(),
+			LastPath: "full",
+			LastCost: time.Since(start),
+		},
 		baseVersion: baseVersion,
 	}
 	c.mats[v.Mask] = updated

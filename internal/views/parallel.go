@@ -100,11 +100,14 @@ type waveResult struct {
 	err   error
 }
 
-// computeWave runs compute(eng, v) for every view on a bounded worker pool
-// and returns the per-view results. The catalog must not be mutated while
-// the pool drains; callers apply mutations serially afterwards.
+// computeWave runs compute(eng, i, v) for every view on a bounded worker
+// pool and returns the per-view results. The index lets callers capture
+// side results (e.g. incremental refresh plans) into pre-sized slices
+// without locking — each slot is written by exactly one worker. The catalog
+// must not be mutated while the pool drains; callers apply mutations
+// serially afterwards.
 func (c *Catalog) computeWave(vs []facet.View, workers int,
-	compute func(*engine.Engine, facet.View) (*Data, error)) []waveResult {
+	compute func(*engine.Engine, int, facet.View) (*Data, error)) []waveResult {
 	results := make([]waveResult, len(vs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -116,7 +119,7 @@ func (c *Catalog) computeWave(vs []facet.View, workers int,
 			defer wg.Done()
 			for i := range jobs {
 				results[i].start = time.Now()
-				results[i].data, results[i].err = compute(eng, vs[i])
+				results[i].data, results[i].err = compute(eng, i, vs[i])
 			}
 		}()
 	}
@@ -157,7 +160,7 @@ func (c *Catalog) materializeWave(wave []facet.View, workers int) error {
 	// the loop below cannot change a later member's resolved source. The
 	// srcs map is read-only inside the pool, so sharing it needs no locking.
 	srcs, versions := c.resolveSources(wave)
-	results := c.computeWave(wave, workers, func(eng *engine.Engine, v facet.View) (*Data, error) {
+	results := c.computeWave(wave, workers, func(eng *engine.Engine, _ int, v facet.View) (*Data, error) {
 		if src := srcs[v.Mask]; src != nil {
 			return RollUp(src.Data, v)
 		}
@@ -221,7 +224,7 @@ func (c *Catalog) PlanMaterialize(vs []facet.View, workers int) (*MaterializePla
 	plan := &MaterializePlan{views: pending}
 	srcs, versions := c.resolveSources(pending)
 	plan.versions = versions
-	results := c.computeWave(pending, workers, func(eng *engine.Engine, v facet.View) (*Data, error) {
+	results := c.computeWave(pending, workers, func(eng *engine.Engine, _ int, v facet.View) (*Data, error) {
 		if src := srcs[v.Mask]; src != nil {
 			return RollUp(src.Data, v)
 		}
@@ -258,25 +261,48 @@ func (c *Catalog) CommitMaterialize(p *MaterializePlan) ([]*Materialized, error)
 	return out, nil
 }
 
-// RefreshPlan holds recomputed contents for every view that was stale at
-// plan time, ready to be committed. Producing the plan only reads the
-// catalog (the compute phase); applying it is the sole mutation, so a
-// serving layer can plan concurrently with query traffic and serialize just
-// the short CommitRefresh step against it.
+// refreshOp is one view's planned refresh: either a delta application
+// (inc != nil) or a full recompute (full != nil).
+type refreshOp struct {
+	inc   *incrementalPlan
+	full  *Data
+	start time.Time
+}
+
+// RefreshPlan holds, for every view that was stale at plan time, either an
+// incremental delta application or freshly recomputed contents, ready to be
+// committed. Producing the plan only reads the catalog (the compute phase);
+// applying it is the sole mutation, so a serving layer can plan concurrently
+// with query traffic and serialize just the short CommitRefresh step
+// against it.
 type RefreshPlan struct {
 	views       []facet.View
-	data        []*Data
-	starts      []time.Time
-	baseVersion int64 // base graph version the contents were computed against
+	ops         []refreshOp
+	baseVersion int64 // base graph version full-recompute contents reflect
 }
 
 // Len returns the number of views the plan refreshes.
 func (p *RefreshPlan) Len() int { return len(p.views) }
 
-// PlanRefresh recomputes every stale view's contents on up to workers
-// goroutines without mutating the catalog. It returns nil when nothing is
-// stale. The caller must not run catalog mutations concurrently with
-// planning (the compute pool reads the materialization map and base graph).
+// Incremental returns how many of the plan's views take the delta path —
+// exposed so serving layers can report which maintenance path ran.
+func (p *RefreshPlan) Incremental() int {
+	n := 0
+	for i := range p.ops {
+		if p.ops[i].inc != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// PlanRefresh prepares every stale view's refresh on up to workers
+// goroutines without mutating the catalog: views whose staleness window the
+// delta log covers (and whose facet is self-maintainable) get an O(|ΔG|)
+// incremental plan, the rest are recomputed from the base graph. It returns
+// nil when nothing is stale. The caller must not run catalog mutations
+// concurrently with planning (the compute pool reads the materialization
+// map, the delta log, and the base graph).
 func (c *Catalog) PlanRefresh(workers int) (*RefreshPlan, error) {
 	if workers < 1 {
 		workers = 1
@@ -285,36 +311,64 @@ func (c *Catalog) PlanRefresh(workers int) (*RefreshPlan, error) {
 	if len(stale) == 0 {
 		return nil, nil
 	}
-	plan := &RefreshPlan{views: stale, baseVersion: c.base.Version()}
-	results := c.computeWave(stale, workers, Compute)
+	mats := make([]*Materialized, len(stale))
+	for i, v := range stale {
+		mats[i] = c.mats[v.Mask]
+	}
+	incs := make([]*incrementalPlan, len(stale))
+	results := c.computeWave(stale, workers, func(eng *engine.Engine, i int, v facet.View) (*Data, error) {
+		inc, err := c.planIncremental(v, mats[i], eng)
+		if err != nil {
+			return nil, err
+		}
+		if inc != nil {
+			incs[i] = inc
+			return nil, nil
+		}
+		return Compute(eng, v)
+	})
+	plan := &RefreshPlan{views: stale, ops: make([]refreshOp, len(stale)), baseVersion: c.base.Version()}
 	for i, v := range stale {
 		if results[i].err != nil {
 			return nil, fmt.Errorf("views: recomputing %s: %w", v, results[i].err)
 		}
-		plan.data = append(plan.data, results[i].data)
-		plan.starts = append(plan.starts, results[i].start)
+		plan.ops[i] = refreshOp{inc: incs[i], full: results[i].data, start: results[i].start}
 	}
 	return plan, nil
 }
 
-// CommitRefresh applies a plan's encoding diffs to G+ serially, returning
-// how many views were refreshed. Committing a nil plan is a no-op. A view
-// dropped since planning is skipped; a view re-materialized since planning
-// is overwritten with the plan's contents.
+// CommitRefresh applies a plan serially — incremental group deltas or full
+// encoding diffs — returning how many views were refreshed. Committing a
+// nil plan is a no-op. A view dropped since planning is skipped; a view
+// whose record changed since an incremental plan was made is skipped too
+// (it stays stale for the next cycle), since its deltas were computed
+// against the old contents.
 func (c *Catalog) CommitRefresh(p *RefreshPlan) (int, error) {
 	if p == nil {
 		return 0, nil
 	}
 	n := 0
 	for i, v := range p.views {
+		op := p.ops[i]
+		if op.inc != nil {
+			_, ok, err := c.commitIncremental(v, op.inc, op.start)
+			if err != nil {
+				return n, err
+			}
+			if ok {
+				n++
+			}
+			continue
+		}
 		if !c.Has(v.Mask) {
 			continue
 		}
-		if _, err := c.applyRefresh(v, p.data[i], p.starts[i], p.baseVersion); err != nil {
+		if _, err := c.applyRefresh(v, op.full, op.start, p.baseVersion); err != nil {
 			return n, err
 		}
 		n++
 	}
+	c.log.prune(c.minBaseVersion())
 	return n, nil
 }
 
