@@ -20,11 +20,13 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"sofos/internal/core"
 	"sofos/internal/cost"
 	"sofos/internal/datasets"
 	"sofos/internal/engine"
 	"sofos/internal/experiments"
 	"sofos/internal/facet"
+	"sofos/internal/persist"
 	"sofos/internal/rdf"
 	"sofos/internal/rewrite"
 	"sofos/internal/selection"
@@ -872,4 +874,128 @@ func BenchmarkServerRepeatedWorkload(b *testing.B) {
 			b.Fatalf("fresh answer was not re-cached (cached %v, generation %d vs %d)", cached2, gen2, gen1)
 		}
 	})
+}
+
+// --- Durability: WAL append and crash recovery ---
+
+// walBenchRecord builds a representative /update batch record: six triples,
+// the shape of one dbpedia observation.
+func walBenchRecord(i int) *persist.Record {
+	iri := func(s string) rdf.Term { return rdf.NewIRI("http://dbpedia.org/property/" + s) }
+	obs := rdf.NewIRI(fmt.Sprintf("http://ex.org/obs%d", i))
+	c := rdf.NewIRI(fmt.Sprintf("http://ex.org/c%d", i))
+	return &persist.Record{
+		FromVersion: int64(i * 6), ToVersion: int64(i*6 + 6), Generation: int64(i),
+		Inserts: []rdf.Triple{
+			{S: obs, P: iri("country"), O: c},
+			{S: c, P: iri("name"), O: rdf.NewLiteral(fmt.Sprintf("X%d", i))},
+			{S: c, P: iri("continent"), O: rdf.NewLiteral("Atlantis")},
+			{S: obs, P: iri("language"), O: rdf.NewLiteral("xx")},
+			{S: obs, P: iri("year"), O: rdf.NewYear(2020)},
+			{S: obs, P: iri("population"), O: rdf.NewInteger(int64(i))},
+		},
+	}
+}
+
+// BenchmarkWALAppend measures the per-batch durability cost of each fsync
+// policy — the latency the write-ahead log adds inside the /update critical
+// section before a batch can be acknowledged.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, policy := range []persist.SyncPolicy{persist.SyncAlways, persist.SyncInterval, persist.SyncNone} {
+		b.Run(policy.String(), func(b *testing.B) {
+			l, err := persist.OpenLog(b.TempDir(), policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			rec := walBenchRecord(1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchDataDir builds a data directory: a checkpointed dbpedia system with
+// the full view materialized, plus n WAL-logged eagerly maintained batches
+// past the checkpoint.
+func benchDataDir(b *testing.B, path string, n int) {
+	b.Helper()
+	g, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := core.NewWithOptions(g, f, core.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := sys.Catalog.Materialize(f.View(f.FullMask())); err != nil {
+		b.Fatal(err)
+	}
+	dir, err := persist.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := persist.OpenLog(dir.WALDir(), persist.SyncNone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := dir.WriteCheckpoint(persist.Manifest{
+		Dataset: "dbpedia", Scale: 40, Seed: 1,
+		GraphVersion: sys.GraphVersion(), Generation: sys.Generation(), WALSeq: 1,
+	}, sys.Graph.Save, sys.Catalog.SaveState); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := walBenchRecord(i)
+		d, err := sys.ApplyUpdate(rec.Inserts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Refresh(); err != nil {
+			b.Fatal(err)
+		}
+		if err := l.Append(&persist.Record{
+			FromVersion: d.FromVersion, ToVersion: d.ToVersion,
+			Generation: sys.Generation(), Eager: true,
+			Inserts: d.Inserted, Deletes: d.Deleted,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecovery measures crash recovery at dbpedia@40: loading the
+// checkpoint alone versus checkpoint plus an N-batch WAL suffix replayed
+// through the incremental maintenance path. The gap between the variants is
+// the per-batch replay cost — O(|ΔG|), not O(|G|).
+func BenchmarkRecovery(b *testing.B) {
+	_, f, err := datasets.BuildWithFacet("dbpedia", 40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{0, 16, 64} {
+		b.Run(fmt.Sprintf("replay%d", n), func(b *testing.B) {
+			path := b.TempDir()
+			benchDataDir(b, path, n)
+			dir, err := persist.Open(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sys, rec, err := core.Restore(dir, f, core.Options{Workers: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rec.ReplayedBatches != n || sys.Graph.Len() == 0 {
+					b.Fatalf("replayed %d batches, want %d", rec.ReplayedBatches, n)
+				}
+			}
+		})
+	}
 }

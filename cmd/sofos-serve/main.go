@@ -9,6 +9,16 @@
 //	curl -X POST localhost:8080/update -d '{"insert": "<s> <p> <o> ."}'
 //	curl localhost:8080/views                         # list materializations
 //	curl localhost:8080/stats                         # serving health
+//
+// With -data-dir the server is durable: committed /update batches are
+// written ahead to a log before they are acknowledged, checkpoints pair a
+// graph snapshot with the catalog state, and a restart — even from SIGKILL —
+// recovers the exact committed state by loading the newest checkpoint and
+// replaying the log suffix:
+//
+//	sofos-serve -dataset dbpedia -k 3 -data-dir /var/lib/sofos \
+//	    -wal-sync always -checkpoint-interval 5m
+//	curl -X POST localhost:8080/admin/checkpoint      # checkpoint on demand
 package main
 
 import (
@@ -23,6 +33,7 @@ import (
 	"sofos/internal/core"
 	"sofos/internal/cost"
 	"sofos/internal/datasets"
+	"sofos/internal/persist"
 	"sofos/internal/server"
 )
 
@@ -35,16 +46,19 @@ func main() {
 
 // config is the parsed command line.
 type config struct {
-	addr          string
-	dataset       string
-	scale         int
-	seed          int64
-	model         string
-	k             int
-	workers       int
-	maxConcurrent int
-	cacheEntries  int
-	cacheBytes    int64
+	addr               string
+	dataset            string
+	scale              int
+	seed               int64
+	model              string
+	k                  int
+	workers            int
+	maxConcurrent      int
+	cacheEntries       int
+	cacheBytes         int64
+	dataDir            string
+	walSync            string
+	checkpointInterval time.Duration
 }
 
 // parseFlags parses the command line into a config.
@@ -61,6 +75,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&c.maxConcurrent, "max-concurrent", 0, "admission limit on concurrently executing queries (0 = 2x CPUs)")
 	fs.IntVar(&c.cacheEntries, "cache", 0, "result cache capacity in entries (0 = default 4096, negative = disabled)")
 	fs.Int64Var(&c.cacheBytes, "cache-bytes", 0, "result cache byte budget over rendered bodies (0 = entry bound only)")
+	fs.StringVar(&c.dataDir, "data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = memory-only")
+	fs.StringVar(&c.walSync, "wal-sync", "always", "WAL fsync policy: always (sync before every ack), interval (background sync), none")
+	fs.DurationVar(&c.checkpointInterval, "checkpoint-interval", 0, "write a checkpoint this often (0 = only at boot, on view changes, and via /admin/checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -68,8 +85,103 @@ func parseFlags(args []string) (*config, error) {
 }
 
 // buildServer constructs the system and server for a config — separated
-// from run so tests can build without listening.
+// from run so tests can build without listening. With a data dir it prefers
+// recovery (checkpoint load + WAL replay) over generator rebuild, opens the
+// WAL, and — on a fresh directory — writes the initial checkpoint so every
+// later boot has a snapshot to recover from.
 func buildServer(c *config) (*server.Server, error) {
+	var (
+		dur *server.Durability
+		sys *core.System
+	)
+	if c.dataDir != "" {
+		policy, err := persist.ParseSyncPolicy(c.walSync)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := persist.Open(c.dataDir)
+		if err != nil {
+			return nil, err
+		}
+		cp, err := dir.LatestCheckpoint()
+		if err != nil {
+			return nil, err
+		}
+		dur = &server.Durability{Dir: dir, Dataset: c.dataset, Scale: c.scale, Seed: c.seed}
+		if cp != nil {
+			if cp.Manifest.Dataset != c.dataset || cp.Manifest.Scale != c.scale || cp.Manifest.Seed != c.seed {
+				return nil, fmt.Errorf("data dir %s holds %s scale %d seed %d, flags ask for %s scale %d seed %d",
+					c.dataDir, cp.Manifest.Dataset, cp.Manifest.Scale, cp.Manifest.Seed,
+					c.dataset, c.scale, c.seed)
+			}
+			spec, ok := datasets.ByName(c.dataset)
+			if !ok {
+				return nil, fmt.Errorf("unknown dataset %q in data dir manifest", c.dataset)
+			}
+			f, err := spec.Facet()
+			if err != nil {
+				return nil, err
+			}
+			var rec *core.RecoveryStats
+			sys, rec, err = core.Restore(dir, f, core.Options{Workers: c.workers})
+			if err != nil {
+				return nil, err
+			}
+			rec.LogRecovery()
+			dur.Recovery = rec
+		} else {
+			// No checkpoint. Leftover WAL segments are tolerable only when
+			// they hold no records — the debris of a first boot that died
+			// before its initial checkpoint, with nothing ever acknowledged.
+			// Any record without a checkpoint means committed data with no
+			// snapshot to replay it onto: refuse rather than guess.
+			stats, err := persist.ReplayWAL(dir.WALDir(), 0, func(uint64, *persist.Record) error { return nil })
+			if err != nil {
+				return nil, fmt.Errorf("data dir %s has no checkpoint and a damaged wal: %w", c.dataDir, err)
+			}
+			if stats.Records > 0 {
+				return nil, fmt.Errorf("data dir %s has %d wal records but no checkpoint; cannot recover", c.dataDir, stats.Records)
+			}
+		}
+		dur.Log, err = persist.OpenLog(dir.WALDir(), policy)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sys == nil {
+		var err error
+		sys, err = buildFresh(c)
+		if err != nil {
+			return nil, err
+		}
+	}
+	srv := server.New(sys, server.Config{
+		MaxConcurrent: c.maxConcurrent,
+		CacheEntries:  c.cacheEntries,
+		CacheBytes:    c.cacheBytes,
+		SelectionSeed: c.seed,
+		Durability:    dur,
+	})
+	// Every durable boot checkpoints immediately. Fresh boots need a
+	// snapshot on disk before the first update can be acknowledged
+	// (recovery must never depend on re-running the generators); recovered
+	// boots fold the just-replayed WAL suffix into a new snapshot so the
+	// suffix cannot grow without bound across restarts.
+	if dur != nil {
+		m, err := srv.Checkpoint()
+		if err != nil {
+			return nil, fmt.Errorf("writing boot checkpoint: %w", err)
+		}
+		log.Printf("wrote boot checkpoint %d (%d triples, %d views, generation %d) to %s",
+			m.Sequence, m.BaseTriples, m.Views, m.Generation, c.dataDir)
+	}
+	return srv, nil
+}
+
+// buildFresh builds the system from the dataset generators — the memory-only
+// path and the first boot of a durable directory.
+func buildFresh(c *config) (*core.System, error) {
 	g, f, err := datasets.BuildWithFacet(c.dataset, c.scale, c.seed)
 	if err != nil {
 		return nil, err
@@ -106,12 +218,28 @@ func buildServer(c *config) (*server.Server, error) {
 		}
 		log.Printf("materialized %d views under %s: %v", len(ids), c.model, ids)
 	}
-	return server.New(sys, server.Config{
-		MaxConcurrent: c.maxConcurrent,
-		CacheEntries:  c.cacheEntries,
-		CacheBytes:    c.cacheBytes,
-		SelectionSeed: c.seed,
-	}), nil
+	return sys, nil
+}
+
+// checkpointLoop writes checkpoints on the configured interval until stop is
+// closed. Failures are logged and retried next tick — the WAL keeps every
+// committed batch recoverable in the meantime.
+func checkpointLoop(srv *server.Server, every time.Duration, stop <-chan struct{}) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if m, err := srv.Checkpoint(); err != nil {
+				log.Printf("interval checkpoint failed: %v", err)
+			} else {
+				log.Printf("checkpoint %d written (generation %d, wal from segment %d)",
+					m.Sequence, m.Generation, m.WALSeq)
+			}
+		case <-stop:
+			return
+		}
+	}
 }
 
 func run(args []string) error {
@@ -126,6 +254,11 @@ func run(args []string) error {
 	ln, err := net.Listen("tcp", c.addr)
 	if err != nil {
 		return err
+	}
+	if c.dataDir != "" && c.checkpointInterval > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go checkpointLoop(srv, c.checkpointInterval, stop)
 	}
 	sys := srv.System()
 	log.Printf("serving %s (%d triples, facet %s, %d workers) on %s",

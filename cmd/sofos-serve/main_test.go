@@ -7,6 +7,8 @@ import (
 	"net/url"
 	"strings"
 	"testing"
+
+	"sofos/internal/persist"
 )
 
 func TestParseFlags(t *testing.T) {
@@ -115,5 +117,220 @@ func TestEndToEnd(t *testing.T) {
 	}
 	if stats.Queries != 2 || stats.Updates != 1 {
 		t.Errorf("stats = %+v, want 2 queries / 1 update", stats)
+	}
+}
+
+// durableConfig is the smallest durable server configuration for tests.
+func durableConfig(dir string) *config {
+	return &config{dataset: "lubm", scale: 1, seed: 1, model: "aggvalues", k: 2,
+		workers: 2, dataDir: dir, walSync: "always"}
+}
+
+// TestDurableBootKillRestart is buildServer's crash story end to end: a
+// fresh durable boot writes the initial checkpoint, acknowledged updates
+// reach the WAL, and a second buildServer over the same directory — the
+// process was never shut down cleanly, as after SIGKILL — serves the exact
+// committed generation and answers.
+func TestDurableBootKillRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := buildServer(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) map[string]any {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("update status %d: %v", resp.StatusCode, out)
+		}
+		return out
+	}
+	post(`{"insert": "<http://t.test/s1> <http://t.test/p> <http://t.test/o> ."}`)
+	last := post(`{"insert": "<http://t.test/s2> <http://t.test/p> <http://t.test/o> .", "maintain": "eager"}`)
+	wantGen := last["generation"].(float64)
+
+	q := srv.System().Facet.View(0).AnalyticalQuery().String()
+	resp, err := http.Get(ts.URL + "/query?q=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var preAns struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&preAns); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Restart from the directory. The old server object is abandoned mid-air.
+	srv2, err := buildServer(durableConfig(dir))
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	ts2 := httptest.NewServer(srv2.Handler())
+	defer ts2.Close()
+	resp, err = http.Get(ts2.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Generation float64 `json:"generation"`
+		Persist    *struct {
+			Recovery *struct {
+				ReplayedBatches float64 `json:"replayed_batches"`
+			} `json:"recovery"`
+		} `json:"persist"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Generation != wantGen {
+		t.Fatalf("recovered generation %v, want %v", st.Generation, wantGen)
+	}
+	if st.Persist == nil || st.Persist.Recovery == nil || st.Persist.Recovery.ReplayedBatches != 2 {
+		t.Fatalf("recovery stats = %+v", st.Persist)
+	}
+	resp, err = http.Get(ts2.URL + "/query?q=" + url.QueryEscape(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var postAns struct {
+		Rows [][]string `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&postAns); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(postAns.Rows) == 0 || len(preAns.Rows) == 0 || postAns.Rows[0][0] != preAns.Rows[0][0] {
+		t.Fatalf("answers differ across restart: %v vs %v", postAns.Rows, preAns.Rows)
+	}
+}
+
+// TestDurableBootRejectsMismatchedFlags guards against silently serving one
+// dataset's data under another's flags.
+func TestDurableBootRejectsMismatchedFlags(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := buildServer(durableConfig(dir)); err != nil {
+		t.Fatal(err)
+	}
+	bad := durableConfig(dir)
+	bad.dataset = "swdf"
+	if _, err := buildServer(bad); err == nil {
+		t.Error("mismatched dataset accepted")
+	}
+	badScale := durableConfig(dir)
+	badScale.scale = 7
+	if _, err := buildServer(badScale); err == nil {
+		t.Error("mismatched scale accepted")
+	}
+}
+
+func TestDurableBootRejectsBadSyncPolicy(t *testing.T) {
+	c := durableConfig(t.TempDir())
+	c.walSync = "sometimes"
+	if _, err := buildServer(c); err == nil {
+		t.Error("bad wal-sync accepted")
+	}
+}
+
+// TestDurableBootTamesEmptyWALDebris reproduces a first boot that died
+// between opening its WAL and writing the initial checkpoint: segments with
+// zero records must not brick the directory, while any real record without
+// a checkpoint must.
+func TestDurableBootTamesEmptyWALDebris(t *testing.T) {
+	dir := t.TempDir()
+	pd, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := persist.OpenLog(pd.WALDir(), persist.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil { // empty segment left behind
+		t.Fatal(err)
+	}
+	if _, err := buildServer(durableConfig(dir)); err != nil {
+		t.Fatalf("record-free wal debris bricked the dir: %v", err)
+	}
+
+	dir2 := t.TempDir()
+	pd2, err := persist.Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := persist.OpenLog(pd2.WALDir(), persist.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Append(&persist.Record{FromVersion: 1, ToVersion: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := buildServer(durableConfig(dir2)); err == nil {
+		t.Error("wal records without a checkpoint accepted")
+	}
+}
+
+// TestRecoveredBootCheckpoints asserts every durable boot folds the
+// replayed suffix into a fresh checkpoint, so back-to-back restarts never
+// replay the same batches twice.
+func TestRecoveredBootCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := buildServer(durableConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	resp, err := http.Post(ts.URL+"/update", "application/json",
+		strings.NewReader(`{"insert": "<http://t.test/rb> <http://t.test/p> <http://t.test/o> ."}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+
+	srv2, err := buildServer(durableConfig(dir)) // replays 1 batch, then checkpoints
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = srv2
+	srv3, err := buildServer(durableConfig(dir)) // must replay nothing
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(srv3.Handler())
+	defer ts3.Close()
+	r, err := http.Get(ts3.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st struct {
+		Persist struct {
+			Recovery struct {
+				ReplayedBatches int `json:"replayed_batches"`
+			} `json:"recovery"`
+		} `json:"persist"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Persist.Recovery.ReplayedBatches != 0 {
+		t.Fatalf("third boot replayed %d batches; the second boot's checkpoint should cover them", st.Persist.Recovery.ReplayedBatches)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"sofos/internal/benchkit"
 	"sofos/internal/core"
@@ -23,6 +24,7 @@ import (
 	"sofos/internal/datasets"
 	"sofos/internal/experiments"
 	"sofos/internal/facet"
+	"sofos/internal/persist"
 	"sofos/internal/selection"
 	"sofos/internal/workload"
 )
@@ -92,6 +94,7 @@ commands:
   query     answer one SPARQL query, preferring materialized views
   workload  generate a reproducible query workload and write it to a file
   replay    replay a saved workload against a model's selection
+  snapshot  dump a dataset to (or restore one from) a server data directory
 
 run 'sofos <command> -h' for flags.`
 
@@ -117,6 +120,8 @@ func run(args []string, w io.Writer) error {
 		return cmdWorkload(args[1:], w)
 	case "replay":
 		return cmdReplay(args[1:], w)
+	case "snapshot":
+		return cmdSnapshot(args[1:], w)
 	case "-h", "--help", "help":
 		fmt.Fprintln(w, usage)
 		return nil
@@ -449,6 +454,132 @@ func cmdQuery(args []string, w io.Writer) error {
 			cells[j] = v.String()
 		}
 		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}
+
+// cmdSnapshot dumps a dataset into — or inspects/restores one from — the
+// persist checkpoint format sofos-serve boots from, so offline tooling and
+// the server share one on-disk layout. Dumping builds the dataset, runs the
+// model's view selection, materializes it, and writes a checkpoint into the
+// data directory; `sofos-serve -data-dir` then starts warm without touching
+// the generators. Restoring runs full recovery (checkpoint load + WAL-suffix
+// replay) and prints what the directory contains.
+func cmdSnapshot(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("snapshot", flag.ContinueOnError)
+	c := addCommon(fs)
+	out := fs.String("out", "", "dump: data directory to write a checkpoint into")
+	in := fs.String("in", "", "restore: data directory to recover and describe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case (*out == "") == (*in == ""):
+		return fmt.Errorf("snapshot: use exactly one of -out (dump) or -in (restore)")
+	case *out != "":
+		return snapshotDump(c, *out, w)
+	default:
+		return snapshotRestore(*in, c.workers, w)
+	}
+}
+
+// snapshotDump materializes the model's selection and checkpoints the state.
+func snapshotDump(c *commonFlags, path string, w io.Writer) error {
+	s, err := buildSystem(c)
+	if err != nil {
+		return err
+	}
+	if c.k > 0 {
+		m, err := pickModel(s, c)
+		if err != nil {
+			return err
+		}
+		sel, err := s.SelectViews(m, c.k)
+		if err != nil {
+			return err
+		}
+		if _, err := s.Materialize(sel); err != nil {
+			return err
+		}
+	}
+	dir, err := persist.Open(path)
+	if err != nil {
+		return err
+	}
+	// Refuse to silently supersede another dataset's committed state: a new
+	// checkpoint repoints CURRENT and obsoletes every logged batch.
+	if prev, err := dir.LatestCheckpoint(); err != nil {
+		return err
+	} else if prev != nil && (prev.Manifest.Dataset != c.dataset ||
+		prev.Manifest.Scale != c.scale || prev.Manifest.Seed != c.seed) {
+		return fmt.Errorf("snapshot: %s holds %s scale %d seed %d; refusing to overwrite with %s scale %d seed %d",
+			path, prev.Manifest.Dataset, prev.Manifest.Scale, prev.Manifest.Seed,
+			c.dataset, c.scale, c.seed)
+	}
+	walSeq, err := persist.NextSegmentSeq(dir.WALDir())
+	if err != nil {
+		return err
+	}
+	cp, err := dir.WriteCheckpoint(persist.Manifest{
+		Dataset:      c.dataset,
+		Scale:        c.scale,
+		Seed:         c.seed,
+		GraphVersion: s.GraphVersion(),
+		Generation:   s.Generation(),
+		WALSeq:       walSeq,
+		BaseTriples:  s.Graph.Len(),
+		Views:        len(s.Catalog.Materialized()),
+		CreatedUnix:  time.Now().Unix(),
+	}, s.Graph.Save, s.Catalog.SaveState)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote checkpoint %d to %s: %s scale %d seed %d, %d triples, %d views, generation %d\n",
+		cp.Manifest.Sequence, path, c.dataset, c.scale, c.seed,
+		cp.Manifest.BaseTriples, cp.Manifest.Views, cp.Manifest.Generation)
+	fmt.Fprintf(w, "serve it with: sofos-serve -dataset %s -scale %d -seed %d -data-dir %s\n",
+		c.dataset, c.scale, c.seed, path)
+	return nil
+}
+
+// snapshotRestore recovers a data directory and prints its contents.
+func snapshotRestore(path string, workers int, w io.Writer) error {
+	dir, err := persist.Open(path)
+	if err != nil {
+		return err
+	}
+	cp, err := dir.LatestCheckpoint()
+	if err != nil {
+		return err
+	}
+	if cp == nil {
+		return fmt.Errorf("snapshot: %s has no checkpoint", path)
+	}
+	spec, ok := datasets.ByName(cp.Manifest.Dataset)
+	if !ok {
+		return fmt.Errorf("snapshot: manifest names unknown dataset %q", cp.Manifest.Dataset)
+	}
+	f, err := spec.Facet()
+	if err != nil {
+		return err
+	}
+	s, rec, err := core.Restore(dir, f, core.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "restored %s scale %d seed %d from checkpoint %d: %d triples, generation %d, graph version %d\n",
+		cp.Manifest.Dataset, cp.Manifest.Scale, cp.Manifest.Seed, rec.CheckpointSeq,
+		s.Graph.Len(), s.Generation(), s.GraphVersion())
+	fmt.Fprintf(w, "wal replay: %d batches (%d triples), %d skipped, torn tail %v, in %s (snapshot load %s)\n",
+		rec.ReplayedBatches, rec.ReplayedTriples, rec.SkippedBatches, rec.TornTail,
+		benchkit.FmtDuration(rec.Elapsed), benchkit.FmtDuration(rec.SnapshotLoad))
+	t := benchkit.NewTable("materialized views", "view", "groups", "triples", "stale", "last path")
+	for _, m := range s.Catalog.Materialized() {
+		t.AddRow(m.View().ID(),
+			fmt.Sprintf("%d", m.Data.NumGroups()),
+			fmt.Sprintf("%d", m.Triples),
+			fmt.Sprintf("%v", s.Catalog.Stale(m.View().Mask)),
+			m.Maint.LastPath)
 	}
 	return t.Render(w)
 }

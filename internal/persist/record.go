@@ -1,0 +1,196 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sofos/internal/rdf"
+)
+
+// Record is one durably logged committed update batch: the effective delta
+// the batch applied (store.Delta's wire content — net inserts and deletes
+// plus the graph-version interval it moved across) together with the serving
+// metadata replay needs to land on the exact acknowledged state.
+type Record struct {
+	// FromVersion and ToVersion are the base graph's version immediately
+	// before and after the batch. Replay checks FromVersion against the
+	// recovering graph's version, so a gap in the chain is detected instead
+	// of silently producing a divergent graph.
+	FromVersion int64
+	ToVersion   int64
+
+	// Generation is the catalog generation the batch was acknowledged at —
+	// after the commit and, for eager batches, after the refresh. Replay
+	// forwards the recovered catalog's counter to it, so /stats reports the
+	// exact pre-crash generation.
+	Generation int64
+
+	// Eager records whether the batch was maintained eagerly; replay repeats
+	// the same maintenance so recovered staleness matches the live run.
+	Eager bool
+
+	// Inserts and Deletes are the batch's effective delta: re-applying them
+	// to the pre-batch graph state reproduces the post-batch state exactly.
+	Inserts []rdf.Triple
+	Deletes []rdf.Triple
+}
+
+// recordFormat versions the payload layout.
+const recordFormat = 1
+
+// Len is the batch's |ΔG|.
+func (r *Record) Len() int { return len(r.Inserts) + len(r.Deletes) }
+
+// encode renders the payload (the bytes the segment CRC covers).
+//
+//	format (1 byte)
+//	fromVersion, toVersion, generation (varint)
+//	eager (1 byte)
+//	insert count (uvarint), inserts; delete count (uvarint), deletes
+//	  per triple: S, P, O terms (kind byte + value/datatype/lang strings)
+func (r *Record) encode() []byte {
+	var b bytes.Buffer
+	var buf [binary.MaxVarintLen64]byte
+	varint := func(v int64) { b.Write(buf[:binary.PutVarint(buf[:], v)]) }
+	uvarint := func(v uint64) { b.Write(buf[:binary.PutUvarint(buf[:], v)]) }
+	str := func(s string) { uvarint(uint64(len(s))); b.WriteString(s) }
+	term := func(t rdf.Term) { b.WriteByte(byte(t.Kind)); str(t.Value); str(t.Datatype); str(t.Lang) }
+	triples := func(ts []rdf.Triple) {
+		uvarint(uint64(len(ts)))
+		for _, t := range ts {
+			term(t.S)
+			term(t.P)
+			term(t.O)
+		}
+	}
+	b.WriteByte(recordFormat)
+	varint(r.FromVersion)
+	varint(r.ToVersion)
+	varint(r.Generation)
+	if r.Eager {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+	triples(r.Inserts)
+	triples(r.Deletes)
+	return b.Bytes()
+}
+
+// decodeRecord inverts encode. The payload has already passed its checksum,
+// so errors here mean a format mismatch, not transport damage.
+func decodeRecord(payload []byte) (*Record, error) {
+	br := bytes.NewReader(payload)
+	format, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("record format: %w", err)
+	}
+	if format != recordFormat {
+		return nil, fmt.Errorf("unsupported record format %d", format)
+	}
+	rec := &Record{}
+	if rec.FromVersion, err = binary.ReadVarint(br); err != nil {
+		return nil, fmt.Errorf("record from-version: %w", err)
+	}
+	if rec.ToVersion, err = binary.ReadVarint(br); err != nil {
+		return nil, fmt.Errorf("record to-version: %w", err)
+	}
+	if rec.Generation, err = binary.ReadVarint(br); err != nil {
+		return nil, fmt.Errorf("record generation: %w", err)
+	}
+	eager, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("record eager flag: %w", err)
+	}
+	if eager > 1 {
+		return nil, fmt.Errorf("invalid eager flag %d", eager)
+	}
+	rec.Eager = eager == 1
+	if rec.Inserts, err = decodeTriples(br); err != nil {
+		return nil, fmt.Errorf("record inserts: %w", err)
+	}
+	if rec.Deletes, err = decodeTriples(br); err != nil {
+		return nil, fmt.Errorf("record deletes: %w", err)
+	}
+	if br.Len() != 0 {
+		return nil, fmt.Errorf("%d trailing bytes after record", br.Len())
+	}
+	return rec, nil
+}
+
+// decodeTriples reads one length-prefixed triple block.
+func decodeTriples(br *bytes.Reader) ([]rdf.Triple, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("count: %w", err)
+	}
+	// Every triple needs ≥ 12 payload bytes, so the remaining length bounds
+	// the count honestly; a corrupt count fails here instead of allocating.
+	// The capacity hint is clamped separately: a count that merely *fits*
+	// the payload could still demand ~170× the payload in Triple headers
+	// up front, so oversized batches grow by append and fail on the reads.
+	if n > uint64(br.Len()) {
+		return nil, fmt.Errorf("count %d exceeds remaining payload", n)
+	}
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	ts := make([]rdf.Triple, 0, capHint)
+	for i := uint64(0); i < n; i++ {
+		var t rdf.Triple
+		if t.S, err = decodeTerm(br); err != nil {
+			return nil, fmt.Errorf("triple %d subject: %w", i, err)
+		}
+		if t.P, err = decodeTerm(br); err != nil {
+			return nil, fmt.Errorf("triple %d predicate: %w", i, err)
+		}
+		if t.O, err = decodeTerm(br); err != nil {
+			return nil, fmt.Errorf("triple %d object: %w", i, err)
+		}
+		ts = append(ts, t)
+	}
+	return ts, nil
+}
+
+// decodeTerm reads one term.
+func decodeTerm(br *bytes.Reader) (rdf.Term, error) {
+	var t rdf.Term
+	kind, err := br.ReadByte()
+	if err != nil {
+		return t, err
+	}
+	if kind > byte(rdf.KindLiteral) {
+		return t, fmt.Errorf("invalid term kind %d", kind)
+	}
+	t.Kind = rdf.TermKind(kind)
+	if t.Value, err = decodeString(br); err != nil {
+		return t, err
+	}
+	if t.Datatype, err = decodeString(br); err != nil {
+		return t, err
+	}
+	if t.Lang, err = decodeString(br); err != nil {
+		return t, err
+	}
+	return t, nil
+}
+
+// decodeString reads one length-prefixed string, bounded by the remaining
+// payload.
+func decodeString(br *bytes.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(br.Len()) {
+		return "", fmt.Errorf("string length %d exceeds remaining payload", n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(br, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}

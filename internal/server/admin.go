@@ -10,6 +10,7 @@ import (
 
 	"sofos/internal/cost"
 	"sofos/internal/facet"
+	"sofos/internal/persist"
 	"sofos/internal/rdf"
 )
 
@@ -75,31 +76,85 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// An earlier batch committed in memory but never reached the WAL: until
+	// a checkpoint captures it, logging any further batch would write a
+	// version interval recovery cannot chain to (it would replay onto a
+	// graph missing the unlogged batch). Heal by checkpointing first, or
+	// refuse before applying anything.
+	if s.dur != nil && s.walGap.Load() {
+		if _, err := s.checkpointLocked(); err != nil {
+			httpError(w, http.StatusServiceUnavailable,
+				"write-ahead log has an unhealed gap and checkpointing failed: %v; update refused (nothing applied)", err)
+			return
+		}
+		s.walGap.Store(false)
+	}
 	d, err := s.sys.Catalog.ApplyUpdate(inserts, deletes)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
 		return
 	}
 	resp := updateResponse{Inserted: len(d.Inserted), Deleted: len(d.Deleted)}
+	var refreshErr error
 	if req.Maintain == "eager" {
 		plan, err := s.sys.Catalog.PlanRefresh(s.sys.Workers)
 		if err != nil {
-			httpError(w, http.StatusInternalServerError,
+			refreshErr = fmt.Errorf(
 				"batch applied (%d inserted, %d deleted) but eager refresh failed to plan: %v",
 				resp.Inserted, resp.Deleted, err)
-			return
+		} else {
+			if plan != nil {
+				resp.Incremental = plan.Incremental()
+			}
+			n, err := s.sys.Catalog.CommitRefresh(plan)
+			if err != nil {
+				refreshErr = fmt.Errorf(
+					"batch applied (%d inserted, %d deleted) and %d views refreshed, then eager refresh failed: %v",
+					resp.Inserted, resp.Deleted, n, err)
+			} else {
+				resp.Refreshed = n
+			}
 		}
-		if plan != nil {
-			resp.Incremental = plan.Incremental()
+	}
+	// Durability point: the committed batch reaches the write-ahead log —
+	// under -wal-sync=always, stable storage — before any acknowledgement,
+	// including the post-commit refresh-failure 500s (those tell the client
+	// the batch applied, so it must survive a crash too). The recorded
+	// generation is the one the client will see; replay reinstates it
+	// exactly.
+	if s.dur != nil && d.FromVersion != d.ToVersion {
+		rec := &persist.Record{
+			FromVersion: d.FromVersion,
+			ToVersion:   d.ToVersion,
+			Generation:  s.sys.Generation(),
+			Eager:       req.Maintain == "eager" && refreshErr == nil,
+			Inserts:     d.Inserted,
+			Deletes:     d.Deleted,
 		}
-		n, err := s.sys.Catalog.CommitRefresh(plan)
-		if err != nil {
-			httpError(w, http.StatusInternalServerError,
-				"batch applied (%d inserted, %d deleted) and %d views refreshed, then eager refresh failed: %v",
-				resp.Inserted, resp.Deleted, n, err)
-			return
+		if err := s.dur.Log.Append(rec); err != nil {
+			// The batch is live but unlogged — a gap every later logged
+			// record would be unrecoverable across. A checkpoint heals it:
+			// the snapshot captures the batch and rotates the log past the
+			// gap, after which the batch IS durable and the ack can proceed.
+			if _, cperr := s.checkpointLocked(); cperr != nil {
+				s.walGap.Store(true)
+				httpError(w, http.StatusInternalServerError,
+					"batch committed in memory (%d inserted, %d deleted) but failed to reach the write-ahead log (%v) and the healing checkpoint failed (%v); it will not survive a restart, and further updates are refused until a checkpoint succeeds",
+					resp.Inserted, resp.Deleted, err, cperr)
+				return
+			}
 		}
-		resp.Refreshed = n
+	}
+	if refreshErr != nil {
+		httpError(w, http.StatusInternalServerError, "%v", refreshErr)
+		return
+	}
+	// A no-op delta (nothing logged) can still have eagerly refreshed views
+	// left stale by earlier lazy batches — a generation bump the WAL does
+	// not capture. Snapshot it, as manual /views refreshes do.
+	if s.dur != nil && d.FromVersion == d.ToVersion && resp.Refreshed > 0 &&
+		!s.persistViewChange(w, "eager refresh") {
+		return
 	}
 	resp.Stale = len(s.sys.Catalog.StaleViews())
 	resp.Generation = s.sys.Generation()
@@ -206,6 +261,9 @@ func (s *Server) handleViewsAction(w http.ResponseWriter, req viewsRequest) {
 			httpError(w, http.StatusNotFound, "view %s is not materialized", v.ID())
 			return
 		}
+		if !s.persistViewChange(w, "drop") {
+			return
+		}
 		writeJSON(w, http.StatusOK, viewsActionResponse{
 			Action: "drop", Views: []string{v.ID()}, Generation: s.sys.Generation(),
 		})
@@ -213,6 +271,9 @@ func (s *Server) handleViewsAction(w http.ResponseWriter, req viewsRequest) {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		s.sys.Reset()
+		if !s.persistViewChange(w, "reset") {
+			return
+		}
 		writeJSON(w, http.StatusOK, viewsActionResponse{
 			Action: "reset", Generation: s.sys.Generation(),
 		})
@@ -254,6 +315,9 @@ func (s *Server) actionMaterialize(w http.ResponseWriter, req viewsRequest) {
 	resp := viewsActionResponse{Action: "materialize", Generation: s.sys.Generation()}
 	for _, m := range mats {
 		resp.Views = append(resp.Views, m.View().ID())
+	}
+	if len(mats) > 0 && !s.persistViewChange(w, "materialize") {
+		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -316,6 +380,11 @@ func (s *Server) actionRefresh(w http.ResponseWriter) {
 		httpError(w, http.StatusInternalServerError, "applying refresh: %v", err)
 		return
 	}
+	// A manual refresh moves the generation without a WAL record (only
+	// /update batches are logged), so snapshot the state it produced.
+	if n > 0 && !s.persistViewChange(w, "refresh") {
+		return
+	}
 	writeJSON(w, http.StatusOK, viewsActionResponse{
 		Action: "refresh", Refreshed: n, Generation: s.sys.Generation(),
 	})
@@ -363,6 +432,7 @@ type statsResponse struct {
 	Queries         int64            `json:"queries"`
 	Updates         int64            `json:"updates"`
 	Cache           CacheStats       `json:"cache"`
+	Persist         *persistStats    `json:"persist,omitempty"` // nil when memory-only
 }
 
 // handleStats reports serving health.
@@ -408,6 +478,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cache != nil {
 		resp.Cache = s.cache.stats()
 	}
+	resp.Persist = s.persistStatsNow()
 	writeJSON(w, http.StatusOK, resp)
 }
 

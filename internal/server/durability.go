@@ -1,0 +1,167 @@
+package server
+
+import (
+	"log"
+	"net/http"
+	"time"
+
+	"sofos/internal/core"
+	"sofos/internal/persist"
+)
+
+// Durability wires a server to its data directory: the open write-ahead log
+// every committed /update batch is appended to before acknowledgement, the
+// checkpoint directory, the dataset identity stamped into manifests, and the
+// recovery stats of the boot that produced the served system (nil after a
+// fresh, non-recovered boot). When Config.Durability is nil the server is
+// memory-only — the pre-persistence behavior.
+type Durability struct {
+	Dir     *persist.Dir
+	Log     *persist.Log
+	Dataset string
+	Scale   int
+	Seed    int64
+
+	// Recovery reports what boot-time restore did, surfaced via /stats.
+	Recovery *core.RecoveryStats
+}
+
+// Checkpoint durably snapshots the current graph and catalog state, rotates
+// the WAL, and truncates segments the checkpoint made redundant. It runs on
+// the read side of the server's lock: queries keep flowing, writers stall
+// until the snapshot is on disk. Serving layers call it on the
+// -checkpoint-interval ticker; clients trigger it via POST /admin/checkpoint.
+func (s *Server) Checkpoint() (*persist.Manifest, error) {
+	if s.dur == nil {
+		return nil, errNoDurability
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.checkpointLocked()
+}
+
+// errNoDurability distinguishes "not configured" from checkpoint failures.
+var errNoDurability = &noDurabilityError{}
+
+type noDurabilityError struct{}
+
+func (*noDurabilityError) Error() string {
+	return "server is memory-only: no data directory configured"
+}
+
+// checkpointLocked is Checkpoint under an already-held s.mu (either side —
+// what matters is that no writer can move the state mid-snapshot). cpMu
+// additionally serializes checkpoint writers against each other: two
+// read-side callers (interval ticker, /admin/checkpoint) would otherwise
+// race WriteCheckpoint's sequence numbering and tmp-dir paths. Rotating the
+// WAL first lets the manifest record exactly where replay resumes: every
+// record in older segments is covered by the snapshot being written.
+func (s *Server) checkpointLocked() (*persist.Manifest, error) {
+	s.cpMu.Lock()
+	defer s.cpMu.Unlock()
+	seq, err := s.dur.Log.Rotate()
+	if err != nil {
+		return nil, err
+	}
+	cp, err := s.dur.Dir.WriteCheckpoint(persist.Manifest{
+		Dataset:      s.dur.Dataset,
+		Scale:        s.dur.Scale,
+		Seed:         s.dur.Seed,
+		GraphVersion: s.sys.GraphVersion(),
+		Generation:   s.sys.Generation(),
+		WALSeq:       seq,
+		BaseTriples:  s.sys.Graph.Len(),
+		Views:        len(s.sys.Catalog.Materialized()),
+		CreatedUnix:  time.Now().Unix(),
+	}, s.sys.Graph.Save, s.sys.Catalog.SaveState)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.dur.Log.TruncateBefore(seq); err != nil {
+		// The checkpoint is complete and correct; stale segments only cost
+		// disk until the next truncation succeeds.
+		log.Printf("sofos-serve: checkpoint %d written but wal truncation failed: %v", cp.Manifest.Sequence, err)
+	}
+	s.lastCheckpoint.Store(&cp.Manifest)
+	s.checkpoints.Add(1)
+	return &cp.Manifest, nil
+}
+
+// persistViewChange checkpoints after a committed catalog mutation that the
+// WAL does not capture — view-set changes and manual refreshes. Updates are
+// replayed from the log; everything else becomes durable by snapshotting the
+// state it produced, so a crash at any point recovers a state the client was
+// actually told about. Callers hold the write lock. It reports whether the
+// caller may acknowledge; on failure it has already written the error
+// response (the mutation is committed in memory but would not survive a
+// restart — the client must know).
+func (s *Server) persistViewChange(w http.ResponseWriter, action string) bool {
+	if s.dur == nil {
+		return true
+	}
+	if _, err := s.checkpointLocked(); err != nil {
+		httpError(w, http.StatusInternalServerError,
+			"%s applied but checkpointing it failed: %v; the change is live but will not survive a restart until a checkpoint succeeds",
+			action, err)
+		return false
+	}
+	return true
+}
+
+// checkpointResponse is the POST /admin/checkpoint response body.
+type checkpointResponse struct {
+	Manifest  *persist.Manifest `json:"manifest"`
+	ElapsedUS int64             `json:"elapsed_us"`
+}
+
+// handleAdminCheckpoint triggers a checkpoint on demand.
+func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST to checkpoint")
+		return
+	}
+	start := time.Now()
+	m, err := s.Checkpoint()
+	if err == errNoDurability {
+		httpError(w, http.StatusServiceUnavailable, "%v (start with -data-dir)", err)
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Manifest:  m,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+// persistStats is the /stats "persist" section.
+type persistStats struct {
+	DataDir                  string              `json:"data_dir"`
+	WAL                      persist.LogStats    `json:"wal"`
+	WALGap                   bool                `json:"wal_gap,omitempty"`   // unhealed append failure; updates refused
+	Checkpoints              int64               `json:"checkpoints_written"` // since boot
+	LastCheckpointSeq        uint64              `json:"last_checkpoint_seq,omitempty"`
+	LastCheckpointGeneration int64               `json:"last_checkpoint_generation,omitempty"`
+	Recovery                 *core.RecoveryStats `json:"recovery,omitempty"`
+}
+
+// persistStatsNow snapshots the durability section, or nil when memory-only.
+func (s *Server) persistStatsNow() *persistStats {
+	if s.dur == nil {
+		return nil
+	}
+	ps := &persistStats{
+		DataDir:     s.dur.Dir.Path(),
+		WAL:         s.dur.Log.Stats(),
+		WALGap:      s.walGap.Load(),
+		Checkpoints: s.checkpoints.Load(),
+		Recovery:    s.dur.Recovery,
+	}
+	if m := s.lastCheckpoint.Load(); m != nil {
+		ps.LastCheckpointSeq = m.Sequence
+		ps.LastCheckpointGeneration = m.Generation
+	}
+	return ps
+}

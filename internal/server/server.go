@@ -16,6 +16,12 @@
 // queries (admission control), and a sharded LRU result cache keyed on
 // (normalized query, catalog generation, view-set hash) serves repeated
 // queries without re-execution while never returning a stale answer.
+//
+// Durability (optional, Config.Durability): committed /update batches are
+// appended to a write-ahead log inside the write critical section before
+// the response is sent, catalog mutations the log does not capture write a
+// checkpoint before acknowledging, and /admin/checkpoint snapshots on
+// demand — see internal/persist and durability.go.
 package server
 
 import (
@@ -29,6 +35,7 @@ import (
 	"time"
 
 	"sofos/internal/core"
+	"sofos/internal/persist"
 	"sofos/internal/rewrite"
 	"sofos/internal/sparql"
 )
@@ -56,6 +63,13 @@ type Config struct {
 	// actions, so runtime selections reproduce the startup-time ones made
 	// with the same seed. 0 means 1.
 	SelectionSeed int64
+
+	// Durability, when non-nil, makes the server durable: every committed
+	// /update batch is appended to the write-ahead log before it is
+	// acknowledged, catalog mutations outside the update path checkpoint the
+	// state they produce, and POST /admin/checkpoint is served. Nil keeps
+	// the server memory-only.
+	Durability *Durability
 }
 
 // withDefaults resolves zero fields.
@@ -99,6 +113,21 @@ type Server struct {
 
 	queries atomic.Int64 // /query requests answered (including cache hits)
 	updates atomic.Int64 // /update batches applied
+
+	// dur is the durability wiring (nil = memory-only); lastCheckpoint and
+	// checkpoints track checkpoint activity for /stats. Atomics because the
+	// interval checkpointer and /admin/checkpoint can both write them.
+	// cpMu serializes checkpoint writers against each other: checkpoints run
+	// on the read side of mu, so the interval ticker and /admin/checkpoint
+	// could otherwise interleave inside one checkpoint sequence number.
+	// walGap records that a committed batch failed to reach the WAL and no
+	// healing checkpoint has succeeded yet; further updates are refused
+	// until one does (see handleUpdate).
+	dur            *Durability
+	cpMu           sync.Mutex
+	lastCheckpoint atomic.Pointer[persist.Manifest]
+	checkpoints    atomic.Int64
+	walGap         atomic.Bool
 }
 
 // New wraps a system in a server with the given configuration.
@@ -110,6 +139,7 @@ func New(sys *core.System, cfg Config) *Server {
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
+		dur:     cfg.Durability,
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
@@ -119,6 +149,7 @@ func New(sys *core.System, cfg Config) *Server {
 	s.mux.HandleFunc("/views", s.handleViews)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/admin/checkpoint", s.handleAdminCheckpoint)
 	return s
 }
 

@@ -64,6 +64,17 @@ func (g *Graph) Version() int64 {
 	return g.version
 }
 
+// SetVersion forces the mutation counter — the restore hook the persistence
+// layer uses so a snapshot-loaded graph resumes the saved numbering and the
+// version intervals of durably logged update batches stay aligned across
+// restarts. Never lower the counter on a live graph: staleness tracking and
+// delta-log chaining assume it never repeats.
+func (g *Graph) SetVersion(v int64) {
+	g.mu.Lock()
+	g.version = v
+	g.mu.Unlock()
+}
+
 // NewGraph returns an empty graph with a fresh dictionary.
 func NewGraph() *Graph {
 	return &Graph{

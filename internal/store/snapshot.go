@@ -108,7 +108,14 @@ func Load(r io.Reader) (*Graph, error) {
 		return nil, fmt.Errorf("store: reading term count: %w", err)
 	}
 	g := NewGraph()
-	ids := make([]rdf.ID, termCount+1) // snapshot ID -> fresh dict ID
+	// snapshot ID -> fresh dict ID. Grown by append with a clamped initial
+	// capacity: the count is untrusted input, and a corrupt value must fail on
+	// the reads below, not demand an unbounded up-front allocation.
+	idCap := termCount + 1
+	if idCap > 1<<20 || idCap == 0 { // == 0: termCount wrapped around
+		idCap = 1 << 20
+	}
+	ids := make([]rdf.ID, 1, idCap)
 	for i := uint64(1); i <= termCount; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
@@ -128,7 +135,7 @@ func Load(r io.Reader) (*Graph, error) {
 		if t.Lang, err = readString(); err != nil {
 			return nil, fmt.Errorf("store: reading term %d lang: %w", i, err)
 		}
-		ids[i] = g.dict.Intern(t)
+		ids = append(ids, g.dict.Intern(t))
 	}
 	tripleCount, err := binary.ReadUvarint(br)
 	if err != nil {
