@@ -663,6 +663,107 @@ func BenchmarkSnapshotSaveLoad(b *testing.B) {
 	}
 }
 
+// --- Codec: block-compressed runs vs flat ---
+
+// codecGraph builds a dataset graph under one codec and compacts the overlay
+// so the benchmarks run against pure immutable runs.
+func codecGraph(b *testing.B, dataset string, scale int, codec store.Codec) (*store.Graph, *facet.Facet) {
+	b.Helper()
+	prev := store.DefaultCodec()
+	store.SetDefaultCodec(codec)
+	defer store.SetDefaultCodec(prev)
+	g, f, err := datasets.BuildWithFacet(dataset, scale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.Compact()
+	return g, f
+}
+
+// BenchmarkScanCodec sweeps the flat and block codecs across dataset scales:
+// a cold full-graph scan through the vectorized NextSpan path, and the facet
+// template star join through the engine. The run_bytes metric reports the
+// resident index footprint per codec — the compression headline BENCH_pr.json
+// tracks alongside the throughput ratio.
+func BenchmarkScanCodec(b *testing.B) {
+	for _, ds := range []struct {
+		name  string
+		scale int
+	}{{"lubm", 100}, {"dbpedia", 2000}} {
+		for _, codec := range []store.Codec{store.CodecFlat, store.CodecBlock} {
+			g, f := codecGraph(b, ds.name, ds.scale, codec)
+			ms := g.MemStats()
+			b.Run(fmt.Sprintf("scan/%s@%d/%s", ds.name, ds.scale, codec), func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					it := g.Scan(rdf.NoID, rdf.NoID, rdf.NoID)
+					n := 0
+					for {
+						s, _, _ := it.NextSpan()
+						if len(s) == 0 {
+							break
+						}
+						n += len(s)
+					}
+					if n != g.Len() {
+						b.Fatalf("scanned %d, want %d", n, g.Len())
+					}
+				}
+				// After ResetTimer: it clears custom metrics on recent Go.
+				b.ReportMetric(float64(ms.IndexBytes), "run_bytes")
+			})
+			b.Run(fmt.Sprintf("join/%s@%d/%s", ds.name, ds.scale, codec), func(b *testing.B) {
+				eng := engine.New(g)
+				q := f.TemplateQuery()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := eng.Execute(q)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Rows) == 0 {
+						b.Fatal("no rows")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSnapshotLoadCodec measures cold snapshot loads per codec — v1 flat
+// snapshots vs v2 block snapshots whose payloads are installed verbatim. The
+// snapshot_bytes metric reports the serialized size per codec.
+func BenchmarkSnapshotLoadCodec(b *testing.B) {
+	for _, ds := range []struct {
+		name  string
+		scale int
+	}{{"lubm", 100}, {"dbpedia", 2000}} {
+		for _, codec := range []store.Codec{store.CodecFlat, store.CodecBlock} {
+			b.Run(fmt.Sprintf("%s@%d/%s", ds.name, ds.scale, codec), func(b *testing.B) {
+				g, _ := codecGraph(b, ds.name, ds.scale, codec)
+				var buf bytes.Buffer
+				if err := g.Save(&buf); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					loaded, err := store.LoadWithCodec(bytes.NewReader(buf.Bytes()), codec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if loaded.Len() != g.Len() {
+						b.Fatalf("loaded %d triples, want %d", loaded.Len(), g.Len())
+					}
+				}
+				// After ResetTimer: it clears custom metrics on recent Go.
+				b.ReportMetric(float64(buf.Len()), "snapshot_bytes")
+			})
+		}
+	}
+}
+
 // BenchmarkViewRefresh measures incremental refresh after a small base
 // mutation versus drop-and-rematerialize.
 func BenchmarkViewRefresh(b *testing.B) {

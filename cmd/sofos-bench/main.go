@@ -23,6 +23,7 @@ import (
 	"sofos/internal/benchkit"
 	"sofos/internal/core"
 	"sofos/internal/experiments"
+	"sofos/internal/store"
 )
 
 func main() {
@@ -44,12 +45,17 @@ func run(args []string, stdout io.Writer) error {
 	maintenance := fs.Bool("maintenance", false, "run only the view-maintenance scenario: an update-heavy replay contrasting incremental O(|ΔG|) refresh with full recompute")
 	maintRounds := fs.Int("maintenance-rounds", 20, "update batches to replay in the maintenance scenario")
 	maintBatch := fs.Int("maintenance-batch", 16, "triples per update batch in the maintenance scenario")
+	codecName := fs.String("codec", "block", "run storage codec: block (compressed) or flat")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	codec, err := store.ParseCodec(*codecName)
+	if err != nil {
+		return err
+	}
+	store.SetDefaultCodec(codec)
 	start := time.Now()
 	var tables []*benchkit.Table
-	var err error
 	if *maintenance {
 		scale := 150
 		if *quick {

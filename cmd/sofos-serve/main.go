@@ -35,6 +35,7 @@ import (
 	"sofos/internal/datasets"
 	"sofos/internal/persist"
 	"sofos/internal/server"
+	"sofos/internal/store"
 )
 
 func main() {
@@ -59,6 +60,7 @@ type config struct {
 	dataDir            string
 	walSync            string
 	checkpointInterval time.Duration
+	codec              string
 }
 
 // parseFlags parses the command line into a config.
@@ -78,9 +80,15 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.dataDir, "data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = memory-only")
 	fs.StringVar(&c.walSync, "wal-sync", "always", "WAL fsync policy: always (sync before every ack), interval (background sync), none")
 	fs.DurationVar(&c.checkpointInterval, "checkpoint-interval", 0, "write a checkpoint this often (0 = only at boot, on view changes, and via /admin/checkpoint)")
+	fs.StringVar(&c.codec, "codec", "block", "run storage codec: block (compressed) or flat")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	codec, err := store.ParseCodec(c.codec)
+	if err != nil {
+		return nil, err
+	}
+	store.SetDefaultCodec(codec)
 	return c, nil
 }
 

@@ -26,6 +26,7 @@ import (
 	"sofos/internal/facet"
 	"sofos/internal/persist"
 	"sofos/internal/selection"
+	"sofos/internal/store"
 	"sofos/internal/workload"
 )
 
@@ -44,6 +45,7 @@ type commonFlags struct {
 	k       int
 	model   string
 	workers int
+	codec   string
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -54,7 +56,19 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.IntVar(&c.k, "k", 3, "view budget")
 	fs.StringVar(&c.model, "model", "aggvalues", "cost model: random, triples, aggvalues, nodes")
 	fs.IntVar(&c.workers, "workers", 0, "parallel execution workers per query (0 = all CPUs, 1 = serial)")
+	fs.StringVar(&c.codec, "codec", "block", "run storage codec: block (compressed) or flat")
 	return c
+}
+
+// applyCodec validates the -codec flag and installs it as the process-wide
+// default, so every graph the subcommand builds or loads uses it.
+func (c *commonFlags) applyCodec() error {
+	codec, err := store.ParseCodec(c.codec)
+	if err != nil {
+		return err
+	}
+	store.SetDefaultCodec(codec)
+	return nil
 }
 
 // opts maps the flags to system options.
@@ -137,6 +151,9 @@ func cmdLattice(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := c.applyCodec(); err != nil {
+		return err
+	}
 	s, err := buildSystem(c)
 	if err != nil {
 		return err
@@ -170,6 +187,9 @@ func cmdInspect(args []string, w io.Writer) error {
 	viewID := fs.String("view", "", "view id: dimension names joined by '+', or 'apex'")
 	limit := fs.Int("limit", 10, "max groups to print")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.applyCodec(); err != nil {
 		return err
 	}
 	s, err := buildSystem(c)
@@ -215,6 +235,9 @@ func cmdSelect(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := c.applyCodec(); err != nil {
+		return err
+	}
 	s, err := buildSystem(c)
 	if err != nil {
 		return err
@@ -256,6 +279,9 @@ func cmdCompare(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := c.applyCodec(); err != nil {
+		return err
+	}
 	env, err := experiments.NewEnvWithOptions(c.dataset, c.scale, c.seed, *wl, c.opts())
 	if err != nil {
 		return err
@@ -273,6 +299,9 @@ func cmdAnalyze(args []string, w io.Writer) error {
 	c := addCommon(fs)
 	wl := fs.Int("workload", 20, "workload size")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.applyCodec(); err != nil {
 		return err
 	}
 	env, err := experiments.NewEnvWithOptions(c.dataset, c.scale, c.seed, *wl, c.opts())
@@ -298,6 +327,9 @@ func cmdWorkload(args []string, w io.Writer) error {
 	filterProb := fs.Float64("filters", 0.25, "per-dimension FILTER probability")
 	out := fs.String("out", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.applyCodec(); err != nil {
 		return err
 	}
 	s, err := buildSystem(c)
@@ -337,6 +369,9 @@ func cmdReplay(args []string, w io.Writer) error {
 	serverURL := fs.String("server", "", "replay over HTTP against a sofos-serve base URL instead of in process (views and workers are the server's)")
 	rounds := fs.Int("rounds", 1, "with -server: replay the workload this many times (repeat rounds hit the result cache)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.applyCodec(); err != nil {
 		return err
 	}
 	if *file == "" {
@@ -413,6 +448,9 @@ func cmdQuery(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := c.applyCodec(); err != nil {
+		return err
+	}
 	s, err := buildSystem(c)
 	if err != nil {
 		return err
@@ -471,6 +509,9 @@ func cmdSnapshot(args []string, w io.Writer) error {
 	out := fs.String("out", "", "dump: data directory to write a checkpoint into")
 	in := fs.String("in", "", "restore: data directory to recover and describe")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := c.applyCodec(); err != nil {
 		return err
 	}
 	switch {

@@ -456,18 +456,26 @@ func (e *Engine) matchPattern(it *store.Iterator, row, scratch binding, cp compi
 // yieldMatches drains an already-opened scan, binding each triple into
 // scratch over row and yielding the surviving extensions. Shared between the
 // serial per-row path (matchPattern) and the parallel leading-partition path
-// (runLeadingPartition), so the two cannot drift apart.
+// (runLeadingPartition), so the two cannot drift apart. Triples are consumed
+// span-at-a-time: NextSpan hands back one decoded block as SoA component
+// slices, so the inner loop walks plain []rdf.ID memory instead of paying a
+// per-triple iterator call.
 func yieldMatches(it *store.Iterator, row, scratch binding, cp compiledPattern, yield func(binding) bool) {
-	for it.Next() {
-		ms, mp, mo := it.Triple()
-		copy(scratch, row)
-		if !bindComponent(scratch, cp.s, ms) ||
-			!bindComponent(scratch, cp.p, mp) ||
-			!bindComponent(scratch, cp.o, mo) {
-			continue // shared-variable mismatch (e.g. ?x ?p ?x): skip
-		}
-		if !yield(scratch) {
+	for {
+		ss, ps, os := it.NextSpan()
+		if len(ss) == 0 {
 			return
+		}
+		for i := range ss {
+			copy(scratch, row)
+			if !bindComponent(scratch, cp.s, ss[i]) ||
+				!bindComponent(scratch, cp.p, ps[i]) ||
+				!bindComponent(scratch, cp.o, os[i]) {
+				continue // shared-variable mismatch (e.g. ?x ?p ?x): skip
+			}
+			if !yield(scratch) {
+				return
+			}
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sofos/internal/facet"
 	"sofos/internal/persist"
 	"sofos/internal/rdf"
+	"sofos/internal/store"
 )
 
 // updateRequest is the /update request body: N-Triples text blocks to
@@ -432,6 +433,7 @@ type statsResponse struct {
 	Queries         int64            `json:"queries"`
 	Updates         int64            `json:"updates"`
 	Cache           CacheStats       `json:"cache"`
+	Store           store.MemStats   `json:"store"`             // resident bytes per index + active codec
 	Persist         *persistStats    `json:"persist,omitempty"` // nil when memory-only
 }
 
@@ -462,6 +464,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		InFlight:        len(s.sem),
 		Queries:         s.queries.Load(),
 		Updates:         s.updates.Load(),
+		Store:           s.sys.Graph.MemStats(),
 	}
 	for _, m := range s.sys.Catalog.Materialized() {
 		v := m.View()

@@ -1,0 +1,364 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"sofos/internal/rdf"
+)
+
+// sortedRandomKeys builds a strictly increasing key sequence with realistic
+// clustering (small leading-column deltas, scattered trailing columns).
+func sortedRandomKeys(rng *rand.Rand, n int) []rdf.EncodedTriple {
+	set := make(map[rdf.EncodedTriple]struct{}, n)
+	for len(set) < n {
+		set[rdf.EncodedTriple{
+			rdf.ID(1 + rng.Intn(n/3+1)),
+			rdf.ID(1 + rng.Intn(16)),
+			rdf.ID(1 + rng.Intn(n)),
+		}] = struct{}{}
+	}
+	keys := make([]rdf.EncodedTriple, 0, n)
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+// TestBlockRunAgainstFlat checks every run-interface primitive of the block
+// encoding against the flat oracle over the same keys: search at every
+// depth/bound, contains for hits and misses, keyAt at every position, fill
+// windows, and alignSplit monotonicity.
+func TestBlockRunAgainstFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{0, 1, 2, blockSize - 1, blockSize, blockSize + 1, 3*blockSize + 17} {
+		keys := sortedRandomKeys(rng, n)
+		br := buildRun(blockCodec{}, keys)
+		fr := buildRun(flatCodec{}, keys)
+		if br.size() != n || fr.size() != n {
+			t.Fatalf("n=%d: sizes %d/%d", n, br.size(), fr.size())
+		}
+		// Fence overhead dominates below a block; compression only pays off
+		// once runs actually span blocks.
+		if n >= blockSize && br.memBytes() >= fr.memBytes() {
+			t.Errorf("n=%d: block run %d B not smaller than flat %d B", n, br.memBytes(), fr.memBytes())
+		}
+		for pos := 0; pos < n; pos++ {
+			if br.keyAt(pos) != fr.keyAt(pos) {
+				t.Fatalf("n=%d: keyAt(%d) = %v, want %v", n, pos, br.keyAt(pos), fr.keyAt(pos))
+			}
+		}
+		for trial := 0; trial < 300; trial++ {
+			var probe rdf.EncodedTriple
+			if n > 0 && trial%2 == 0 {
+				probe = keys[rng.Intn(n)] // existing key
+			} else {
+				probe = rdf.EncodedTriple{
+					rdf.ID(rng.Intn(n + 2)), rdf.ID(rng.Intn(20)), rdf.ID(rng.Intn(n + 2))}
+			}
+			if got, want := br.contains(probe), fr.contains(probe); got != want {
+				t.Fatalf("n=%d: contains(%v) = %v, want %v", n, probe, got, want)
+			}
+			for depth := 0; depth <= 3; depth++ {
+				for _, upper := range []bool{false, true} {
+					from := 0
+					if n > 0 && rng.Intn(3) == 0 {
+						from = rng.Intn(n)
+					}
+					got := br.search(from, probe, depth, upper)
+					want := fr.search(from, probe, depth, upper)
+					if got != want {
+						t.Fatalf("n=%d: search(%d, %v, %d, %v) = %d, want %d",
+							n, from, probe, depth, upper, got, want)
+					}
+				}
+				wantLo := fr.search(0, probe, depth, false)
+				wantHi := fr.search(wantLo, probe, depth, true)
+				gotLo, gotHi := br.(*blockRun).searchRange(probe, depth)
+				if gotLo != wantLo || gotHi != wantHi {
+					t.Fatalf("n=%d: searchRange(%v, %d) = [%d,%d), want [%d,%d)",
+						n, probe, depth, gotLo, gotHi, wantLo, wantHi)
+				}
+			}
+		}
+		// fill must reproduce the key sequence from any start position.
+		var a spanArena
+		for lo := 0; lo < n; lo += 1 + rng.Intn(blockSize/2+1) {
+			br.fill(&a, lo, n)
+			if a.key(a.idx) != keys[lo] {
+				t.Fatalf("n=%d: fill(%d) decodes %v at idx, want %v", n, lo, a.key(a.idx), keys[lo])
+			}
+			for i := a.idx; i < a.n; i++ {
+				if a.key(i) != keys[lo+i-a.idx] {
+					t.Fatalf("n=%d: fill(%d) wrong at offset %d", n, lo, i-a.idx)
+				}
+			}
+		}
+		for pos := 0; pos <= n; pos++ {
+			ap := br.alignSplit(pos)
+			if ap > pos || ap%blockSize != 0 && ap != n {
+				t.Fatalf("n=%d: alignSplit(%d) = %d", n, pos, ap)
+			}
+		}
+	}
+}
+
+// blockSnapshotBytes serializes a block-codec graph of n base triples with a
+// live overlay, so the byte stream exercises every v2 section. Sizes below
+// blockSize keep the exhaustive sweeps fast; multi-block layouts are covered
+// by the strided pass and the cross-codec round-trip tests.
+func blockSnapshotBytes(t testing.TB, n int) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	g := NewGraphWithCodec(CodecBlock)
+	keys := sortedRandomKeys(rng, n)
+	for i := range keys {
+		g.MustAdd(tr(
+			"s"+itoa(int(keys[i][0])), "p"+itoa(int(keys[i][1])), "o"+itoa(int(keys[i][2]))))
+	}
+	for i := 0; i < len(keys)/5; i++ {
+		g.Remove(tr("s"+itoa(int(keys[i*3][0])), "p"+itoa(int(keys[i*3][1])), "o"+itoa(int(keys[i*3][2]))))
+		g.MustAdd(tr("extra"+itoa(i), "pextra", "oextra"))
+	}
+	var buf bytes.Buffer
+	if err := g.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf.Bytes()[:8]) != snapshotMagicV2 {
+		t.Fatalf("expected a v2 snapshot, got magic %q", buf.Bytes()[:8])
+	}
+	return buf.Bytes()
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestBlockLoadTruncationEveryPrefix feeds LoadWithCodec every prefix of a
+// valid v2 snapshot under both target codecs: all but the full input must
+// return an error — never panic, never a silently short graph.
+func TestBlockLoadTruncationEveryPrefix(t *testing.T) {
+	full := blockSnapshotBytes(t, 120)
+	for _, codec := range []Codec{CodecBlock, CodecFlat} {
+		for cut := 0; cut < len(full); cut++ {
+			if _, err := LoadWithCodec(bytes.NewReader(full[:cut]), codec); err == nil {
+				t.Fatalf("codec %v: truncation at %d/%d loaded successfully", codec, cut, len(full))
+			}
+		}
+		if _, err := LoadWithCodec(bytes.NewReader(full), codec); err != nil {
+			t.Fatalf("codec %v: full snapshot failed: %v", codec, err)
+		}
+	}
+}
+
+// TestBlockLoadTruncationMultiBlock repeats the truncation check at a stride
+// over a snapshot whose runs span multiple blocks, so cuts land inside every
+// structural region of a multi-block run section too.
+func TestBlockLoadTruncationMultiBlock(t *testing.T) {
+	full := blockSnapshotBytes(t, 3*blockSize/2)
+	for cut := 0; cut < len(full); cut += 23 {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d loaded successfully", cut, len(full))
+		}
+	}
+	if _, err := Load(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full snapshot failed: %v", err)
+	}
+}
+
+// TestBlockLoadBitFlips flips bits across a v2 snapshot: every outcome must
+// be an error or a fully consistent graph, never a panic and never decoded
+// garbage — scans, Len, and the per-component statistics must all agree.
+func TestBlockLoadBitFlips(t *testing.T) {
+	full := blockSnapshotBytes(t, 120)
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for off := 0; off < len(full); off += step {
+		for _, bit := range []byte{0x01, 0x80} {
+			mut := append([]byte(nil), full...)
+			mut[off] ^= bit
+			g, err := Load(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			n := 0
+			it := g.Scan(rdf.NoID, rdf.NoID, rdf.NoID)
+			for it.Next() {
+				n++
+			}
+			if n != g.Len() {
+				t.Fatalf("flip at %d/%#x: Len()=%d but scan found %d", off, bit, g.Len(), n)
+			}
+		}
+	}
+}
+
+// FuzzBlockDecode hammers the raw in-block decoder with arbitrary payload
+// bytes and fence metadata: every outcome must be a clean error or a decode
+// whose keys are in range — never a panic, never an out-of-bounds read.
+func FuzzBlockDecode(f *testing.F) {
+	keys := sortedRandomKeys(rand.New(rand.NewSource(5)), 600)
+	valid := appendBlockPayload(nil, keys)
+	f.Add(uint16(len(keys)), uint32(keys[0][0]), uint32(keys[0][1]), uint32(keys[0][2]), valid)
+	f.Add(uint16(1), uint32(1), uint32(1), uint32(1), []byte{})
+	f.Add(uint16(3), uint32(7), uint32(9), uint32(2), []byte{0x01, 0x01, 0x02, 0x02, 0x03, 0x03})
+	f.Fuzz(func(t *testing.T, count uint16, min0, min1, min2 uint32, payload []byte) {
+		if count == 0 {
+			return
+		}
+		r := &blockRun{
+			meta: []blockMeta{{
+				off:   0,
+				count: uint32(count),
+				min:   rdf.EncodedTriple{rdf.ID(min0), rdf.ID(min1), rdf.ID(min2)},
+				max:   rdf.EncodedTriple{^rdf.ID(0), ^rdf.ID(0), ^rdf.ID(0)},
+			}},
+			data: payload,
+			n:    int(count),
+		}
+		var a spanArena
+		a.grow(int(count))
+		if err := r.decodeBlock(0, a.c0, a.c1, a.c2); err != nil {
+			return
+		}
+		// A successful decode must yield exactly count keys starting at min.
+		if a.key(0) != r.meta[0].min {
+			t.Fatal("decode did not start at the fence min key")
+		}
+	})
+}
+
+// FuzzSnapshotLoadV2 mirrors FuzzSnapshotLoad for the v2 block format: every
+// mutated input either loads into a consistent graph (under both target
+// codecs) or errors — no panics, no runaway allocations.
+func FuzzSnapshotLoadV2(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(snapshotMagicV2))
+	f.Add(blockSnapshotBytes(f, 120))
+	var empty bytes.Buffer
+	if err := NewGraphWithCodec(CodecBlock).Save(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, codec := range []Codec{CodecBlock, CodecFlat} {
+			g, err := LoadWithCodec(bytes.NewReader(data), codec)
+			if err != nil {
+				continue
+			}
+			n := 0
+			it := g.Scan(rdf.NoID, rdf.NoID, rdf.NoID)
+			for it.Next() {
+				n++
+			}
+			if n != g.Len() {
+				t.Fatalf("codec %v: loaded graph inconsistent: Len()=%d, scan=%d", codec, g.Len(), n)
+			}
+		}
+	})
+}
+
+// TestLoadHugeBlockCounts feeds v2 headers whose counts demand absurd
+// allocations; they must fail on the reads, not by exhausting memory.
+func TestLoadHugeBlockCounts(t *testing.T) {
+	var buf [binary.MaxVarintLen64]byte
+	uv := func(b *bytes.Buffer, v uint64) { b.Write(buf[:binary.PutUvarint(buf[:], v)]) }
+	header := func() *bytes.Buffer {
+		var b bytes.Buffer
+		b.WriteString(snapshotMagicV2)
+		b.WriteByte(1)
+		uv(&b, blockSize)
+		uv(&b, 1)                        // one term
+		b.Write([]byte{0, 1, 'x', 0, 0}) // IRI "x"
+		uv(&b, 0)                        // no overlay adds
+		uv(&b, 0)                        // no overlay dels
+		return &b
+	}
+	// Huge key count for the SPO run.
+	b := header()
+	uv(b, 1<<50)
+	uv(b, 1)
+	if _, err := Load(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("huge key count accepted")
+	}
+	// Huge per-block count.
+	b = header()
+	uv(b, 1<<20)
+	uv(b, 1)
+	uv(b, 1<<32) // block count field
+	if _, err := Load(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("huge block count accepted")
+	}
+	// Huge payload length.
+	b = header()
+	uv(b, 2)
+	uv(b, 1)
+	uv(b, 2) // two keys in the block
+	uv(b, 1) // min
+	uv(b, 1)
+	uv(b, 1)
+	uv(b, 2) // max
+	uv(b, 2)
+	uv(b, 2)
+	uv(b, 1<<40) // payload length
+	if _, err := Load(bytes.NewReader(b.Bytes())); err == nil {
+		t.Fatal("huge payload length accepted")
+	}
+}
+
+// TestIteratorRemainingLazyDeletions is the regression test for the eager
+// Remaining accounting: tombstones outside the iterator's base range must
+// not be subtracted. The old formula reported base+extra-len(dels)
+// unconditionally, under-counting whenever a partition's tombstone slice
+// over-covers its key range.
+func TestIteratorRemainingLazyDeletions(t *testing.T) {
+	keys := sortedRandomKeys(rand.New(rand.NewSource(17)), 4*blockSize)
+	for _, codec := range []runCodec{flatCodec{}, blockCodec{}} {
+		r := buildRun(codec, keys)
+		// An iterator restricted to the middle of the run whose tombstone
+		// slice also names keys before, inside, and after its range.
+		lo, hi := blockSize, 3*blockSize
+		dels := []rdf.EncodedTriple{
+			keys[0], keys[5], // before the range: must not count
+			keys[lo+10], keys[lo+20], keys[hi-1], // inside: must count
+			keys[hi], keys[len(keys)-1], // after the range: must not count
+		}
+		it := Iterator{kind: permSPO, base: r, lo: lo, hi: hi, dels: dels}
+		want := (hi - lo) - 3
+		if got := it.Remaining(); got != want {
+			t.Fatalf("%s: Remaining = %d, want %d", codec.name(), got, want)
+		}
+		// The count must stay exact as iteration consumes the range.
+		n := 0
+		for it.Next() {
+			n++
+			if got := it.Remaining(); got != want-n {
+				t.Fatalf("%s: after %d yields Remaining = %d, want %d", codec.name(), n, got, want-n)
+			}
+		}
+		if n != want {
+			t.Fatalf("%s: iterator yielded %d, want %d", codec.name(), n, want)
+		}
+		// With no base left, pending tombstones cancel nothing.
+		empty := Iterator{kind: permSPO, base: r, lo: hi, hi: hi,
+			extra: []rdf.EncodedTriple{{1, 1, 1}}, dels: dels}
+		if got := empty.Remaining(); got != 1 {
+			t.Fatalf("%s: exhausted-base Remaining = %d, want 1", codec.name(), got)
+		}
+	}
+}

@@ -8,15 +8,17 @@ import (
 
 // Columnar permutation-index layout.
 //
-// Each graph keeps three flat, sorted []rdf.EncodedTriple runs — one per
-// access permutation (SPO, POS, OSP) — with the triple components stored in
-// that permutation's key order, so every bound-component prefix of a triple
-// pattern maps to one contiguous run range found by binary search. On top of
-// the immutable runs sits a small mutable delta overlay (pending inserts and
-// tombstones) that is merged into fresh runs once it exceeds a fraction of
-// the base (LSM-style). Readers capture the run slices plus a copy of the
-// in-range delta, so scans never hold the graph lock while yielding and
-// mutations never invalidate a live Iterator.
+// Each graph keeps three sorted runs — one per access permutation (SPO, POS,
+// OSP) — with the triple components stored in that permutation's key order,
+// so every bound-component prefix of a triple pattern maps to one contiguous
+// run range found by binary search. The runs are stored behind the run
+// interface (run.go): flat fixed-width slices or delta/varint-compressed
+// blocks (block.go), chosen per graph by codec. On top of the immutable runs
+// sits a small mutable delta overlay (pending inserts and tombstones) that is
+// merged into fresh runs once it exceeds a fraction of the base (LSM-style).
+// Readers capture the run plus a copy of the in-range delta, so scans never
+// hold the graph lock while yielding and mutations never invalidate a live
+// Iterator.
 
 // permKind selects one of the three sorted permutations.
 type permKind uint8
@@ -84,15 +86,23 @@ func sortKeys(ts []rdf.EncodedTriple) {
 }
 
 // rangeOf binary-searches the half-open run range whose first depth key
-// components equal key's. depth 0 returns the whole run. The searches are
-// hand-rolled (rather than sort.Search) because this sits under every
-// pattern scan and cardinality estimate the engine issues.
-func rangeOf(run []rdf.EncodedTriple, key rdf.EncodedTriple, depth int) (lo, hi int) {
-	if depth == 0 {
-		return 0, len(run)
+// components equal key's. depth 0 returns the whole run; a nil run (an index
+// never written to) is the empty range.
+func rangeOf(r run, key rdf.EncodedTriple, depth int) (lo, hi int) {
+	if r == nil {
+		return 0, 0
 	}
-	lo = searchPrefix(run, 0, key, depth, false)
-	hi = searchPrefix(run, lo, key, depth, true)
+	if depth == 0 {
+		return 0, r.size()
+	}
+	if br, ok := r.(*blockRun); ok {
+		// Combined bound search: one fence narrowing and at most one decode
+		// when both bounds land in the same block — the common case for
+		// selective probes.
+		return br.searchRange(key, depth)
+	}
+	lo = r.search(0, key, depth, false)
+	hi = r.search(lo, key, depth, true)
 	return lo, hi
 }
 
@@ -100,7 +110,8 @@ func rangeOf(run []rdf.EncodedTriple, key rdf.EncodedTriple, depth int) (lo, hi 
 // depth-prefix is ≥ key's (upper=false) or > key's (upper=true). Depths 1
 // and 2 reduce to a lower-bound search against a packed integer target
 // (upper bound = lower bound of target+1), keeping the comparison loop
-// branch-light.
+// branch-light. This is the flat-slice search primitive, shared by flatRun,
+// the delta-overlay slices, and in-block searches over decoded columns.
 func searchPrefix(run []rdf.EncodedTriple, from int, key rdf.EncodedTriple, depth int, upper bool) int {
 	lo, hi := from, len(run)
 	switch depth {
@@ -176,30 +187,40 @@ func matchesPattern(t rdf.EncodedTriple, s, p, o rdf.ID) bool {
 		(o == rdf.NoID || t[2] == o)
 }
 
-// mergeRun three-way merges a sorted base run with sorted inserts and sorted
-// tombstones into a freshly allocated run. Inserts are disjoint from base;
-// tombstones are a subset of base.
-func mergeRun(base, ins, del []rdf.EncodedTriple) []rdf.EncodedTriple {
-	out := make([]rdf.EncodedTriple, 0, len(base)+len(ins)-len(del))
-	i, j, k := 0, 0, 0
-	for i < len(base) || j < len(ins) {
-		if i < len(base) && (j >= len(ins) || cmpKeys(base[i], ins[j]) < 0) {
-			t := base[i]
-			i++
-			for k < len(del) && cmpKeys(del[k], t) < 0 {
-				k++
+// mergeRuns three-way merges a base run with sorted inserts and sorted
+// tombstones, streaming the result through a fresh builder in the graph's
+// codec — block runs are re-encoded block by block with no intermediate flat
+// materialization. Inserts are disjoint from base; tombstones are a subset
+// of base.
+func mergeRuns(c runCodec, base run, ins, del []rdf.EncodedTriple) run {
+	n := runSize(base)
+	b := c.newBuilder(n + len(ins) - len(del))
+	var a spanArena
+	pos, j, k := 0, 0, 0
+	for pos < n || j < len(ins) {
+		if pos < n {
+			if a.idx >= a.n {
+				base.fill(&a, pos, n)
 			}
-			if k < len(del) && del[k] == t {
-				k++
+			bk := a.key(a.idx)
+			if j >= len(ins) || cmpKeys(bk, ins[j]) < 0 {
+				pos++
+				a.idx++
+				for k < len(del) && cmpKeys(del[k], bk) < 0 {
+					k++
+				}
+				if k < len(del) && del[k] == bk {
+					k++
+					continue
+				}
+				b.add(bk)
 				continue
 			}
-			out = append(out, t)
-		} else {
-			out = append(out, ins[j])
-			j++
 		}
+		b.add(ins[j])
+		j++
 	}
-	return out
+	return b.finish()
 }
 
 // permuteSorted returns a sorted copy of SPO-ordered triples rekeyed into the
@@ -217,18 +238,40 @@ func permuteSorted(kind permKind, ts []rdf.EncodedTriple) []rdf.EncodedTriple {
 }
 
 // Iterator streams the triples matching one pattern in the permutation's
-// sorted order. It is a value type: obtaining one from Graph.Scan performs no
-// heap allocation when the graph's delta overlay is empty (the common state
-// after a bulk load or Compact), and iteration itself never allocates.
+// sorted order. The base range is read block-at-a-time through a reusable
+// decode arena, so iteration performs no per-triple allocation for either
+// codec (the arena itself is allocated once, lazily, and survives ScanInto
+// reuse).
 //
 // An Iterator is a consistent snapshot: concurrent writes to the graph do not
 // affect triples it yields, and it must not be shared between goroutines.
 type Iterator struct {
-	kind    permKind
-	base    []rdf.EncodedTriple // remaining base-run segment
-	extra   []rdf.EncodedTriple // remaining in-range delta inserts (sorted)
-	dels    []rdf.EncodedTriple // remaining in-range tombstones (sorted)
-	s, p, o rdf.ID              // current triple
+	kind   permKind
+	base   run                 // shared immutable run (nil for pure-delta ranges)
+	lo, hi int                 // remaining base positions [lo, hi)
+	a      *spanArena          // decoded span; a.key(a.idx) is the key at lo
+	extra  []rdf.EncodedTriple // remaining in-range delta inserts (sorted)
+	dels   []rdf.EncodedTriple // remaining in-range tombstones (sorted)
+
+	// ms/mp/mo are the merge buffers NextSpan fills when the delta overlay is
+	// non-empty and spans cannot be served straight from the arena.
+	ms, mp, mo []rdf.ID
+
+	s, p, o rdf.ID // current triple
+}
+
+// headBase returns the key at base position lo, refilling the arena if the
+// decoded span is exhausted. Callers guarantee lo < hi.
+func (it *Iterator) headBase() rdf.EncodedTriple {
+	a := it.a
+	if a == nil {
+		a = new(spanArena)
+		it.a = a
+	}
+	if a.idx >= a.n {
+		it.base.fill(a, it.lo, it.hi)
+	}
+	return a.key(a.idx)
 }
 
 // Next advances to the next matching triple, reporting whether one exists.
@@ -236,11 +279,12 @@ func (it *Iterator) Next() bool {
 	for {
 		var t rdf.EncodedTriple
 		switch {
-		case len(it.base) == 0 && len(it.extra) == 0:
+		case it.lo >= it.hi && len(it.extra) == 0:
 			return false
-		case len(it.extra) == 0 || (len(it.base) > 0 && cmpKeys(it.base[0], it.extra[0]) < 0):
-			t = it.base[0]
-			it.base = it.base[1:]
+		case len(it.extra) == 0 || (it.lo < it.hi && cmpKeys(it.headBase(), it.extra[0]) < 0):
+			t = it.headBase()
+			it.lo++
+			it.a.idx++
 			for len(it.dels) > 0 && cmpKeys(it.dels[0], t) < 0 {
 				it.dels = it.dels[1:]
 			}
@@ -257,6 +301,54 @@ func (it *Iterator) Next() bool {
 	}
 }
 
+// NextSpan yields the next decoded span as parallel SoA component slices
+// (already in s, p, o order) and consumes it, returning empty slices once the
+// iterator is exhausted. When the delta overlay is empty — the common state
+// after a bulk load or compaction — the slices alias the iterator's decode
+// arena directly: one block decode per call, zero copying, zero allocation.
+// The slices are valid only until the next NextSpan or Next call.
+//
+// NextSpan and Next may be interleaved; both consume the same sequence.
+func (it *Iterator) NextSpan() (s, p, o []rdf.ID) {
+	if len(it.extra) == 0 && len(it.dels) == 0 {
+		if it.lo >= it.hi {
+			return nil, nil, nil
+		}
+		a := it.a
+		if a == nil {
+			a = new(spanArena)
+			it.a = a
+		}
+		if a.idx >= a.n {
+			it.base.fill(a, it.lo, it.hi)
+		}
+		c0, c1, c2 := a.c0[a.idx:a.n], a.c1[a.idx:a.n], a.c2[a.idx:a.n]
+		it.lo += a.n - a.idx
+		a.idx = a.n
+		switch it.kind {
+		case permSPO:
+			return c0, c1, c2
+		case permPOS:
+			return c2, c0, c1
+		default: // permOSP
+			return c1, c2, c0
+		}
+	}
+	// Delta overlay in range: merge through Next into reusable buffers.
+	if it.ms == nil {
+		it.ms = make([]rdf.ID, 0, spanChunk)
+		it.mp = make([]rdf.ID, 0, spanChunk)
+		it.mo = make([]rdf.ID, 0, spanChunk)
+	}
+	it.ms, it.mp, it.mo = it.ms[:0], it.mp[:0], it.mo[:0]
+	for len(it.ms) < spanChunk && it.Next() {
+		it.ms = append(it.ms, it.s)
+		it.mp = append(it.mp, it.p)
+		it.mo = append(it.mo, it.o)
+	}
+	return it.ms, it.mp, it.mo
+}
+
 // Triple returns the current triple's encoded components. Valid only after a
 // Next call that returned true.
 func (it *Iterator) Triple() (s, p, o rdf.ID) { return it.s, it.p, it.o }
@@ -271,7 +363,23 @@ func (it *Iterator) P() rdf.ID { return it.p }
 func (it *Iterator) O() rdf.ID { return it.o }
 
 // Remaining returns the exact number of triples Next has yet to yield.
-func (it *Iterator) Remaining() int { return len(it.base) + len(it.extra) - len(it.dels) }
+// Tombstones are discounted lazily — only those falling inside the remaining
+// base range [lo, hi) cancel anything — so partitioned iterators whose
+// tombstone slices over-cover their key range (block-aligned splits) still
+// report exact counts.
+func (it *Iterator) Remaining() int {
+	n := (it.hi - it.lo) + len(it.extra)
+	if len(it.dels) == 0 || it.lo >= it.hi {
+		// Tombstones only ever cancel base triples; with no base left they
+		// cancel nothing.
+		return n
+	}
+	first := it.base.keyAt(it.lo)
+	last := it.base.keyAt(it.hi - 1)
+	dlo := searchPrefix(it.dels, 0, first, 3, false)
+	dhi := searchPrefix(it.dels, dlo, last, 3, true)
+	return n - (dhi - dlo)
+}
 
 // Split partitions the iterator's remaining triples into at most n
 // sub-iterators covering contiguous, disjoint key ranges, such that running
@@ -279,34 +387,47 @@ func (it *Iterator) Remaining() int { return len(it.base) + len(it.extra) - len(
 // have yielded. The receiver is not consumed. Each part shares the immutable
 // base run (and so stays a consistent snapshot) and owns a disjoint slice of
 // the delta buffers, so the parts may be iterated from different goroutines
-// concurrently. This is the data-parallel scan primitive: the engine splits a
-// leading pattern range into per-worker sub-ranges.
+// concurrently — every part gets its own decode arena, lazily. Partition
+// boundaries are aligned to block starts so no part ever decodes a partial
+// block at its edges. This is the data-parallel scan primitive: the engine
+// splits a leading pattern range into per-worker sub-ranges.
 func (it *Iterator) Split(n int) []Iterator {
 	if n <= 1 || it.Remaining() == 0 {
-		return []Iterator{*it}
+		p := *it
+		p.a, p.ms, p.mp, p.mo = nil, nil, nil, nil
+		return []Iterator{p}
 	}
-	if len(it.base) == 0 {
+	if it.lo >= it.hi {
 		// Pure-delta range: chunk the sorted inserts evenly. Tombstones only
 		// ever cancel base triples, so none can be pending here.
 		return splitExtras(it.kind, it.extra, n)
 	}
+	total := it.hi - it.lo
 	parts := make([]Iterator, 0, n)
-	prevExtra, prevDel := 0, 0
+	prevPos, prevExtra, prevDel := it.lo, 0, 0
 	for i := 0; i < n; i++ {
-		lo, hi := i*len(it.base)/n, (i+1)*len(it.base)/n
-		p := Iterator{kind: it.kind, base: it.base[lo:hi]}
+		p := Iterator{kind: it.kind, base: it.base, lo: prevPos}
 		if i == n-1 {
+			p.hi = it.hi
 			p.extra = it.extra[prevExtra:]
 			p.dels = it.dels[prevDel:]
-		} else if hi < len(it.base) {
-			// Delta entries below the next chunk's first key belong here
+		} else {
+			// Tentative even cut, rounded down to a block boundary. The cut
+			// stays strictly below hi (integer division plus round-down), so
+			// keyAt(end) is always valid.
+			end := it.base.alignSplit(it.lo + (i+1)*total/n)
+			if end < prevPos {
+				end = prevPos
+			}
+			p.hi = end
+			// Delta entries below the next part's first key belong here
 			// (lower-bound search: first key ≥ the boundary).
-			boundary := it.base[hi]
+			boundary := it.base.keyAt(end)
 			extraHi := searchPrefix(it.extra, prevExtra, boundary, 3, false)
 			delHi := searchPrefix(it.dels, prevDel, boundary, 3, false)
 			p.extra = it.extra[prevExtra:extraHi]
 			p.dels = it.dels[prevDel:delHi]
-			prevExtra, prevDel = extraHi, delHi
+			prevPos, prevExtra, prevDel = end, extraHi, delHi
 		}
 		parts = append(parts, p)
 	}

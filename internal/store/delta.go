@@ -117,7 +117,8 @@ func (g *Graph) OverlayWith(extra []rdf.Triple) *Graph {
 	defer g.mu.RUnlock()
 	o := &Graph{
 		dict:    g.dict,
-		runs:    g.runs, // slice headers copy; the backing arrays are immutable
+		codec:   g.codec,
+		runs:    g.runs, // shares the immutable runs; never mutated in place
 		adds:    make(map[rdf.EncodedTriple]struct{}, len(g.adds)+len(extra)),
 		dels:    make(map[rdf.EncodedTriple]struct{}, len(g.dels)),
 		countS:  make(map[rdf.ID]int),

@@ -25,16 +25,19 @@ const (
 // indexing. It is safe for concurrent reads; writes are serialized by an
 // internal mutex (reads during writes are also safe). The triple data lives
 // in three sorted permutation runs plus a mutable delta overlay; see
-// columnar.go for the layout.
+// columnar.go for the layout and run.go/block.go for the run encodings.
 type Graph struct {
 	mu   sync.RWMutex
 	dict *rdf.Dict
 
+	// codec encodes the immutable runs; see Codec for the public selection.
+	codec runCodec
+
 	// runs are the immutable sorted columnar runs, one per permutation, each
 	// storing keys in that permutation's component order. Compaction and bulk
-	// loads replace the slices wholesale, never mutate them in place, so live
-	// Iterators stay valid across writes.
-	runs [numPerms][]rdf.EncodedTriple
+	// loads replace the runs wholesale, never mutate them in place, so live
+	// Iterators stay valid across writes. A nil run is an empty index.
+	runs [numPerms]run
 
 	// adds holds triples inserted since the last compaction (disjoint from
 	// runs); dels holds tombstones for run triples removed since then. Both
@@ -42,7 +45,7 @@ type Graph struct {
 	adds map[rdf.EncodedTriple]struct{}
 	dels map[rdf.EncodedTriple]struct{}
 
-	n int // live triple count: len(runs[permSPO]) - len(dels) + len(adds)
+	n int // live triple count: runs[permSPO].size() - len(dels) + len(adds)
 
 	// version counts successful mutations; view catalogs compare it against
 	// the version captured at materialization time to detect staleness.
@@ -75,10 +78,12 @@ func (g *Graph) SetVersion(v int64) {
 	g.mu.Unlock()
 }
 
-// NewGraph returns an empty graph with a fresh dictionary.
+// NewGraph returns an empty graph with a fresh dictionary, using the
+// process-wide default run codec (see SetDefaultCodec).
 func NewGraph() *Graph {
 	return &Graph{
 		dict:   rdf.NewDict(),
+		codec:  DefaultCodec().runCodec(),
 		adds:   make(map[rdf.EncodedTriple]struct{}),
 		dels:   make(map[rdf.EncodedTriple]struct{}),
 		countS: make(map[rdf.ID]int),
@@ -144,8 +149,8 @@ func (g *Graph) AddEncoded(s, p, o rdf.ID) bool {
 // inRunsLocked reports whether the SPO-ordered key is in the base runs
 // (ignoring tombstones).
 func (g *Graph) inRunsLocked(k rdf.EncodedTriple) bool {
-	lo, hi := rangeOf(g.runs[permSPO], k, 3)
-	return lo < hi
+	r := g.runs[permSPO]
+	return r != nil && r.contains(k)
 }
 
 func (g *Graph) containsLocked(s, p, o rdf.ID) bool {
@@ -244,14 +249,14 @@ func decOrDelete(m map[rdf.ID]int, k rdf.ID) {
 func (g *Graph) maybeCompactLocked() {
 	delta := len(g.adds) + len(g.dels)
 	if delta >= compactMinDelta &&
-		(delta >= compactMaxDelta || delta*compactFraction >= len(g.runs[permSPO])) {
+		(delta >= compactMaxDelta || delta*compactFraction >= runSize(g.runs[permSPO])) {
 		g.compactLocked()
 	}
 }
 
-// compactLocked merges pending inserts and tombstones into freshly allocated
-// sorted runs, leaving the delta overlay empty. Old run slices are left
-// untouched for any live Iterators.
+// compactLocked merges pending inserts and tombstones into freshly built
+// sorted runs, leaving the delta overlay empty. Old runs are left untouched
+// for any live Iterators.
 func (g *Graph) compactLocked() {
 	if len(g.adds) == 0 && len(g.dels) == 0 {
 		return
@@ -265,7 +270,7 @@ func (g *Graph) compactLocked() {
 		dels = append(dels, t)
 	}
 	for k := permKind(0); k < numPerms; k++ {
-		g.runs[k] = mergeRun(g.runs[k], permuteSorted(k, adds), permuteSorted(k, dels))
+		g.runs[k] = mergeRuns(g.codec, g.runs[k], permuteSorted(k, adds), permuteSorted(k, dels))
 	}
 	g.adds = make(map[rdf.EncodedTriple]struct{})
 	g.dels = make(map[rdf.EncodedTriple]struct{})
@@ -313,7 +318,7 @@ func (g *Graph) Scan(s, p, o rdf.ID) (it Iterator) {
 }
 
 // ScanInto is Scan reusing the caller's Iterator value (and its delta
-// buffers), for allocation-free scan loops on hot paths.
+// buffers plus decode arena), for allocation-free scan loops on hot paths.
 func (g *Graph) ScanInto(it *Iterator, s, p, o rdf.ID) {
 	it.base, it.extra, it.dels = nil, it.extra[:0], it.dels[:0]
 	g.mu.RLock()
@@ -342,7 +347,11 @@ func (g *Graph) scanPermLocked(kind permKind, key rdf.EncodedTriple, depth int) 
 func (g *Graph) scanPermInto(it *Iterator, kind permKind, key rdf.EncodedTriple, depth int) {
 	lo, hi := rangeOf(g.runs[kind], key, depth)
 	it.kind = kind
-	it.base = g.runs[kind][lo:hi]
+	it.base = g.runs[kind]
+	it.lo, it.hi = lo, hi
+	if it.a != nil {
+		it.a.reset() // stale decoded span from a previous scan
+	}
 	if len(g.adds) > 0 {
 		for t := range g.adds {
 			if pk := kind.key(t[0], t[1], t[2]); cmpPrefix(pk, key, depth) == 0 {
@@ -377,7 +386,9 @@ func (g *Graph) Match(s, p, o rdf.ID, yield func(s, p, o rdf.ID) bool) {
 
 // Estimate returns the exact number of triples matching the pattern, read
 // off a permutation range length (corrected by the in-range delta overlay).
-// Used by the planner for greedy join ordering.
+// For block runs the range endpoints come from fence searches, so interior
+// blocks are counted without being decoded. Used by the planner for greedy
+// join ordering.
 func (g *Graph) Estimate(s, p, o rdf.ID) int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -435,16 +446,20 @@ func (g *Graph) SortedTriples() []rdf.Triple {
 }
 
 // Clone returns a deep, independent copy of the graph, including its
-// dictionary. The columnar runs copy with three memcpys, so cloning is
-// near-O(n) with no per-triple allocation; materialization clones the base
-// graph to build the expanded graph G+ without mutating G.
+// dictionary. The columnar runs copy with three memcpys (flat) or a meta +
+// payload copy per run (block), so cloning is near-O(n) with no per-triple
+// allocation; materialization clones the base graph to build the expanded
+// graph G+ without mutating G.
 func (g *Graph) Clone() *Graph {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	c := NewGraph()
 	c.dict = g.dict.Clone()
+	c.codec = g.codec
 	for k := range g.runs {
-		c.runs[k] = append([]rdf.EncodedTriple(nil), g.runs[k]...)
+		if g.runs[k] != nil {
+			c.runs[k] = g.runs[k].clone()
+		}
 	}
 	maps.Copy(c.adds, g.adds)
 	maps.Copy(c.dels, g.dels)
@@ -543,7 +558,7 @@ func (g *Graph) loadEncodedLocked(ts []rdf.EncodedTriple) int {
 		if k != permSPO {
 			ins = permuteSorted(k, fresh)
 		}
-		g.runs[k] = mergeRun(g.runs[k], ins, nil)
+		g.runs[k] = mergeRuns(g.codec, g.runs[k], ins, nil)
 	}
 	g.n += len(fresh)
 	g.version += int64(len(fresh))

@@ -133,7 +133,62 @@ func (g *Graph) EstimatedBytes() int64 {
 		total += int64(len(t.Value) + len(t.Datatype) + len(t.Lang) + 16)
 		return true
 	})
-	total += int64(len(g.runs[permSPO])) * (3 * 12)
+	total += int64(runSize(g.runs[permSPO])) * (3 * 12)
 	total += int64(len(g.adds)+len(g.dels)) * 48
 	return total
+}
+
+// IndexMemStats is the resident footprint of one permutation index.
+type IndexMemStats struct {
+	Keys   int   `json:"keys"`             // triples stored in the run
+	Blocks int   `json:"blocks,omitempty"` // compressed blocks (0 for flat)
+	Bytes  int64 `json:"bytes"`            // resident bytes of the run encoding
+}
+
+// MemStats reports the actual resident bytes of the graph's storage, broken
+// down per permutation index, plus the active run codec. Unlike
+// EstimatedBytes — which is a codec-independent cost-model quantity the
+// planner and selection variants consume — MemStats measures the real
+// encoding, so the block codec's compression win is observable in /stats.
+type MemStats struct {
+	Codec       string        `json:"codec"`
+	Triples     int           `json:"triples"`
+	SPO         IndexMemStats `json:"spo"`
+	POS         IndexMemStats `json:"pos"`
+	OSP         IndexMemStats `json:"osp"`
+	OverlayAdds int           `json:"overlay_adds"`
+	OverlayDels int           `json:"overlay_dels"`
+	DictBytes   int64         `json:"dict_bytes"`
+	IndexBytes  int64         `json:"index_bytes"` // SPO+POS+OSP+overlay
+	TotalBytes  int64         `json:"total_bytes"` // IndexBytes + DictBytes
+}
+
+// MemStats measures the graph's current resident storage footprint.
+func (g *Graph) MemStats() MemStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	ms := MemStats{
+		Codec:       g.codec.name(),
+		Triples:     g.n,
+		OverlayAdds: len(g.adds),
+		OverlayDels: len(g.dels),
+	}
+	perms := [numPerms]*IndexMemStats{&ms.SPO, &ms.POS, &ms.OSP}
+	for k := permKind(0); k < numPerms; k++ {
+		if r := g.runs[k]; r != nil {
+			perms[k].Keys = r.size()
+			perms[k].Blocks = r.numBlocks()
+			perms[k].Bytes = r.memBytes()
+		}
+		ms.IndexBytes += perms[k].Bytes
+	}
+	// Each overlay entry costs roughly one map bucket slot: 12-byte key plus
+	// bucket and pointer overhead.
+	ms.IndexBytes += int64(len(g.adds)+len(g.dels)) * 48
+	g.dict.EachTerm(func(_ rdf.ID, t rdf.Term) bool {
+		ms.DictBytes += int64(len(t.Value) + len(t.Datatype) + len(t.Lang) + 16)
+		return true
+	})
+	ms.TotalBytes = ms.IndexBytes + ms.DictBytes
+	return ms
 }
