@@ -10,7 +10,13 @@
 //	curl localhost:8080/views                         # list materializations
 //	curl localhost:8080/stats                         # serving health
 //
-// With -data-dir the server is durable: committed /update batches are
+// The API is versioned under /v1 (the unversioned paths above remain as
+// deprecated aliases):
+//
+//	curl 'localhost:8080/v1/query?q=SELECT+...'
+//	curl -X POST localhost:8080/v1/update -d '{"insert": "<s> <p> <o> ."}'
+//
+// With -data-dir the server is durable: committed /v1/update batches are
 // written ahead to a log before they are acknowledged, checkpoints pair a
 // graph snapshot with the catalog state, and a restart — even from SIGKILL —
 // recovers the exact committed state by loading the newest checkpoint and
@@ -18,10 +24,21 @@
 //
 //	sofos-serve -dataset dbpedia -k 3 -data-dir /var/lib/sofos \
 //	    -wal-sync always -checkpoint-interval 5m
-//	curl -X POST localhost:8080/admin/checkpoint      # checkpoint on demand
+//	curl -X POST localhost:8080/v1/admin/checkpoint   # checkpoint on demand
+//
+// With -replica the server is a read replica of a durable primary: it
+// bootstraps from the primary's newest checkpoint (GET /v1/checkpoint),
+// tails the primary's write-ahead log stream (GET /v1/wal), applies every
+// record through the same incremental maintenance path, rejects writes, and
+// reports applied progress back — which is what "ack":"replicas:N" updates
+// on the primary wait for. Replicas keep no local state; dataset, scale,
+// and seed come from the primary's manifest:
+//
+//	sofos-serve -replica http://primary:8080 -addr :8081
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -61,6 +78,10 @@ type config struct {
 	walSync            string
 	checkpointInterval time.Duration
 	codec              string
+	replica            string
+	replicaID          string
+	ackTimeout         time.Duration
+	readWait           time.Duration
 }
 
 // parseFlags parses the command line into a config.
@@ -81,8 +102,15 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.walSync, "wal-sync", "always", "WAL fsync policy: always (sync before every ack), interval (background sync), none")
 	fs.DurationVar(&c.checkpointInterval, "checkpoint-interval", 0, "write a checkpoint this often (0 = only at boot, on view changes, and via /admin/checkpoint)")
 	fs.StringVar(&c.codec, "codec", "block", "run storage codec: block (compressed) or flat")
+	fs.StringVar(&c.replica, "replica", "", "run as a read replica of the primary at this base URL (e.g. http://primary:8080); ignores -data-dir and dataset flags")
+	fs.StringVar(&c.replicaID, "replica-id", "", "replica identity in progress reports and the primary's /v1/stats (default replica-<pid>)")
+	fs.DurationVar(&c.ackTimeout, "ack-timeout", 0, `how long an update with "ack":"replicas:N" waits for N replica acknowledgements (0 = 10s)`)
+	fs.DurationVar(&c.readWait, "read-wait", 0, "how long a replica holds a read ahead of its applied state before redirecting to the primary (0 = 2s)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if c.replica != "" && c.dataDir != "" {
+		return nil, fmt.Errorf("-replica and -data-dir are mutually exclusive: replicas keep no durable state")
 	}
 	codec, err := store.ParseCodec(c.codec)
 	if err != nil {
@@ -98,6 +126,9 @@ func parseFlags(args []string) (*config, error) {
 // WAL, and — on a fresh directory — writes the initial checkpoint so every
 // later boot has a snapshot to recover from.
 func buildServer(c *config) (*server.Server, error) {
+	if c.replica != "" {
+		return buildReplica(c)
+	}
 	var (
 		dur *server.Durability
 		sys *core.System
@@ -170,6 +201,7 @@ func buildServer(c *config) (*server.Server, error) {
 		CacheBytes:    c.cacheBytes,
 		SelectionSeed: c.seed,
 		Durability:    dur,
+		AckTimeout:    c.ackTimeout,
 	})
 	// Every durable boot checkpoints immediately. Fresh boots need a
 	// snapshot on disk before the first update can be acknowledged
@@ -185,6 +217,27 @@ func buildServer(c *config) (*server.Server, error) {
 			m.Sequence, m.BaseTriples, m.Views, m.Generation, c.dataDir)
 	}
 	return srv, nil
+}
+
+// buildReplica bootstraps a read replica from its primary's newest
+// checkpoint. The replication loop itself starts in run (it needs the
+// process lifetime context); a test can start it separately.
+func buildReplica(c *config) (*server.Server, error) {
+	opts := server.ReplicaOptions{Primary: c.replica, ID: c.replicaID}
+	sys, man, err := server.BootstrapReplica(context.Background(), opts, c.workers)
+	if err != nil {
+		return nil, fmt.Errorf("bootstrapping from %s: %w", c.replica, err)
+	}
+	log.Printf("bootstrapped replica from %s: %s scale %d seed %d, generation %d",
+		c.replica, man.Dataset, man.Scale, man.Seed, man.Generation)
+	return server.New(sys, server.Config{
+		MaxConcurrent: c.maxConcurrent,
+		CacheEntries:  c.cacheEntries,
+		CacheBytes:    c.cacheBytes,
+		SelectionSeed: c.seed,
+		ReadWait:      c.readWait,
+		Replica:       &opts,
+	}), nil
 }
 
 // buildFresh builds the system from the dataset generators — the memory-only
@@ -268,9 +321,16 @@ func run(args []string) error {
 		defer close(stop)
 		go checkpointLoop(srv, c.checkpointInterval, stop)
 	}
+	if c.replica != "" {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		if err := srv.StartReplication(ctx); err != nil {
+			return err
+		}
+	}
 	sys := srv.System()
-	log.Printf("serving %s (%d triples, facet %s, %d workers) on %s",
-		c.dataset, sys.Graph.Len(), sys.Facet.Name, sys.Workers, ln.Addr())
+	log.Printf("serving facet %s (%d triples, %d workers, role %s) on %s",
+		sys.Facet.Name, sys.Graph.Len(), sys.Workers, srv.Role(), ln.Addr())
 	// No WriteTimeout: analytical queries can legitimately run long, and the
 	// admission semaphore already bounds concurrent execution. The header and
 	// idle timeouts stop slow or stalled clients from pinning connections and

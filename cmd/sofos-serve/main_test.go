@@ -1,12 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"sofos/internal/persist"
 )
@@ -56,9 +59,12 @@ func TestEndToEnd(t *testing.T) {
 		return resp.StatusCode
 	}
 
-	var health map[string]bool
-	if code := get("/healthz", &health); code != http.StatusOK || !health["ok"] {
-		t.Fatalf("healthz = %v (status %d)", health, code)
+	var health struct {
+		OK   bool   `json:"ok"`
+		Role string `json:"role"`
+	}
+	if code := get("/healthz", &health); code != http.StatusOK || !health.OK || health.Role != "primary" {
+		t.Fatalf("healthz = %+v (status %d)", health, code)
 	}
 
 	var views struct {
@@ -332,5 +338,98 @@ func TestRecoveredBootCheckpoints(t *testing.T) {
 	}
 	if st.Persist.Recovery.ReplayedBatches != 0 {
 		t.Fatalf("third boot replayed %d batches; the second boot's checkpoint should cover them", st.Persist.Recovery.ReplayedBatches)
+	}
+}
+
+// TestReplicaEndToEnd is the two-process story through the real flags and
+// dataset registry: a durable primary, a -replica bootstrapped from its
+// checkpoint archive, and convergence to bit-identical answers — including a
+// write acknowledged only after the replica applied it.
+func TestReplicaEndToEnd(t *testing.T) {
+	primary, err := buildServer(durableConfig(t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(primary.Handler())
+	defer pts.Close()
+
+	rc, err := parseFlags([]string{"-replica", pts.URL, "-replica-id", "e2e-replica", "-workers", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := buildServer(rc)
+	if err != nil {
+		t.Fatalf("replica boot: %v", err)
+	}
+	rts := httptest.NewServer(replica.Handler())
+	defer rts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := replica.StartReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// An update acknowledged at replicas:1 must already be applied there.
+	up := `{"insert": "<http://e2e.test/r1> <http://e2e.test/p> <http://e2e.test/o> .", "ack": "replicas:1"}`
+	resp, err := http.Post(pts.URL+"/v1/update", "application/json", strings.NewReader(up))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upOut struct {
+		Ack         string `json:"ack"`
+		AckReplicas int    `json:"ack_replicas"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&upOut)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("update: status %d, err %v", resp.StatusCode, err)
+	}
+	if upOut.Ack != "replicas:1" || upOut.AckReplicas < 1 {
+		t.Fatalf("ack = %+v, want replicas:1 with >= 1 replica", upOut)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for replica.System().Generation() != primary.System().Generation() ||
+		replica.System().GraphVersion() != primary.System().GraphVersion() {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica at gen %d / ver %d, primary at %d / %d",
+				replica.System().Generation(), replica.System().GraphVersion(),
+				primary.System().Generation(), primary.System().GraphVersion())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	q := primary.System().Facet.View(0).AnalyticalQuery().String()
+	answers := make([][][]string, 0, 2)
+	for _, u := range []string{pts.URL, rts.URL} {
+		r, err := http.Get(u + "/v1/query?q=" + url.QueryEscape(q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ans struct {
+			Rows [][]string `json:"rows"`
+		}
+		err = json.NewDecoder(r.Body).Decode(&ans)
+		r.Body.Close()
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("query %s: status %d, err %v", u, r.StatusCode, err)
+		}
+		answers = append(answers, ans.Rows)
+	}
+	if !reflect.DeepEqual(answers[0], answers[1]) {
+		t.Fatalf("answers diverge: primary %v, replica %v", answers[0], answers[1])
+	}
+
+	// Replicas reject -data-dir and writes.
+	if _, err := parseFlags([]string{"-replica", pts.URL, "-data-dir", t.TempDir()}); err == nil {
+		t.Error("-replica with -data-dir accepted")
+	}
+	resp, err = http.Post(rts.URL+"/v1/update", "application/json", strings.NewReader(up))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusForbidden {
+		t.Errorf("replica write status %d, want 403", resp.StatusCode)
 	}
 }

@@ -1,0 +1,202 @@
+// Command sofos-smoke drives a primary/replica pair through the typed Go
+// client (internal/client) for CI smoke checks. Three subcommands:
+//
+//	sofos-smoke write   -primary URL -n 40 [-interval 25ms]
+//	sofos-smoke rw      -primary URL -replica URL -n 20 -query-file wl.sparql
+//	sofos-smoke catchup -primary URL -replica URL -query-file wl.sparql [-timeout 30s]
+//
+// "write" replays a write-only workload against the primary. "rw" is the
+// read-your-writes probe: after every write it carries the writer's
+// generation floor to a reader pointed at the replica and fails on any
+// answer older than the floor, or any answer whose rows differ from the
+// primary's at the same floor — zero staleness violations is the pass bar.
+// "catchup" waits until the replica reports the primary's exact generation
+// with zero lag, then requires bit-identical answers from both.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sofos/internal/api"
+	"sofos/internal/client"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "sofos-smoke:", err)
+		os.Exit(1)
+	}
+}
+
+// opts is the parsed command line for any subcommand.
+type opts struct {
+	mode      string
+	primary   string
+	replica   string
+	n         int
+	interval  time.Duration
+	timeout   time.Duration
+	query     string
+	queryFile string
+}
+
+// parseArgs parses a subcommand plus its flags.
+func parseArgs(args []string) (*opts, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("usage: sofos-smoke write|rw|catchup [flags]")
+	}
+	o := &opts{mode: args[0]}
+	fs := flag.NewFlagSet("sofos-smoke "+o.mode, flag.ContinueOnError)
+	fs.StringVar(&o.primary, "primary", "", "primary base URL (required)")
+	fs.StringVar(&o.replica, "replica", "", "replica base URL")
+	fs.IntVar(&o.n, "n", 20, "operations to run")
+	fs.DurationVar(&o.interval, "interval", 0, "pause between writes")
+	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "catch-up deadline")
+	fs.StringVar(&o.query, "query", "", "probe query text")
+	fs.StringVar(&o.queryFile, "query-file", "", "file holding probe queries ('---'-separated; the first is used)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return nil, err
+	}
+	switch o.mode {
+	case "write", "rw", "catchup":
+	default:
+		return nil, fmt.Errorf("unknown subcommand %q (want write, rw, or catchup)", o.mode)
+	}
+	if o.primary == "" {
+		return nil, fmt.Errorf("-primary is required")
+	}
+	if o.mode != "write" && o.replica == "" {
+		return nil, fmt.Errorf("%s needs -replica", o.mode)
+	}
+	if o.queryFile != "" {
+		raw, err := os.ReadFile(o.queryFile)
+		if err != nil {
+			return nil, err
+		}
+		o.query = strings.Split(string(raw), "\n---\n")[0]
+	}
+	if o.mode != "write" && strings.TrimSpace(o.query) == "" {
+		return nil, fmt.Errorf("%s needs -query or -query-file", o.mode)
+	}
+	return o, nil
+}
+
+func run(args []string) error {
+	o, err := parseArgs(args)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	switch o.mode {
+	case "write":
+		return runWrite(ctx, o)
+	case "rw":
+		return runRW(ctx, o)
+	default:
+		return runCatchup(ctx, o)
+	}
+}
+
+// smokeTriple renders one unique insert batch.
+func smokeTriple(i int) string {
+	return fmt.Sprintf("<http://smoke.test/w%d> <http://smoke.test/p> <http://smoke.test/o%d> .\n", i, i)
+}
+
+// runWrite replays n writes against the primary.
+func runWrite(ctx context.Context, o *opts) error {
+	writer := client.New(o.primary, nil)
+	for i := 0; i < o.n; i++ {
+		if _, err := writer.Update(ctx, api.UpdateRequest{Insert: smokeTriple(i)}); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+		if o.interval > 0 {
+			time.Sleep(o.interval)
+		}
+	}
+	fmt.Printf("write: %d batches committed, generation %d\n", o.n, writer.Generation())
+	return nil
+}
+
+// runRW is the staleness probe: write to the primary, read from the replica
+// under the writer's generation floor, fail on any stale answer.
+func runRW(ctx context.Context, o *opts) error {
+	writer := client.New(o.primary, nil)
+	reader := client.New(o.replica, nil)
+	violations := 0
+	for i := 0; i < o.n; i++ {
+		if _, err := writer.Update(ctx, api.UpdateRequest{Insert: smokeTriple(1_000_000 + i)}); err != nil {
+			return fmt.Errorf("write %d: %w", i, err)
+		}
+		floor := writer.Generation()
+		reader.ObserveGeneration(floor)
+		got, err := reader.Query(ctx, api.QueryRequest{Query: o.query})
+		if err != nil {
+			return fmt.Errorf("replica read %d: %w", i, err)
+		}
+		want, err := writer.Query(ctx, api.QueryRequest{Query: o.query})
+		if err != nil {
+			return fmt.Errorf("primary read %d: %w", i, err)
+		}
+		if got.Generation < floor {
+			violations++
+			fmt.Printf("VIOLATION %d: answer at generation %d, floor %d\n", i, got.Generation, floor)
+		}
+		if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+			violations++
+			fmt.Printf("VIOLATION %d: rows diverge from primary at floor %d\n", i, floor)
+		}
+		if o.interval > 0 {
+			time.Sleep(o.interval)
+		}
+	}
+	if violations > 0 {
+		return fmt.Errorf("%d read-your-writes violations in %d rounds", violations, o.n)
+	}
+	fmt.Printf("rw: %d write-then-read rounds, zero staleness violations\n", o.n)
+	return nil
+}
+
+// runCatchup waits for the replica to reach the primary's exact generation
+// with zero lag, then requires bit-identical answers from both.
+func runCatchup(ctx context.Context, o *opts) error {
+	primary := client.New(o.primary, nil)
+	replica := client.New(o.replica, nil)
+	deadline := time.Now().Add(o.timeout)
+	for {
+		ph, err := primary.Health(ctx)
+		if err != nil {
+			return fmt.Errorf("primary health: %w", err)
+		}
+		rh, err := replica.Health(ctx)
+		if err == nil && rh.Role == "replica" && rh.Generation == ph.Generation && rh.ReplicaLag == 0 {
+			fmt.Printf("catchup: replica at generation %d (lag 0)\n", rh.Generation)
+			break
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("replica health: %w", err)
+			}
+			return fmt.Errorf("replica stuck at generation %d (lag %d), primary at %d",
+				rh.Generation, rh.ReplicaLag, ph.Generation)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	want, err := primary.Query(ctx, api.QueryRequest{Query: o.query})
+	if err != nil {
+		return fmt.Errorf("primary read: %w", err)
+	}
+	got, err := replica.Query(ctx, api.QueryRequest{Query: o.query})
+	if err != nil {
+		return fmt.Errorf("replica read: %w", err)
+	}
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		return fmt.Errorf("answers diverge after catch-up: primary %v, replica %v", want.Rows, got.Rows)
+	}
+	fmt.Println("catchup: answers are identical")
+	return nil
+}

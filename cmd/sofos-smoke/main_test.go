@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseArgs(t *testing.T) {
+	if _, err := parseArgs(nil); err == nil {
+		t.Error("no subcommand accepted")
+	}
+	if _, err := parseArgs([]string{"fly", "-primary", "http://p"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if _, err := parseArgs([]string{"write"}); err == nil {
+		t.Error("write without -primary accepted")
+	}
+	if _, err := parseArgs([]string{"rw", "-primary", "http://p"}); err == nil {
+		t.Error("rw without -replica accepted")
+	}
+	if _, err := parseArgs([]string{"rw", "-primary", "http://p", "-replica", "http://r"}); err == nil {
+		t.Error("rw without a query accepted")
+	}
+
+	qf := filepath.Join(t.TempDir(), "wl.sparql")
+	if err := os.WriteFile(qf, []byte("SELECT one\n---\nSELECT two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	o, err := parseArgs([]string{"catchup", "-primary", "http://p", "-replica", "http://r", "-query-file", qf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.query != "SELECT one" {
+		t.Errorf("query-file picked %q, want the first query", o.query)
+	}
+	if o.mode != "catchup" || o.primary != "http://p" || o.replica != "http://r" {
+		t.Errorf("parsed %+v", o)
+	}
+}

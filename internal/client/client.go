@@ -1,0 +1,265 @@
+// Package client is the typed Go client for the sofos-serve /v1 API. It is
+// the one place request/response handling lives: the workload replayer, the
+// replica's apply loop, CI smoke scripts, and e2e tests all speak to the
+// server through it, against the shared structs of internal/api.
+//
+// Read-your-writes: the client remembers the highest X-Sofos-Generation any
+// response carried and sends it back as X-Sofos-Min-Generation on queries. A
+// replica that has not applied that generation yet waits briefly for its
+// replication stream and then redirects to the primary (a 307 the underlying
+// http.Client follows transparently), so a client that writes to the primary
+// and reads from a replica never observes its own write missing.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"sofos/internal/api"
+)
+
+// Client talks to one sofos-serve instance. Safe for concurrent use; share
+// one instance across goroutines so the generation ratchet spans them.
+type Client struct {
+	base string
+	hc   *http.Client
+	gen  atomic.Int64 // highest generation observed in any response
+}
+
+// New builds a client for the server at baseURL ("http://host:port"). A nil
+// hc uses http.DefaultClient.
+func New(baseURL string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), hc: hc}
+}
+
+// BaseURL returns the server root this client targets.
+func (c *Client) BaseURL() string { return c.base }
+
+// Generation returns the highest catalog generation observed so far — the
+// floor future queries demand via X-Sofos-Min-Generation.
+func (c *Client) Generation() int64 { return c.gen.Load() }
+
+// ObserveGeneration raises the generation floor to g (never lowers it) —
+// how a reader client pointed at a replica inherits the writes a separate
+// writer client made against the primary.
+func (c *Client) ObserveGeneration(g int64) {
+	for {
+		cur := c.gen.Load()
+		if g <= cur || c.gen.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// APIError is a non-200 response carrying the server's typed error envelope.
+type APIError struct {
+	StatusCode int
+	Err        api.Error
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("status %d: %s: %s", e.StatusCode, e.Err.Code, e.Err.Message)
+}
+
+// Query answers one analytical query.
+func (c *Client) Query(ctx context.Context, req api.QueryRequest) (*api.QueryResponse, error) {
+	var out api.QueryResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Update applies one batched write.
+func (c *Client) Update(ctx context.Context, req api.UpdateRequest) (*api.UpdateResponse, error) {
+	var out api.UpdateResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/update", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Views lists materializations.
+func (c *Client) Views(ctx context.Context) (*api.ViewsResponse, error) {
+	var out api.ViewsResponse
+	if err := c.do(ctx, http.MethodGet, api.Prefix+"/views", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ViewsAction runs one view-management action (materialize/refresh/drop/reset).
+func (c *Client) ViewsAction(ctx context.Context, req api.ViewsRequest) (*api.ViewsActionResponse, error) {
+	var out api.ViewsActionResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/views", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Stats fetches serving health.
+func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
+	var out api.StatsResponse
+	if err := c.do(ctx, http.MethodGet, api.Prefix+"/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health fetches the liveness probe.
+func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
+	var out api.HealthResponse
+	if err := c.do(ctx, http.MethodGet, api.Prefix+"/healthz", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Checkpoint triggers a checkpoint on a durable server.
+func (c *Client) Checkpoint(ctx context.Context) (*api.CheckpointResponse, error) {
+	var out api.CheckpointResponse
+	if err := c.do(ctx, http.MethodPost, api.Prefix+"/admin/checkpoint", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ack posts one replica progress report to a primary.
+func (c *Client) Ack(ctx context.Context, req api.ReplicaAckRequest) error {
+	var out api.ReplicaAckResponse
+	return c.do(ctx, http.MethodPost, api.Prefix+"/replica/ack", req, &out)
+}
+
+// FetchCheckpoint streams the primary's newest checkpoint archive (a tar;
+// unpack with persist.RestoreArchive). The caller closes the body.
+func (c *Client) FetchCheckpoint(ctx context.Context) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+api.Prefix+"/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	c.observe(resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, decodeError(resp)
+	}
+	return resp.Body, nil
+}
+
+// StreamWAL tails the primary's replication stream from the given applied
+// graph version, invoking fn for every record and heartbeat event in order.
+// It returns when fn errors (that error), the stream ends or drops
+// (a transport error), the server reports a terminal stream error such as a
+// WAL gap (an *APIError), or ctx is canceled (ctx.Err()). A 410 response —
+// the resume version was truncated away — also surfaces as an *APIError,
+// with code api.CodeWALTruncated: re-bootstrap and call again.
+func (c *Client) StreamWAL(ctx context.Context, from int64, fn func(*api.WALEvent) error) error {
+	url := fmt.Sprintf("%s%s/wal?from=%d", c.base, api.Prefix, from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	c.observe(resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev api.WALEvent
+		if err := dec.Decode(&ev); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("client: wal stream ended: %w", err)
+		}
+		if ev.Error != nil {
+			return &APIError{StatusCode: http.StatusOK, Err: *ev.Error}
+		}
+		if err := fn(&ev); err != nil {
+			return err
+		}
+	}
+}
+
+// do issues one JSON request. Queries carry the min-generation floor; every
+// response ratchets the observed generation.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		// bytes.Reader gives the request a GetBody, so the http.Client can
+		// replay it across a replica's 307 redirect to the primary.
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if g := c.gen.Load(); g > 0 {
+		req.Header.Set(api.HeaderMinGeneration, strconv.FormatInt(g, 10))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	c.observe(resp.Header)
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: malformed %s response: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-200 response into an *APIError when the body is
+// the typed envelope, or a plain error otherwise.
+func decodeError(resp *http.Response) error {
+	var env api.ErrorResponse
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&env) == nil && env.Error.Code != "" {
+		return &APIError{StatusCode: resp.StatusCode, Err: env.Error}
+	}
+	return fmt.Errorf("client: status %d from %s", resp.StatusCode, resp.Request.URL.Path)
+}
+
+// observe ratchets the generation floor from a response header.
+func (c *Client) observe(h http.Header) {
+	v := h.Get(api.HeaderGeneration)
+	if v == "" {
+		return
+	}
+	g, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return
+	}
+	c.ObserveGeneration(g)
+}

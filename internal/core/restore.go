@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"log"
 	"time"
 
 	"sofos/internal/engine"
@@ -14,34 +13,10 @@ import (
 )
 
 // RecoveryStats reports what one Restore did — surfaced through the server's
-// /stats endpoint and the boot log so operators can verify that recovery
-// replayed only the WAL suffix, not the whole history.
-type RecoveryStats struct {
-	// Checkpoint identity and the state it restored directly.
-	CheckpointSeq        uint64 `json:"checkpoint_seq"`
-	CheckpointVersion    int64  `json:"checkpoint_graph_version"`
-	CheckpointGeneration int64  `json:"checkpoint_generation"`
-	RestoredViews        int    `json:"restored_views"`
-	RestoredTriples      int    `json:"restored_triples"`
-
-	// WAL replay outcome.
-	ReplayedBatches      int  `json:"replayed_batches"`
-	ReplayedTriples      int  `json:"replayed_triples"` // Σ|ΔG| over replayed batches
-	SkippedBatches       int  `json:"skipped_batches"`  // already inside the checkpoint
-	EagerRefreshes       int  `json:"eager_refreshes"`
-	IncrementalRefreshes int  `json:"incremental_refreshes"`
-	TornTail             bool `json:"torn_tail"` // final record cut by the crash; never acknowledged
-
-	// Final state and cost.
-	Generation   int64         `json:"generation"`
-	GraphVersion int64         `json:"graph_version"`
-	SnapshotLoad time.Duration `json:"-"`
-	Elapsed      time.Duration `json:"-"`
-
-	// Microsecond mirrors for JSON consumers.
-	SnapshotLoadUS int64 `json:"snapshot_load_us"`
-	ElapsedUS      int64 `json:"elapsed_us"`
-}
+// /v1/stats endpoint and the boot log. The type lives in persist so the API
+// layer can reference it without importing core; this alias keeps the
+// historical name.
+type RecoveryStats = persist.RecoveryStats
 
 // Restore constructs a warm system from a data directory: it loads the
 // newest checkpoint's graph snapshot and catalog state, reinstates the saved
@@ -111,7 +86,7 @@ func Restore(dir *persist.Dir, f *facet.Facet, opts Options) (*System, *Recovery
 	// WAL replay: re-apply every batch past the checkpoint through the same
 	// catalog path a live /update takes, maintenance included.
 	replay, err := persist.ReplayWAL(dir.WALDir(), cp.Manifest.WALSeq, func(seq uint64, rec *persist.Record) error {
-		return replayRecord(sys, rec, stats)
+		return ReplayRecord(sys, rec, stats)
 	})
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: replaying wal: %w", err)
@@ -125,8 +100,15 @@ func Restore(dir *persist.Dir, f *facet.Facet, opts Options) (*System, *Recovery
 	return sys, stats, nil
 }
 
-// replayRecord re-applies one durably logged batch during recovery.
-func replayRecord(sys *System, rec *persist.Record, stats *RecoveryStats) error {
+// ReplayRecord re-applies one durably logged batch to a system: recovery
+// uses it for the WAL suffix after a checkpoint load, and a replica's apply
+// loop feeds it every record tailed from the primary's /v1/wal stream — the
+// same incremental O(|ΔG|) maintenance path a live /update takes, landing on
+// the exact generation the batch was acknowledged at. stats may be nil.
+func ReplayRecord(sys *System, rec *persist.Record, stats *RecoveryStats) error {
+	if stats == nil {
+		stats = &RecoveryStats{}
+	}
 	g := sys.Graph
 	if rec.ToVersion <= g.Version() {
 		// The checkpoint already contains this batch (it landed before the
@@ -168,13 +150,4 @@ func replayRecord(sys *System, rec *persist.Record, stats *RecoveryStats) error 
 	stats.ReplayedBatches++
 	stats.ReplayedTriples += rec.Len()
 	return nil
-}
-
-// LogRecovery writes a one-line replay summary to the standard logger — the
-// boot-time progress line sofos-serve emits.
-func (r *RecoveryStats) LogRecovery() {
-	log.Printf("recovered checkpoint %d (gen %d, %d triples, %d views) + %d wal batches (%d triples, %d skipped, torn tail %v) in %s (snapshot %s)",
-		r.CheckpointSeq, r.Generation, r.RestoredTriples, r.RestoredViews,
-		r.ReplayedBatches, r.ReplayedTriples, r.SkippedBatches, r.TornTail,
-		r.Elapsed.Round(time.Millisecond), r.SnapshotLoad.Round(time.Millisecond))
 }

@@ -1,0 +1,144 @@
+package persist
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint archives: the bootstrap format replicas use. A primary streams
+// its newest checkpoint as a tar of the three checkpoint files (GET
+// /v1/checkpoint); a replica unpacks it into a fresh data-directory layout
+// and restores from it exactly as a restart would — same snapshot loader,
+// same manifest validation, empty WAL.
+
+// WriteArchive streams the checkpoint as a tar archive holding
+// MANIFEST.json, graph.snap, and catalog.bin. Both data files are opened
+// before any byte is written: a concurrent checkpoint may delete this
+// checkpoint's directory mid-stream, but open handles survive the unlink, so
+// the archive is torn only if the copy itself fails.
+func (c *Checkpoint) WriteArchive(w io.Writer) error {
+	gf, err := os.Open(filepath.Join(c.dir, graphFile))
+	if err != nil {
+		return fmt.Errorf("persist: opening graph snapshot for archive: %w", err)
+	}
+	defer gf.Close()
+	cf, err := os.Open(filepath.Join(c.dir, catalogFile))
+	if err != nil {
+		return fmt.Errorf("persist: opening catalog state for archive: %w", err)
+	}
+	defer cf.Close()
+
+	tw := tar.NewWriter(w)
+	mraw, err := json.MarshalIndent(&c.Manifest, "", "  ")
+	if err != nil {
+		return fmt.Errorf("persist: encoding manifest for archive: %w", err)
+	}
+	mraw = append(mraw, '\n')
+	if err := tw.WriteHeader(&tar.Header{Name: manifestFile, Mode: 0o644, Size: int64(len(mraw))}); err != nil {
+		return fmt.Errorf("persist: archiving manifest: %w", err)
+	}
+	if _, err := tw.Write(mraw); err != nil {
+		return fmt.Errorf("persist: archiving manifest: %w", err)
+	}
+	for _, part := range []struct {
+		name string
+		f    *os.File
+	}{{graphFile, gf}, {catalogFile, cf}} {
+		st, err := part.f.Stat()
+		if err != nil {
+			return fmt.Errorf("persist: sizing %s for archive: %w", part.name, err)
+		}
+		if err := tw.WriteHeader(&tar.Header{Name: part.name, Mode: 0o644, Size: st.Size()}); err != nil {
+			return fmt.Errorf("persist: archiving %s: %w", part.name, err)
+		}
+		if _, err := io.Copy(tw, part.f); err != nil {
+			return fmt.Errorf("persist: archiving %s: %w", part.name, err)
+		}
+	}
+	return tw.Close()
+}
+
+// RestoreArchive materializes a checkpoint archive into a fresh data
+// directory at path: the checkpoint directory, CURRENT pointing at it, and
+// an empty WAL — exactly the layout core.Restore consumes. Existing contents
+// under path are superseded (the archive's checkpoint becomes CURRENT).
+func RestoreArchive(r io.Reader, path string) (*Dir, *Manifest, error) {
+	d, err := Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	tmp := filepath.Join(path, "bootstrap.tmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		return nil, nil, fmt.Errorf("persist: clearing stale bootstrap dir: %w", err)
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("persist: creating bootstrap dir: %w", err)
+	}
+	tr := tar.NewReader(r)
+	seen := map[string]bool{}
+	for {
+		hdr, err := tr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, fmt.Errorf("persist: reading checkpoint archive: %w", err)
+		}
+		switch hdr.Name {
+		case manifestFile, graphFile, catalogFile:
+		default:
+			return nil, nil, fmt.Errorf("persist: unexpected checkpoint archive entry %q", hdr.Name)
+		}
+		if err := writeFileSynced(filepath.Join(tmp, hdr.Name), func(w io.Writer) error {
+			_, err := io.Copy(w, tr)
+			return err
+		}); err != nil {
+			return nil, nil, fmt.Errorf("persist: unpacking %s: %w", hdr.Name, err)
+		}
+		seen[hdr.Name] = true
+	}
+	for _, name := range []string{manifestFile, graphFile, catalogFile} {
+		if !seen[name] {
+			return nil, nil, fmt.Errorf("persist: checkpoint archive is missing %s", name)
+		}
+	}
+	mraw, err := os.ReadFile(filepath.Join(tmp, manifestFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("persist: reading unpacked manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mraw, &m); err != nil {
+		return nil, nil, fmt.Errorf("persist: parsing unpacked manifest: %w", err)
+	}
+	if m.Format != manifestFormat {
+		return nil, nil, fmt.Errorf("persist: archived checkpoint has format %d, this build reads %d", m.Format, manifestFormat)
+	}
+	name := checkpointDirName(m.Sequence)
+	final := filepath.Join(path, name)
+	if err := os.RemoveAll(final); err != nil {
+		return nil, nil, fmt.Errorf("persist: clearing stale checkpoint %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return nil, nil, fmt.Errorf("persist: publishing bootstrapped checkpoint: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return nil, nil, err
+	}
+	if err := writeFileSynced(filepath.Join(path, currentFile+".tmp"), func(w io.Writer) error {
+		_, err := io.WriteString(w, name+"\n")
+		return err
+	}); err != nil {
+		return nil, nil, fmt.Errorf("persist: writing CURRENT: %w", err)
+	}
+	if err := os.Rename(filepath.Join(path, currentFile+".tmp"), filepath.Join(path, currentFile)); err != nil {
+		return nil, nil, fmt.Errorf("persist: publishing CURRENT: %w", err)
+	}
+	if err := syncDir(path); err != nil {
+		return nil, nil, err
+	}
+	return d, &m, nil
+}

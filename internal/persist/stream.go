@@ -1,0 +1,294 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WAL streaming: a cursor that reads committed records out of a live log
+// directory in version order, following appends, segment rotations, and
+// checkpoint truncations — the primary side of replication. Unlike
+// ReplayWAL, which reads a quiescent log once, a cursor tolerates the
+// writer's in-flight state: a record that is only partially visible at the
+// tail of the newest segment is "not yet", not corruption, and the cursor
+// re-reads it from the start once more bytes land.
+//
+// Correctness is anchored on the version chain, not on segment bookkeeping:
+// every delivered record must begin exactly at the version the previous one
+// ended at (seeded by the caller's resume version). A record that does not
+// chain means the segments between were truncated by a checkpoint — the
+// follower is too far behind the log and must re-bootstrap from a snapshot.
+
+// Encode renders the record's durable payload — the bytes a WAL segment
+// stores and CRC-guards. The replication stream ships these verbatim so a
+// replica applies bit-identical batches; invert with DecodeRecord.
+func (r *Record) Encode() []byte { return r.encode() }
+
+// DecodeRecord inverts Record.Encode.
+func DecodeRecord(payload []byte) (*Record, error) { return decodeRecord(payload) }
+
+// ErrWALNoMore reports that the cursor has delivered every complete record
+// currently on disk; poll again after the writer appends more.
+var ErrWALNoMore = errors.New("persist: no further wal records yet")
+
+// ErrWALGap reports that the log cannot resume from the requested version:
+// the records spanning it were truncated by a checkpoint (or the version
+// never existed). The follower must re-bootstrap from a checkpoint.
+var ErrWALGap = errors.New("persist: wal cannot resume from the requested version")
+
+// WALCursor reads records with ToVersion beyond a resume point out of a live
+// log directory, in order. Not safe for concurrent use.
+type WALCursor struct {
+	dir     string
+	version int64 // version the last delivered record ended at
+
+	seq     uint64 // current segment (0 = none open yet)
+	f       *os.File
+	br      *bufio.Reader
+	off     int64 // file offset of the next undelivered record
+	started bool  // a first record chained successfully against version
+}
+
+// OpenWALCursor positions a cursor so that the next delivered record is the
+// first one moving the graph past fromVersion. The resume point is validated
+// lazily — on the first delivered record — because an empty or quiescent log
+// cannot distinguish "in sync" from "truncated past you"; callers that can
+// compare fromVersion against a checkpoint manifest should pre-check and
+// refuse earlier (see the server's /v1/wal handler).
+func OpenWALCursor(dir string, fromVersion int64) *WALCursor {
+	return &WALCursor{dir: dir, version: fromVersion}
+}
+
+// Version returns the version the cursor's last delivered record ended at
+// (the resume point before any delivery).
+func (c *WALCursor) Version() int64 { return c.version }
+
+// Close releases the cursor's open segment handle.
+func (c *WALCursor) Close() error {
+	if c.f != nil {
+		err := c.f.Close()
+		c.f, c.br = nil, nil
+		return err
+	}
+	return nil
+}
+
+// Next returns the next record past the cursor's version, the segment it was
+// read from, ErrWALNoMore when the log has no complete further record yet,
+// or ErrWALGap when the version chain cannot be continued. Any other error
+// is real I/O or corruption trouble.
+func (c *WALCursor) Next() (*Record, uint64, error) {
+	for {
+		if c.f == nil {
+			ok, err := c.openNextSegment()
+			if err != nil {
+				return nil, 0, err
+			}
+			// Not ok: nothing to open. Ok but still nil: the newest segment's
+			// header is not fully flushed yet — equally "wait and retry".
+			if !ok || c.f == nil {
+				return nil, 0, ErrWALNoMore
+			}
+		}
+		rec, n, err := c.readRecord()
+		switch {
+		case err == nil:
+			c.off += n
+			if rec.ToVersion <= c.version {
+				continue // covered by the follower's snapshot already
+			}
+			if rec.FromVersion != c.version {
+				return nil, 0, fmt.Errorf("%w: record spans %d→%d but the cursor is at %d",
+					ErrWALGap, rec.FromVersion, rec.ToVersion, c.version)
+			}
+			c.version = rec.ToVersion
+			c.started = true
+			return rec, c.seq, nil
+		case errors.Is(err, errSegmentEnd):
+			// Clean end of this segment's bytes. If a later segment exists the
+			// writer has rotated away and this segment is complete — advance.
+			// Otherwise this is the live tail: wait for more.
+			next, derr := c.nextSegmentSeq()
+			if derr != nil {
+				return nil, 0, derr
+			}
+			if next == 0 {
+				return nil, 0, ErrWALNoMore
+			}
+			if err := c.advanceTo(next); err != nil {
+				return nil, 0, err
+			}
+		case errors.Is(err, errPartialRecord):
+			// A cut-short record. At the live tail this is an append in
+			// flight: rewind to the record start and retry later. If a later
+			// segment exists, rotation has completed — which happens only
+			// after the final flush — so re-read once; still short means the
+			// segment really is damaged mid-log.
+			if _, serr := c.f.Seek(c.off, io.SeekStart); serr != nil {
+				return nil, 0, fmt.Errorf("persist: rewinding wal cursor: %w", serr)
+			}
+			c.br.Reset(c.f)
+			next, derr := c.nextSegmentSeq()
+			if derr != nil {
+				return nil, 0, derr
+			}
+			if next == 0 {
+				return nil, 0, ErrWALNoMore
+			}
+			if rec, n, rerr := c.readRecord(); rerr == nil {
+				c.off += n
+				if rec.ToVersion <= c.version {
+					continue
+				}
+				if rec.FromVersion != c.version {
+					return nil, 0, fmt.Errorf("%w: record spans %d→%d but the cursor is at %d",
+						ErrWALGap, rec.FromVersion, rec.ToVersion, c.version)
+				}
+				c.version = rec.ToVersion
+				c.started = true
+				return rec, c.seq, nil
+			} else if errors.Is(rerr, errSegmentEnd) {
+				if err := c.advanceTo(next); err != nil {
+					return nil, 0, err
+				}
+			} else {
+				return nil, 0, fmt.Errorf("persist: wal segment %d is damaged mid-log under cursor: %v", c.seq, rerr)
+			}
+		default:
+			return nil, 0, err
+		}
+	}
+}
+
+// advanceTo closes the current segment and opens segment seq.
+func (c *WALCursor) advanceTo(seq uint64) error {
+	if c.f != nil {
+		c.f.Close()
+		c.f, c.br = nil, nil
+	}
+	return c.openSegment(seq)
+}
+
+// nextSegmentSeq returns the smallest on-disk segment past the current one,
+// or 0 when none exists.
+func (c *WALCursor) nextSegmentSeq() (uint64, error) {
+	seqs, err := listSegments(c.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range seqs {
+		if s > c.seq {
+			return s, nil
+		}
+	}
+	return 0, nil
+}
+
+// openNextSegment opens the first segment at or past the cursor's position:
+// the smallest on-disk segment when nothing has been opened yet, the next
+// one otherwise. Returns false when there is nothing to open yet.
+func (c *WALCursor) openNextSegment() (bool, error) {
+	seqs, err := listSegments(c.dir)
+	if err != nil {
+		return false, err
+	}
+	for _, s := range seqs {
+		if s > c.seq {
+			return true, c.openSegment(s)
+		}
+	}
+	return false, nil
+}
+
+// openSegment opens segment seq and validates its header. A header that is
+// still short (created but not yet flushed by the writer) surfaces as
+// errPartialRecord via readRecord on the first Next, which resolves itself
+// once the writer flushes.
+func (c *WALCursor) openSegment(seq uint64) error {
+	f, err := os.Open(filepath.Join(c.dir, segmentName(seq)))
+	if err != nil {
+		return fmt.Errorf("persist: opening wal segment %d under cursor: %w", seq, err)
+	}
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(walMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		// Header not fully on disk yet: treat like an empty live tail by
+		// positioning before the header and retrying from scratch next call.
+		f.Close()
+		c.f, c.br = nil, nil
+		c.seq = seq - 1 // re-candidate this segment on the next openNextSegment
+		return nil
+	}
+	if string(magic) != walMagic {
+		f.Close()
+		return fmt.Errorf("persist: wal segment %d has bad magic %q", seq, magic)
+	}
+	headerSeq, err := binary.ReadUvarint(br)
+	if err != nil {
+		f.Close()
+		c.f, c.br = nil, nil
+		c.seq = seq - 1
+		return nil
+	}
+	if headerSeq != seq {
+		f.Close()
+		return fmt.Errorf("persist: wal segment %d header claims seq %d", seq, headerSeq)
+	}
+	// Compute the post-header offset: magic + the uvarint's encoded width.
+	var buf [binary.MaxVarintLen64]byte
+	c.off = int64(len(walMagic) + binary.PutUvarint(buf[:], headerSeq))
+	if _, err := f.Seek(c.off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: seeking wal segment %d: %w", seq, err)
+	}
+	br.Reset(f)
+	c.f, c.br, c.seq = f, br, seq
+	return nil
+}
+
+// errSegmentEnd marks a clean end-of-bytes exactly at a record boundary;
+// errPartialRecord marks bytes that stop inside a record (or fail its
+// checksum — indistinguishable from an append still in flight).
+var (
+	errSegmentEnd    = errors.New("persist: segment end")
+	errPartialRecord = errors.New("persist: partial record")
+)
+
+// readRecord decodes one record at the reader's position, returning the
+// record and its on-disk length (length prefix + crc + payload).
+func (c *WALCursor) readRecord() (*Record, int64, error) {
+	n, err := binary.ReadUvarint(c.br)
+	if err == io.EOF {
+		return nil, 0, errSegmentEnd
+	}
+	if err != nil {
+		return nil, 0, errPartialRecord
+	}
+	if n > maxRecordBytes {
+		return nil, 0, errPartialRecord
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(c.br, crc[:]); err != nil {
+		return nil, 0, errPartialRecord
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, 0, errPartialRecord
+	}
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(crc[:]) {
+		return nil, 0, errPartialRecord
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		// The checksum matched, so this is a format problem, not tearing.
+		return nil, 0, fmt.Errorf("persist: wal segment %d under cursor: %w", c.seq, err)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	return rec, int64(binary.PutUvarint(lenBuf[:], n) + 4 + int(n)), nil
+}

@@ -1,0 +1,166 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sofos/internal/rdf"
+)
+
+// streamRec builds a chained test record moving version v-1 → v.
+func streamRec(v int64) *Record {
+	return &Record{
+		FromVersion: v - 1,
+		ToVersion:   v,
+		Generation:  v * 10,
+		Inserts: []rdf.Triple{{
+			S: rdf.Term{Kind: rdf.KindIRI, Value: fmt.Sprintf("http://s/%d", v)},
+			P: rdf.Term{Kind: rdf.KindIRI, Value: "http://p"},
+			O: rdf.Term{Kind: rdf.KindLiteral, Value: fmt.Sprintf("%d", v)},
+		}},
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	rec := streamRec(7)
+	rec.Eager = true
+	got, err := DecodeRecord(rec.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FromVersion != rec.FromVersion || got.ToVersion != rec.ToVersion ||
+		got.Generation != rec.Generation || !got.Eager ||
+		len(got.Inserts) != 1 || got.Inserts[0] != rec.Inserts[0] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, rec)
+	}
+}
+
+// drain reads records until ErrWALNoMore, asserting the version chain.
+func drain(t *testing.T, c *WALCursor) []*Record {
+	t.Helper()
+	var out []*Record
+	for {
+		rec, _, err := c.Next()
+		if errors.Is(err, ErrWALNoMore) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("cursor: %v", err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func TestWALCursorFollowsAppendsAndRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	for v := int64(1); v <= 3; v++ {
+		if err := l.Append(streamRec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := OpenWALCursor(dir, 0)
+	defer c.Close()
+	got := drain(t, c)
+	if len(got) != 3 || got[2].ToVersion != 3 {
+		t.Fatalf("drained %d records, want 3 ending at version 3", len(got))
+	}
+
+	// The cursor follows appends made after it hit the tail.
+	if err := l.Append(streamRec(4)); err != nil {
+		t.Fatal(err)
+	}
+	got = drain(t, c)
+	if len(got) != 1 || got[0].ToVersion != 4 {
+		t.Fatalf("follow-up drain = %d records, want the version-4 record", len(got))
+	}
+
+	// ... and spans a segment rotation.
+	if _, err := l.Rotate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(streamRec(5)); err != nil {
+		t.Fatal(err)
+	}
+	got = drain(t, c)
+	if len(got) != 1 || got[0].ToVersion != 5 {
+		t.Fatalf("post-rotation drain = %d records, want the version-5 record", len(got))
+	}
+	if c.Version() != 5 {
+		t.Fatalf("cursor version = %d, want 5", c.Version())
+	}
+}
+
+func TestWALCursorResumesMidLog(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for v := int64(1); v <= 5; v++ {
+		if err := l.Append(streamRec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := OpenWALCursor(dir, 3)
+	defer c.Close()
+	got := drain(t, c)
+	if len(got) != 2 || got[0].FromVersion != 3 || got[1].ToVersion != 5 {
+		t.Fatalf("resume from 3 delivered %d records (%+v), want versions 3→4 and 4→5", len(got), got)
+	}
+}
+
+func TestWALCursorDetectsTruncationGap(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLog(dir, SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for v := int64(1); v <= 3; v++ {
+		if err := l.Append(streamRec(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint-style rotation + truncation: records 1..3 vanish.
+	seq, err := l.Rotate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.TruncateBefore(seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(streamRec(4)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A follower at version 0 cannot chain to the surviving 3→4 record.
+	c := OpenWALCursor(dir, 0)
+	defer c.Close()
+	if _, _, err := c.Next(); !errors.Is(err, ErrWALGap) {
+		t.Fatalf("cursor across truncation = %v, want ErrWALGap", err)
+	}
+
+	// A follower at version 3 resumes cleanly.
+	c2 := OpenWALCursor(dir, 3)
+	defer c2.Close()
+	got := drain(t, c2)
+	if len(got) != 1 || got[0].ToVersion != 4 {
+		t.Fatalf("resume at truncation boundary delivered %d records, want the 3→4 record", len(got))
+	}
+}
+
+func TestWALCursorEmptyDirWaits(t *testing.T) {
+	c := OpenWALCursor(t.TempDir(), 0)
+	defer c.Close()
+	if _, _, err := c.Next(); !errors.Is(err, ErrWALNoMore) {
+		t.Fatalf("empty dir: %v, want ErrWALNoMore", err)
+	}
+}

@@ -8,75 +8,117 @@ import (
 	"strings"
 	"time"
 
+	"sofos/internal/api"
+	"sofos/internal/core"
 	"sofos/internal/cost"
 	"sofos/internal/facet"
 	"sofos/internal/persist"
 	"sofos/internal/rdf"
-	"sofos/internal/store"
 )
-
-// updateRequest is the /update request body: N-Triples text blocks to
-// insert into and delete from the base graph. The whole batch commits under
-// one write-lock acquisition, so concurrent queries see either none or all
-// of it. Maintain selects the view-maintenance mode: "" or "lazy" leaves
-// stale views for the next refresh; "eager" refreshes them in the same
-// critical section — cheap when the catalog's incremental O(|ΔG|) path
-// applies, since the committed delta is already captured.
-type updateRequest struct {
-	Insert   string `json:"insert,omitempty"`   // N-Triples text
-	Delete   string `json:"delete,omitempty"`   // N-Triples text
-	Maintain string `json:"maintain,omitempty"` // "", "lazy", or "eager"
-}
-
-// updateResponse reports what one batch changed.
-type updateResponse struct {
-	Inserted    int   `json:"inserted"`              // triples actually new
-	Deleted     int   `json:"deleted"`               // triples actually removed
-	Stale       int   `json:"stale"`                 // materialized views still stale
-	Refreshed   int   `json:"refreshed,omitempty"`   // views refreshed (maintain=eager)
-	Incremental int   `json:"incremental,omitempty"` // of those, via the delta path
-	Generation  int64 `json:"generation"`
-}
 
 // handleUpdate applies one batched write through the catalog so base graph
 // and G+ stay consistent, materialized views turn stale, and the batch's
-// effective delta is captured for incremental maintenance. The catalog's
-// ApplyUpdate validates the whole insert batch before touching anything, so
-// a non-200 response from the apply step means nothing was applied. The one
-// exception is maintain=eager: a refresh failure returns 500 *after* the
-// batch has committed — the error body states what was applied so clients
-// do not re-send it.
+// effective delta is captured for incremental maintenance. The whole batch
+// commits under one write-lock acquisition, so concurrent queries see either
+// none or all of it. The catalog's ApplyUpdate validates the whole insert
+// batch before touching anything, so a non-200 response from the apply step
+// means nothing was applied. The one exception is maintain=eager: a refresh
+// failure returns 500 *after* the batch has committed — the error body
+// states what was applied so clients do not re-send it.
+//
+// Acknowledgement levels: "" or "local" acknowledges once the batch reached
+// the write-ahead log (the durability point); "replicas:N" additionally
+// waits — after releasing the write lock, so replication itself is never
+// stalled by the wait — until N replicas report the batch applied.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST a JSON body")
+	if s.rejectReplicaWrite(w) {
 		return
 	}
-	var req updateRequest
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST a JSON body")
+		return
+	}
+	var req api.UpdateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Maintain != "" && req.Maintain != "lazy" && req.Maintain != "eager" {
-		httpError(w, http.StatusBadRequest, "unknown maintain mode %q (use lazy or eager)", req.Maintain)
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"unknown maintain mode %q (use lazy or eager)", req.Maintain)
+		return
+	}
+	ackN, err := parseAckLevel(req.Ack)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
 	inserts, err := parseTriples(req.Insert)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "insert: %v", err)
+		httpError(w, http.StatusBadRequest, api.CodeParseError, "insert: %v", err)
 		return
 	}
 	deletes, err := parseTriples(req.Delete)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "delete: %v", err)
+		httpError(w, http.StatusBadRequest, api.CodeParseError, "delete: %v", err)
 		return
 	}
 	if len(inserts) == 0 && len(deletes) == 0 {
-		httpError(w, http.StatusBadRequest, "empty update batch")
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "empty update batch")
 		return
 	}
 
+	resp, toVersion, ok := s.commitUpdate(w, &req, inserts, deletes)
+	if !ok {
+		return
+	}
+	if ackN > 0 {
+		// The wait runs outside the write lock: replicas catch up by tailing
+		// the WAL (file reads) and posting acks, neither of which needs the
+		// lock, but queries and further writes must not stall behind us.
+		start := time.Now()
+		got, waitErr := s.tracker.waitFor(r.Context(), ackN, toVersion, s.cfg.AckTimeout)
+		resp.Ack = fmt.Sprintf("replicas:%d", ackN)
+		resp.AckReplicas = got
+		resp.AckElapsedUS = time.Since(start).Microseconds()
+		if waitErr != nil {
+			httpError(w, http.StatusGatewayTimeout, api.CodeReplicationTimeout,
+				"batch committed and locally durable at generation %d, but only %d of %d replicas acknowledged it: %v",
+				resp.Generation, got, ackN, waitErr)
+			return
+		}
+	} else {
+		resp.Ack = "local"
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// parseAckLevel resolves an UpdateRequest.Ack value to the number of replica
+// acknowledgements required (0 = local only).
+func parseAckLevel(level string) (int, error) {
+	switch {
+	case level == "" || level == "local":
+		return 0, nil
+	case strings.HasPrefix(level, "replicas:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(level, "replicas:"))
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("bad ack level %q: replicas:N needs N >= 1", level)
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("unknown ack level %q (use local or replicas:N)", level)
+	}
+}
+
+// commitUpdate is handleUpdate's write critical section: apply the batch,
+// run eager maintenance if asked, and reach the local durability point. It
+// reports whether the caller may proceed to acknowledgement (on false the
+// error response has been written) plus the batch's end version, which is
+// what replica acknowledgements are counted against.
+func (s *Server) commitUpdate(w http.ResponseWriter, req *api.UpdateRequest, inserts, deletes []rdf.Triple) (*api.UpdateResponse, int64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	sys := s.system()
 	// An earlier batch committed in memory but never reached the WAL: until
 	// a checkpoint captures it, logging any further batch would write a
 	// version interval recovery cannot chain to (it would replay onto a
@@ -84,21 +126,21 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	// refuse before applying anything.
 	if s.dur != nil && s.walGap.Load() {
 		if _, err := s.checkpointLocked(); err != nil {
-			httpError(w, http.StatusServiceUnavailable,
+			httpError(w, http.StatusServiceUnavailable, api.CodeUnavailable,
 				"write-ahead log has an unhealed gap and checkpointing failed: %v; update refused (nothing applied)", err)
-			return
+			return nil, 0, false
 		}
 		s.walGap.Store(false)
 	}
-	d, err := s.sys.Catalog.ApplyUpdate(inserts, deletes)
+	d, err := sys.Catalog.ApplyUpdate(inserts, deletes)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "applying batch: %v", err)
-		return
+		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "applying batch: %v", err)
+		return nil, 0, false
 	}
-	resp := updateResponse{Inserted: len(d.Inserted), Deleted: len(d.Deleted)}
+	resp := &api.UpdateResponse{Inserted: len(d.Inserted), Deleted: len(d.Deleted)}
 	var refreshErr error
 	if req.Maintain == "eager" {
-		plan, err := s.sys.Catalog.PlanRefresh(s.sys.Workers)
+		plan, err := sys.Catalog.PlanRefresh(sys.Workers)
 		if err != nil {
 			refreshErr = fmt.Errorf(
 				"batch applied (%d inserted, %d deleted) but eager refresh failed to plan: %v",
@@ -107,7 +149,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			if plan != nil {
 				resp.Incremental = plan.Incremental()
 			}
-			n, err := s.sys.Catalog.CommitRefresh(plan)
+			n, err := sys.Catalog.CommitRefresh(plan)
 			if err != nil {
 				refreshErr = fmt.Errorf(
 					"batch applied (%d inserted, %d deleted) and %d views refreshed, then eager refresh failed: %v",
@@ -127,7 +169,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		rec := &persist.Record{
 			FromVersion: d.FromVersion,
 			ToVersion:   d.ToVersion,
-			Generation:  s.sys.Generation(),
+			Generation:  sys.Generation(),
 			Eager:       req.Maintain == "eager" && refreshErr == nil,
 			Inserts:     d.Inserted,
 			Deletes:     d.Deleted,
@@ -139,28 +181,39 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			// gap, after which the batch IS durable and the ack can proceed.
 			if _, cperr := s.checkpointLocked(); cperr != nil {
 				s.walGap.Store(true)
-				httpError(w, http.StatusInternalServerError,
+				httpError(w, http.StatusInternalServerError, api.CodeInternal,
 					"batch committed in memory (%d inserted, %d deleted) but failed to reach the write-ahead log (%v) and the healing checkpoint failed (%v); it will not survive a restart, and further updates are refused until a checkpoint succeeds",
 					resp.Inserted, resp.Deleted, err, cperr)
-				return
+				return nil, 0, false
 			}
 		}
 	}
 	if refreshErr != nil {
-		httpError(w, http.StatusInternalServerError, "%v", refreshErr)
-		return
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "%v", refreshErr)
+		return nil, 0, false
 	}
 	// A no-op delta (nothing logged) can still have eagerly refreshed views
 	// left stale by earlier lazy batches — a generation bump the WAL does
 	// not capture. Snapshot it, as manual /views refreshes do.
 	if s.dur != nil && d.FromVersion == d.ToVersion && resp.Refreshed > 0 &&
 		!s.persistViewChange(w, "eager refresh") {
-		return
+		return nil, 0, false
 	}
-	resp.Stale = len(s.sys.Catalog.StaleViews())
-	resp.Generation = s.sys.Generation()
+	resp.Stale = len(sys.Catalog.StaleViews())
+	resp.Generation = sys.Generation()
 	s.updates.Add(1)
-	writeJSON(w, http.StatusOK, resp)
+	return resp, d.ToVersion, true
+}
+
+// rejectReplicaWrite refuses mutations on a read replica, naming the
+// primary. It reports whether the response has been written.
+func (s *Server) rejectReplicaWrite(w http.ResponseWriter) bool {
+	if s.role != RoleReplica {
+		return false
+	}
+	httpError(w, http.StatusForbidden, api.CodeReadOnlyReplica,
+		"this server is a read replica; send writes to the primary at %s", s.repl.primaryURL())
+	return true
 }
 
 // parseTriples parses an N-Triples text block ("" means none).
@@ -171,80 +224,47 @@ func parseTriples(text string) ([]rdf.Triple, error) {
 	return rdf.NewParser(strings.NewReader(text)).ParseAll()
 }
 
-// viewInfo describes one materialized view in /views responses.
-type viewInfo struct {
-	ID      string   `json:"id"`
-	Dims    []string `json:"dims"`
-	Groups  int      `json:"groups"`
-	Triples int      `json:"triples"` // encoding triples in G+
-	Stale   bool     `json:"stale"`
-}
-
-// viewsResponse is the GET /views response body.
-type viewsResponse struct {
-	Facet        string     `json:"facet"`
-	LatticeViews int        `json:"lattice_views"`
-	Materialized []viewInfo `json:"materialized"`
-	Generation   int64      `json:"generation"`
-}
-
-// viewsRequest is the POST /views action body.
-type viewsRequest struct {
-	// Action is one of "materialize", "refresh", "drop", "reset".
-	Action string `json:"action"`
-	// View names one view (dimension names joined by "+", or "apex") for
-	// materialize/drop. Empty with materialize means select by Model and K.
-	View string `json:"view,omitempty"`
-	// Model and K drive cost-based selection for "materialize" without View.
-	Model string `json:"model,omitempty"`
-	K     int    `json:"k,omitempty"`
-}
-
-// viewsActionResponse reports a POST /views outcome.
-type viewsActionResponse struct {
-	Action     string   `json:"action"`
-	Views      []string `json:"views,omitempty"` // views acted on
-	Refreshed  int      `json:"refreshed"`       // refresh only
-	Generation int64    `json:"generation"`
-}
-
 // handleViews lists (GET) or manages (POST) materializations.
 func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		s.mu.RLock()
 		defer s.mu.RUnlock()
-		resp := viewsResponse{
-			Facet:        s.sys.Facet.Name,
-			LatticeViews: s.sys.Lattice.Size(),
-			Materialized: []viewInfo{},
-			Generation:   s.sys.Generation(),
+		sys := s.system()
+		resp := api.ViewsResponse{
+			Facet:        sys.Facet.Name,
+			LatticeViews: sys.Lattice.Size(),
+			Materialized: []api.ViewInfo{},
+			Generation:   sys.Generation(),
 		}
-		for _, m := range s.sys.Catalog.Materialized() {
+		for _, m := range sys.Catalog.Materialized() {
 			v := m.View()
-			resp.Materialized = append(resp.Materialized, viewInfo{
+			resp.Materialized = append(resp.Materialized, api.ViewInfo{
 				ID:      v.ID(),
 				Dims:    v.Dims(),
 				Groups:  m.Data.NumGroups(),
 				Triples: m.Triples,
-				Stale:   s.sys.Catalog.Stale(v.Mask),
+				Stale:   sys.Catalog.Stale(v.Mask),
 			})
 		}
 		writeJSON(w, http.StatusOK, resp)
 	case http.MethodPost:
-		var req viewsRequest
+		if s.rejectReplicaWrite(w) {
+			return
+		}
+		var req api.ViewsRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			httpError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
 		s.handleViewsAction(w, req)
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "GET lists views, POST manages them")
+		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET lists views, POST manages them")
 	}
 }
 
 // handleViewsAction dispatches one POST /views action.
-func (s *Server) handleViewsAction(w http.ResponseWriter, req viewsRequest) {
+func (s *Server) handleViewsAction(w http.ResponseWriter, req api.ViewsRequest) {
 	switch req.Action {
 	case "materialize":
 		s.actionMaterialize(w, req)
@@ -253,33 +273,35 @@ func (s *Server) handleViewsAction(w http.ResponseWriter, req viewsRequest) {
 	case "drop":
 		v, err := s.resolveView(req.View)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, "%v", err)
+			httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 			return
 		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		if !s.sys.Catalog.Drop(v) {
-			httpError(w, http.StatusNotFound, "view %s is not materialized", v.ID())
+		sys := s.system()
+		if !sys.Catalog.Drop(v) {
+			httpError(w, http.StatusNotFound, api.CodeNotFound, "view %s is not materialized", v.ID())
 			return
 		}
 		if !s.persistViewChange(w, "drop") {
 			return
 		}
-		writeJSON(w, http.StatusOK, viewsActionResponse{
-			Action: "drop", Views: []string{v.ID()}, Generation: s.sys.Generation(),
+		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
+			Action: "drop", Views: []string{v.ID()}, Generation: sys.Generation(),
 		})
 	case "reset":
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		s.sys.Reset()
+		sys := s.system()
+		sys.Reset()
 		if !s.persistViewChange(w, "reset") {
 			return
 		}
-		writeJSON(w, http.StatusOK, viewsActionResponse{
-			Action: "reset", Generation: s.sys.Generation(),
+		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
+			Action: "reset", Generation: sys.Generation(),
 		})
 	default:
-		httpError(w, http.StatusBadRequest,
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest,
 			"unknown action %q (use materialize, refresh, drop, reset)", req.Action)
 	}
 }
@@ -289,31 +311,32 @@ func (s *Server) handleViewsAction(w http.ResponseWriter, req viewsRequest) {
 // lattice statistics, selection, view-content computation — run under the
 // read lock so queries keep flowing; only the G+ encoding takes the write
 // lock (Catalog.PlanMaterialize / CommitMaterialize).
-func (s *Server) actionMaterialize(w http.ResponseWriter, req viewsRequest) {
+func (s *Server) actionMaterialize(w http.ResponseWriter, req api.ViewsRequest) {
 	s.mu.RLock()
-	targets, err := s.materializeTargets(req)
+	sys := s.system()
+	targets, err := s.materializeTargets(sys, req)
 	if err != nil {
 		s.mu.RUnlock()
-		httpError(w, http.StatusBadRequest, "%v", err)
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
-	plan, err := s.sys.Catalog.PlanMaterialize(targets, s.sys.Workers)
+	plan, err := sys.Catalog.PlanMaterialize(targets, sys.Workers)
 	s.mu.RUnlock()
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "computing view contents: %v", err)
+		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "computing view contents: %v", err)
 		return
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	mats, err := s.sys.Catalog.CommitMaterialize(plan)
+	mats, err := sys.Catalog.CommitMaterialize(plan)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "materializing: %v", err)
+		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "materializing: %v", err)
 		return
 	}
 	// Report what was actually committed: targets already materialized at
 	// plan time are excluded from the plan and must not be listed as acted on.
-	resp := viewsActionResponse{Action: "materialize", Generation: s.sys.Generation()}
+	resp := api.ViewsActionResponse{Action: "materialize", Generation: sys.Generation()}
 	for _, m := range mats {
 		resp.Views = append(resp.Views, m.View().ID())
 	}
@@ -326,7 +349,7 @@ func (s *Server) actionMaterialize(w http.ResponseWriter, req viewsRequest) {
 // materializeTargets resolves a materialize request to concrete views: the
 // named view, or a cost-model selection. Read-only; callers hold the read
 // lock (System.Provider serializes its own lazy initialization).
-func (s *Server) materializeTargets(req viewsRequest) ([]facet.View, error) {
+func (s *Server) materializeTargets(sys *core.System, req api.ViewsRequest) ([]facet.View, error) {
 	if req.View != "" {
 		v, err := s.resolveView(req.View)
 		if err != nil {
@@ -342,7 +365,7 @@ func (s *Server) materializeTargets(req viewsRequest) ([]facet.View, error) {
 	if k <= 0 {
 		k = 3
 	}
-	models, err := s.sys.AnalyticModels(s.cfg.SelectionSeed)
+	models, err := sys.AnalyticModels(s.cfg.SelectionSeed)
 	if err != nil {
 		return nil, fmt.Errorf("computing lattice statistics: %w", err)
 	}
@@ -356,7 +379,7 @@ func (s *Server) materializeTargets(req viewsRequest) ([]facet.View, error) {
 	if picked == nil {
 		return nil, fmt.Errorf("unknown model %q (use random, triples, aggvalues, or nodes)", model)
 	}
-	sel, err := s.sys.SelectViews(picked, k)
+	sel, err := sys.SelectViews(picked, k)
 	if err != nil {
 		return nil, fmt.Errorf("selecting views: %w", err)
 	}
@@ -368,17 +391,18 @@ func (s *Server) materializeTargets(req viewsRequest) ([]facet.View, error) {
 // lock.
 func (s *Server) actionRefresh(w http.ResponseWriter) {
 	s.mu.RLock()
-	plan, err := s.sys.Catalog.PlanRefresh(s.sys.Workers)
+	sys := s.system()
+	plan, err := sys.Catalog.PlanRefresh(sys.Workers)
 	s.mu.RUnlock()
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "recomputing stale views: %v", err)
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "recomputing stale views: %v", err)
 		return
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n, err := s.sys.Catalog.CommitRefresh(plan)
+	n, err := sys.Catalog.CommitRefresh(plan)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "applying refresh: %v", err)
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "applying refresh: %v", err)
 		return
 	}
 	// A manual refresh moves the generation without a WAL record (only
@@ -386,92 +410,57 @@ func (s *Server) actionRefresh(w http.ResponseWriter) {
 	if n > 0 && !s.persistViewChange(w, "refresh") {
 		return
 	}
-	writeJSON(w, http.StatusOK, viewsActionResponse{
-		Action: "refresh", Refreshed: n, Generation: s.sys.Generation(),
+	writeJSON(w, http.StatusOK, api.ViewsActionResponse{
+		Action: "refresh", Refreshed: n, Generation: sys.Generation(),
 	})
 }
 
 // resolveView maps a view ID ("lang+year" or "apex") to a facet view.
 func (s *Server) resolveView(id string) (facet.View, error) {
+	f := s.system().Facet
 	if id == "apex" {
-		return s.sys.Facet.View(0), nil
+		return f.View(0), nil
 	}
-	return s.sys.Facet.ViewByDims(strings.Split(id, "+")...)
-}
-
-// viewMaintStats is one materialized view's maintenance health in /stats:
-// its maintainability classification, which refresh path last ran, and what
-// it cost.
-type viewMaintStats struct {
-	ID            string `json:"id"`
-	Groups        int    `json:"groups"`
-	Stale         bool   `json:"stale"`
-	Mode          string `json:"mode"`              // facet maintainability classification
-	LastPath      string `json:"last_refresh_path"` // initial, incremental, or full
-	LastRefreshUS int64  `json:"last_refresh_us"`
-	LastDeltaSize int    `json:"last_delta_size,omitempty"` // |ΔG| of the last incremental refresh
-}
-
-// statsResponse is the GET /stats response body.
-type statsResponse struct {
-	UptimeS         float64          `json:"uptime_s"`
-	Facet           string           `json:"facet"`
-	Dims            []string         `json:"dims"`
-	BaseTriples     int              `json:"base_triples"`
-	ExpandedTriples int              `json:"expanded_triples"`
-	Amplification   float64          `json:"amplification"`
-	Materialized    int              `json:"materialized_views"`
-	StaleViews      int              `json:"stale_views"`
-	Maintenance     string           `json:"maintenance"` // facet maintainability classification
-	Views           []viewMaintStats `json:"views"`
-	Generation      int64            `json:"generation"`
-	GraphVersion    int64            `json:"graph_version"`
-	ViewSetHash     string           `json:"view_set_hash"`
-	Workers         int              `json:"workers"`
-	MaxConcurrent   int              `json:"max_concurrent"`
-	InFlight        int              `json:"in_flight"` // queries holding execution slots
-	Queries         int64            `json:"queries"`
-	Updates         int64            `json:"updates"`
-	Cache           CacheStats       `json:"cache"`
-	Store           store.MemStats   `json:"store"`             // resident bytes per index + active codec
-	Persist         *persistStats    `json:"persist,omitempty"` // nil when memory-only
+	return f.ViewByDims(strings.Split(id, "+")...)
 }
 
 // handleStats reports serving health.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET only")
 		return
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	resp := statsResponse{
+	sys := s.system()
+	resp := api.StatsResponse{
 		UptimeS:         time.Since(s.started).Seconds(),
-		Facet:           s.sys.Facet.Name,
-		Dims:            s.sys.Facet.Dims,
-		BaseTriples:     s.sys.Graph.Len(),
-		ExpandedTriples: s.sys.Catalog.Expanded().Len(),
-		Amplification:   s.sys.Catalog.StorageAmplification(),
-		Materialized:    len(s.sys.Catalog.Materialized()),
-		StaleViews:      len(s.sys.Catalog.StaleViews()),
-		Maintenance:     s.sys.Catalog.MaintenanceMode().String(),
-		Views:           []viewMaintStats{},
-		Generation:      s.sys.Generation(),
-		GraphVersion:    s.sys.GraphVersion(),
-		ViewSetHash:     strconv.FormatUint(s.sys.ViewSetHash(), 16),
-		Workers:         s.sys.Workers,
+		Role:            s.role,
+		Facet:           sys.Facet.Name,
+		Dims:            sys.Facet.Dims,
+		BaseTriples:     sys.Graph.Len(),
+		ExpandedTriples: sys.Catalog.Expanded().Len(),
+		Amplification:   sys.Catalog.StorageAmplification(),
+		Materialized:    len(sys.Catalog.Materialized()),
+		StaleViews:      len(sys.Catalog.StaleViews()),
+		Maintenance:     sys.Catalog.MaintenanceMode().String(),
+		Views:           []api.ViewMaintStats{},
+		Generation:      sys.Generation(),
+		GraphVersion:    sys.GraphVersion(),
+		ViewSetHash:     strconv.FormatUint(sys.ViewSetHash(), 16),
+		Workers:         sys.Workers,
 		MaxConcurrent:   s.cfg.MaxConcurrent,
 		InFlight:        len(s.sem),
 		Queries:         s.queries.Load(),
 		Updates:         s.updates.Load(),
-		Store:           s.sys.Graph.MemStats(),
+		Store:           sys.Graph.MemStats(),
 	}
-	for _, m := range s.sys.Catalog.Materialized() {
+	for _, m := range sys.Catalog.Materialized() {
 		v := m.View()
-		resp.Views = append(resp.Views, viewMaintStats{
+		resp.Views = append(resp.Views, api.ViewMaintStats{
 			ID:            v.ID(),
 			Groups:        m.Data.NumGroups(),
-			Stale:         s.sys.Catalog.Stale(v.Mask),
+			Stale:         sys.Catalog.Stale(v.Mask),
 			Mode:          m.Maint.Mode,
 			LastPath:      m.Maint.LastPath,
 			LastRefreshUS: m.Maint.LastCost.Microseconds(),
@@ -482,10 +471,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache = s.cache.stats()
 	}
 	resp.Persist = s.persistStatsNow()
+	resp.Replication = s.replicationStatsNow(sys)
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe: enough for a load balancer to route
+// around a lagging replica without parsing full stats.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	sys := s.system()
+	writeJSON(w, http.StatusOK, api.HealthResponse{
+		OK:         true,
+		Role:       s.role,
+		Generation: sys.Generation(),
+		WALVersion: sys.GraphVersion(),
+		ReplicaLag: s.replicaLag(sys),
+	})
 }

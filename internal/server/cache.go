@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"sync"
 	"sync/atomic"
+
+	"sofos/internal/api"
 )
 
 // resultCache is a sharded LRU over rendered query responses. Keys embed the
@@ -155,23 +157,14 @@ func (c *resultCache) usage() (entries int, bytes int64) {
 	return entries, bytes
 }
 
-// CacheStats reports cache effectiveness and memory footprint for /stats.
-type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`     // rendered bytes in use
-	MaxBytes  int64 `json:"max_bytes"` // configured byte budget (0 = unlimited)
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-}
-
-func (c *resultCache) stats() CacheStats {
+// stats reports cache effectiveness and memory footprint for /stats.
+func (c *resultCache) stats() api.CacheStats {
 	entries, bytes := c.usage()
 	var maxBytes int64
 	for i := range c.shards {
 		maxBytes += c.shards[i].byteCap
 	}
-	return CacheStats{
+	return api.CacheStats{
 		Entries:   entries,
 		Bytes:     bytes,
 		MaxBytes:  maxBytes,

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"sofos/internal/api"
 	"sofos/internal/core"
 	"sofos/internal/persist"
 )
@@ -30,7 +31,7 @@ type Durability struct {
 // the WAL, and truncates segments the checkpoint made redundant. It runs on
 // the read side of the server's lock: queries keep flowing, writers stall
 // until the snapshot is on disk. Serving layers call it on the
-// -checkpoint-interval ticker; clients trigger it via POST /admin/checkpoint.
+// -checkpoint-interval ticker; clients trigger it via POST /v1/admin/checkpoint.
 func (s *Server) Checkpoint() (*persist.Manifest, error) {
 	if s.dur == nil {
 		return nil, errNoDurability
@@ -59,6 +60,7 @@ func (*noDurabilityError) Error() string {
 func (s *Server) checkpointLocked() (*persist.Manifest, error) {
 	s.cpMu.Lock()
 	defer s.cpMu.Unlock()
+	sys := s.system()
 	seq, err := s.dur.Log.Rotate()
 	if err != nil {
 		return nil, err
@@ -67,13 +69,13 @@ func (s *Server) checkpointLocked() (*persist.Manifest, error) {
 		Dataset:      s.dur.Dataset,
 		Scale:        s.dur.Scale,
 		Seed:         s.dur.Seed,
-		GraphVersion: s.sys.GraphVersion(),
-		Generation:   s.sys.Generation(),
+		GraphVersion: sys.GraphVersion(),
+		Generation:   sys.Generation(),
 		WALSeq:       seq,
-		BaseTriples:  s.sys.Graph.Len(),
-		Views:        len(s.sys.Catalog.Materialized()),
+		BaseTriples:  sys.Graph.Len(),
+		Views:        len(sys.Catalog.Materialized()),
 		CreatedUnix:  time.Now().Unix(),
-	}, s.sys.Graph.Save, s.sys.Catalog.SaveState)
+	}, sys.Graph.Save, sys.Catalog.SaveState)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +102,7 @@ func (s *Server) persistViewChange(w http.ResponseWriter, action string) bool {
 		return true
 	}
 	if _, err := s.checkpointLocked(); err != nil {
-		httpError(w, http.StatusInternalServerError,
+		httpError(w, http.StatusInternalServerError, api.CodeInternal,
 			"%s applied but checkpointing it failed: %v; the change is live but will not survive a restart until a checkpoint succeeds",
 			action, err)
 		return false
@@ -108,51 +110,37 @@ func (s *Server) persistViewChange(w http.ResponseWriter, action string) bool {
 	return true
 }
 
-// checkpointResponse is the POST /admin/checkpoint response body.
-type checkpointResponse struct {
-	Manifest  *persist.Manifest `json:"manifest"`
-	ElapsedUS int64             `json:"elapsed_us"`
-}
-
 // handleAdminCheckpoint triggers a checkpoint on demand.
 func (s *Server) handleAdminCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.rejectReplicaWrite(w) {
+		return
+	}
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST to checkpoint")
+		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "POST to checkpoint")
 		return
 	}
 	start := time.Now()
 	m, err := s.Checkpoint()
 	if err == errNoDurability {
-		httpError(w, http.StatusServiceUnavailable, "%v (start with -data-dir)", err)
+		httpError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "%v (start with -data-dir)", err)
 		return
 	}
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "checkpoint failed: %v", err)
+		httpError(w, http.StatusInternalServerError, api.CodeInternal, "checkpoint failed: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, checkpointResponse{
+	writeJSON(w, http.StatusOK, api.CheckpointResponse{
 		Manifest:  m,
 		ElapsedUS: time.Since(start).Microseconds(),
 	})
 }
 
-// persistStats is the /stats "persist" section.
-type persistStats struct {
-	DataDir                  string              `json:"data_dir"`
-	WAL                      persist.LogStats    `json:"wal"`
-	WALGap                   bool                `json:"wal_gap,omitempty"`   // unhealed append failure; updates refused
-	Checkpoints              int64               `json:"checkpoints_written"` // since boot
-	LastCheckpointSeq        uint64              `json:"last_checkpoint_seq,omitempty"`
-	LastCheckpointGeneration int64               `json:"last_checkpoint_generation,omitempty"`
-	Recovery                 *core.RecoveryStats `json:"recovery,omitempty"`
-}
-
 // persistStatsNow snapshots the durability section, or nil when memory-only.
-func (s *Server) persistStatsNow() *persistStats {
+func (s *Server) persistStatsNow() *api.PersistStats {
 	if s.dur == nil {
 		return nil
 	}
-	ps := &persistStats{
+	ps := &api.PersistStats{
 		DataDir:     s.dur.Dir.Path(),
 		WAL:         s.dur.Log.Stats(),
 		WALGap:      s.walGap.Load(),

@@ -7,6 +7,7 @@ import (
 	"reflect"
 	"testing"
 
+	"sofos/internal/api"
 	"sofos/internal/core"
 	"sofos/internal/persist"
 )
@@ -69,25 +70,25 @@ func TestKillRestartServesCommittedState(t *testing.T) {
 
 	// Materialize a view (auto-checkpointed), then a mixed workload of
 	// eager and lazy acknowledged updates.
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != 200 {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "country"}, &act); code != 200 {
 		t.Fatalf("materialize status %d", code)
 	}
-	var up updateResponse
+	var up api.UpdateResponse
 	if code := postJSON(t, ts.URL+"/update",
-		updateRequest{Insert: obsTriples("kr1", 40), Maintain: "eager"}, &up); code != 200 {
+		api.UpdateRequest{Insert: obsTriples("kr1", 40), Maintain: "eager"}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 	if code := postJSON(t, ts.URL+"/update",
-		updateRequest{Insert: obsTriples("kr2", 7)}, &up); code != 200 {
+		api.UpdateRequest{Insert: obsTriples("kr2", 7)}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 	if code := postJSON(t, ts.URL+"/update",
-		updateRequest{Delete: obsTriples("kr1", 40), Maintain: "eager"}, &up); code != 200 {
+		api.UpdateRequest{Delete: obsTriples("kr1", 40), Maintain: "eager"}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 
-	var preKill statsResponse
+	var preKill api.StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &preKill); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -101,7 +102,7 @@ func TestKillRestartServesCommittedState(t *testing.T) {
 	if rec.ReplayedBatches != 3 {
 		t.Fatalf("replayed %d batches, want 3", rec.ReplayedBatches)
 	}
-	var postKill statsResponse
+	var postKill api.StatsResponse
 	if code := getJSON(t, ts2.URL+"/stats", &postKill); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -134,13 +135,13 @@ func TestKillRestartServesCommittedState(t *testing.T) {
 func TestTornAckWindow(t *testing.T) {
 	path := t.TempDir()
 	_, ts, _ := newDurableServer(t, path)
-	var up updateResponse
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("ta1", 9)}, &up); code != 200 {
+	var up api.UpdateResponse
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("ta1", 9)}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 	committedGen := up.Generation
 	committedRows := query(t, ts, countryQuery).Rows
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("ta2", 5)}, &up); code != 200 {
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("ta2", 5)}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 
@@ -166,7 +167,7 @@ func TestTornAckWindow(t *testing.T) {
 	if !rec.TornTail || rec.ReplayedBatches != 1 {
 		t.Fatalf("recovery stats = %+v, want torn tail with 1 replayed batch", rec)
 	}
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts2.URL+"/stats", &st); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -181,12 +182,12 @@ func TestTornAckWindow(t *testing.T) {
 func TestAdminCheckpoint(t *testing.T) {
 	path := t.TempDir()
 	_, ts, _ := newDurableServer(t, path)
-	var cp1, cp2 checkpointResponse
+	var cp1, cp2 api.CheckpointResponse
 	if code := postJSON(t, ts.URL+"/admin/checkpoint", struct{}{}, &cp1); code != 200 {
 		t.Fatalf("checkpoint status %d", code)
 	}
-	var up updateResponse
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("ck", 3)}, &up); code != 200 {
+	var up api.UpdateResponse
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("ck", 3)}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 	if code := postJSON(t, ts.URL+"/admin/checkpoint", struct{}{}, &cp2); code != 200 {
@@ -204,7 +205,7 @@ func TestAdminCheckpoint(t *testing.T) {
 	if rec.ReplayedBatches != 0 {
 		t.Fatalf("replayed %d batches after a fresh checkpoint", rec.ReplayedBatches)
 	}
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts2.URL+"/stats", &st); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -215,7 +216,7 @@ func TestAdminCheckpoint(t *testing.T) {
 
 func TestAdminCheckpointMemoryOnly(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var e errorResponse
+	var e api.ErrorResponse
 	if code := postJSON(t, ts.URL+"/admin/checkpoint", struct{}{}, &e); code != 503 {
 		t.Fatalf("memory-only checkpoint status %d (%+v)", code, e)
 	}
@@ -227,12 +228,12 @@ func TestAdminCheckpointMemoryOnly(t *testing.T) {
 func TestViewChangeCheckpointed(t *testing.T) {
 	path := t.TempDir()
 	_, ts, _ := newDurableServer(t, path)
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "lang+year"}, &act); code != 200 {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "lang+year"}, &act); code != 200 {
 		t.Fatalf("materialize status %d", code)
 	}
 	ts2, _ := recoverServer(t, path)
-	var vs viewsResponse
+	var vs api.ViewsResponse
 	if code := getJSON(t, ts2.URL+"/views", &vs); code != 200 {
 		t.Fatalf("views status %d", code)
 	}
@@ -256,11 +257,11 @@ func TestWALGapRefusesUpdates(t *testing.T) {
 	if err := dur.Log.Close(); err != nil {
 		t.Fatal(err)
 	}
-	var e errorResponse
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("gap1", 4)}, &e); code != 500 {
+	var e api.ErrorResponse
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("gap1", 4)}, &e); code != 500 {
 		t.Fatalf("append-failure update status %d (%+v)", code, e)
 	}
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -269,7 +270,7 @@ func TestWALGapRefusesUpdates(t *testing.T) {
 	}
 	// The next batch must be refused up front — nothing applied.
 	pre := st.BaseTriples
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("gap2", 5)}, &e); code != 503 {
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("gap2", 5)}, &e); code != 503 {
 		t.Fatalf("post-gap update status %d (%+v)", code, e)
 	}
 	if code := getJSON(t, ts.URL+"/stats", &st); code != 200 || st.BaseTriples != pre {
@@ -316,7 +317,7 @@ func TestConcurrentCheckpointsSerialize(t *testing.T) {
 	if rec.ReplayedBatches != 0 {
 		t.Fatalf("replayed %d batches", rec.ReplayedBatches)
 	}
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts2.URL+"/stats", &st); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}
@@ -329,27 +330,27 @@ func TestConcurrentCheckpointsSerialize(t *testing.T) {
 func TestNoOpDeltaEagerRefreshSurvivesCrash(t *testing.T) {
 	path := t.TempDir()
 	_, ts, _ := newDurableServer(t, path)
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != 200 {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "country"}, &act); code != 200 {
 		t.Fatalf("materialize status %d", code)
 	}
-	var up updateResponse
+	var up api.UpdateResponse
 	// Lazy batch: view goes stale.
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("ne1", 21)}, &up); code != 200 {
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("ne1", 21)}, &up); code != 200 {
 		t.Fatalf("update status %d", code)
 	}
 	if up.Stale == 0 {
 		t.Fatal("lazy update left no stale views; fixture changed?")
 	}
 	// Duplicate insert with eager maintenance: no-op delta, real refresh.
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("ne1", 21), Maintain: "eager"}, &up); code != 200 {
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("ne1", 21), Maintain: "eager"}, &up); code != 200 {
 		t.Fatalf("no-op eager update status %d", code)
 	}
 	if up.Inserted != 0 || up.Refreshed == 0 || up.Stale != 0 {
 		t.Fatalf("no-op eager response = %+v; want pure refresh", up)
 	}
 	ts2, _ := recoverServer(t, path)
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts2.URL+"/stats", &st); code != 200 {
 		t.Fatalf("stats status %d", code)
 	}

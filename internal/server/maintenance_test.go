@@ -5,6 +5,8 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+
+	"sofos/internal/api"
 )
 
 // insertNT renders one pop observation as N-Triples text.
@@ -23,13 +25,13 @@ func insertNT(id string, pop int) string {
 // and the next query sees the fresh aggregate.
 func TestUpdateEagerMaintain(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
 		t.Fatalf("materialize status %d", code)
 	}
-	var up updateResponse
+	var up api.UpdateResponse
 	code := postJSON(t, ts.URL+"/update",
-		updateRequest{Insert: insertNT("obsEager", 1000), Maintain: "eager"}, &up)
+		api.UpdateRequest{Insert: insertNT("obsEager", 1000), Maintain: "eager"}, &up)
 	if code != http.StatusOK {
 		t.Fatalf("eager update status %d", code)
 	}
@@ -48,7 +50,7 @@ func TestUpdateEagerMaintain(t *testing.T) {
 		t.Fatalf("query answered via %q, want the refreshed view", r.Via)
 	}
 	// /stats reports the per-view maintenance bookkeeping.
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}
@@ -69,13 +71,13 @@ func TestUpdateEagerMaintain(t *testing.T) {
 
 func TestUpdateLazyLeavesStale(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
 		t.Fatalf("materialize status %d", code)
 	}
-	var up updateResponse
+	var up api.UpdateResponse
 	if code := postJSON(t, ts.URL+"/update",
-		updateRequest{Insert: insertNT("obsLazy", 1), Maintain: "lazy"}, &up); code != http.StatusOK {
+		api.UpdateRequest{Insert: insertNT("obsLazy", 1), Maintain: "lazy"}, &up); code != http.StatusOK {
 		t.Fatalf("lazy update status %d", code)
 	}
 	if up.Stale != 1 || up.Refreshed != 0 {
@@ -85,9 +87,9 @@ func TestUpdateLazyLeavesStale(t *testing.T) {
 
 func TestUpdateBadMaintainMode(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var out errorResponse
+	var out api.ErrorResponse
 	code := postJSON(t, ts.URL+"/update",
-		updateRequest{Insert: insertNT("obsBad", 1), Maintain: "sometimes"}, &out)
+		api.UpdateRequest{Insert: insertNT("obsBad", 1), Maintain: "sometimes"}, &out)
 	if code != http.StatusBadRequest {
 		t.Fatalf("bad maintain mode status %d, want 400", code)
 	}
@@ -132,7 +134,7 @@ func TestCacheByteAccountingOnReplace(t *testing.T) {
 func TestServerCacheBytesWiredThrough(t *testing.T) {
 	_, ts := newTestServer(t, Config{CacheBytes: 1 << 20})
 	query(t, ts, apexQuery)
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats status %d", code)
 	}

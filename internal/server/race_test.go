@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"sync"
 	"testing"
+
+	"sofos/internal/api"
 )
 
 // TestServeWhileRefresh hammers /query from many clients while a writer
@@ -21,8 +23,8 @@ func TestServeWhileRefresh(t *testing.T) {
 	// Materialize views so queries are answered through the rewriter and
 	// refresh has real work: country answers countryQuery, and the apex
 	// roll-up path exercises re-aggregation.
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
 		t.Fatalf("materialize returned status %d", code)
 	}
 
@@ -68,12 +70,12 @@ func TestServeWhileRefresh(t *testing.T) {
 					q = countryQuery
 				}
 				resp, err := client.Post(ts.URL+"/query", "application/json",
-					jsonBody(queryRequest{Query: q}))
+					jsonBody(api.QueryRequest{Query: q}))
 				if err != nil {
 					report(fmt.Errorf("reader %d: %v", r, err))
 					return
 				}
-				var out queryResponse
+				var out api.QueryResponse
 				err = json.NewDecoder(resp.Body).Decode(&out)
 				resp.Body.Close()
 				if err != nil {
@@ -105,12 +107,12 @@ func TestServeWhileRefresh(t *testing.T) {
 
 	// Writer: insert a batch, then refresh, every round.
 	for i := 0; i < rounds; i++ {
-		var up updateResponse
+		var up api.UpdateResponse
 		if code := postJSON(t, ts.URL+"/update",
-			updateRequest{Insert: obsTriples(fmt.Sprintf("race%d", i), popPerRound)}, &up); code != http.StatusOK {
+			api.UpdateRequest{Insert: obsTriples(fmt.Sprintf("race%d", i), popPerRound)}, &up); code != http.StatusOK {
 			t.Fatalf("round %d: update status %d", i, code)
 		}
-		if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "refresh"}, &act); code != http.StatusOK {
+		if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "refresh"}, &act); code != http.StatusOK {
 			t.Fatalf("round %d: refresh status %d", i, code)
 		}
 	}

@@ -1,9 +1,15 @@
 // Package server exposes a SOFOS system over HTTP: the online module as a
-// concurrent analytics service. Four endpoints cover the demo's live loop —
-// /query answers analytical queries through the rewriter (so materialized
-// views are used transparently), /update applies batched inserts and
-// deletes, /views lists and manages materializations, and /stats reports
-// serving and cache health.
+// concurrent analytics service. The versioned /v1 route tree covers the live
+// loop — /v1/query answers analytical queries through the rewriter (so
+// materialized views are used transparently), /v1/update applies batched
+// inserts and deletes, /v1/views lists and manages materializations, and
+// /v1/stats reports serving and cache health. The legacy unversioned paths
+// remain as thin aliases that serve identical bodies plus a Deprecation
+// header naming the successor. Request and response bodies are the typed
+// structs of internal/api; every non-200 response is the uniform
+// {"error":{"code","message"}} envelope, and every response carries an
+// X-Sofos-Generation header so clients can track the catalog generation they
+// have observed.
 //
 // Concurrency model: queries share the read side of one RWMutex and execute
 // against the store's lock-free snapshot iterators, so readers never block
@@ -17,11 +23,19 @@
 // (normalized query, catalog generation, view-set hash) serves repeated
 // queries without re-execution while never returning a stale answer.
 //
-// Durability (optional, Config.Durability): committed /update batches are
+// Durability (optional, Config.Durability): committed /v1/update batches are
 // appended to a write-ahead log inside the write critical section before
 // the response is sent, catalog mutations the log does not capture write a
-// checkpoint before acknowledging, and /admin/checkpoint snapshots on
+// checkpoint before acknowledging, and /v1/admin/checkpoint snapshots on
 // demand — see internal/persist and durability.go.
+//
+// Replication (optional): a durable primary serves its log as an NDJSON
+// stream on GET /v1/wal and its newest checkpoint as a tar archive on GET
+// /v1/checkpoint; replicas (Config.Replica) bootstrap from the archive, tail
+// the stream through the same incremental maintenance path recovery takes,
+// reject writes, and report applied progress back via POST /v1/replica/ack —
+// which is what /v1/update acknowledgement levels ("ack":"replicas:N") wait
+// on. See replication.go (primary side) and replica.go (replica side).
 package server
 
 import (
@@ -30,14 +44,22 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sofos/internal/api"
 	"sofos/internal/core"
 	"sofos/internal/persist"
 	"sofos/internal/rewrite"
 	"sofos/internal/sparql"
+)
+
+// Server roles, advertised in /v1/stats and /healthz.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
 )
 
 // Config tunes a Server; the zero value is the production default.
@@ -70,6 +92,23 @@ type Config struct {
 	// state they produce, and POST /admin/checkpoint is served. Nil keeps
 	// the server memory-only.
 	Durability *Durability
+
+	// AckTimeout bounds how long an update with "ack":"replicas:N" waits for
+	// N replicas to report the batch applied before giving up with a
+	// replication_timeout error (the batch is committed and locally durable
+	// either way). 0 means 10s.
+	AckTimeout time.Duration
+
+	// ReadWait bounds how long a replica holds a query whose
+	// X-Sofos-Min-Generation is ahead of the applied state before
+	// redirecting the client to the primary. 0 means 2s.
+	ReadWait time.Duration
+
+	// Replica, when non-nil, puts the server in read-replica mode: it
+	// rejects writes, tails the primary's /v1/wal stream (StartReplication),
+	// and reports applied progress back. Durability is ignored for replicas —
+	// they re-bootstrap from the primary's checkpoint instead of local disk.
+	Replica *ReplicaOptions
 }
 
 // withDefaults resolves zero fields.
@@ -86,18 +125,35 @@ func (c Config) withDefaults(sys *core.System) Config {
 	if c.SelectionSeed == 0 {
 		c.SelectionSeed = 1
 	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 10 * time.Second
+	}
+	if c.ReadWait <= 0 {
+		c.ReadWait = 2 * time.Second
+	}
+	if c.Replica != nil {
+		// Replicas hold no local durable state: their data directory is the
+		// primary's, reached through bootstrap archives and the WAL stream.
+		c.Durability = nil
+	}
 	return c
 }
 
 // Server serves one SOFOS system over HTTP. Create with New, mount via
 // Handler.
 type Server struct {
-	sys *core.System
-	cfg Config
+	// sysp is the served system. An atomic pointer rather than a plain field
+	// because a replica that fell behind the primary's log swaps in a freshly
+	// bootstrapped system (see rebootstrap); handlers load it once per
+	// request and the generation header reads it without any lock.
+	sysp atomic.Pointer[core.System]
+	cfg  Config
+	role string
 
 	// mu orders queries against catalog mutations: every answer is computed
 	// entirely within one read-side critical section, so it reflects exactly
-	// one catalog generation; every mutation holds the write side.
+	// one catalog generation; every mutation holds the write side. On a
+	// replica the apply loop is the only writer.
 	mu sync.RWMutex
 
 	cache *resultCache  // nil when disabled
@@ -128,36 +184,118 @@ type Server struct {
 	lastCheckpoint atomic.Pointer[persist.Manifest]
 	checkpoints    atomic.Int64
 	walGap         atomic.Bool
+
+	// tracker follows replica progress on a primary (nil on replicas);
+	// repl is the apply-loop state on a replica (nil on primaries).
+	tracker *replicaTracker
+	repl    *replicaRuntime
 }
 
 // New wraps a system in a server with the given configuration.
 func New(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults(sys)
 	s := &Server{
-		sys:     sys,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		dur:     cfg.Durability,
 	}
+	s.sysp.Store(sys)
+	if cfg.Replica != nil {
+		s.role = RoleReplica
+		s.repl = newReplicaRuntime(cfg.Replica)
+	} else {
+		s.role = RolePrimary
+		s.tracker = newReplicaTracker()
+	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
-	s.mux.HandleFunc("/query", s.handleQuery)
-	s.mux.HandleFunc("/update", s.handleUpdate)
-	s.mux.HandleFunc("/views", s.handleViews)
-	s.mux.HandleFunc("/stats", s.handleStats)
-	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	s.mux.HandleFunc("/admin/checkpoint", s.handleAdminCheckpoint)
+	// The versioned route tree, with the legacy unversioned paths kept as
+	// thin deprecated aliases onto the same handlers.
+	for path, h := range map[string]http.HandlerFunc{
+		"/query":            s.handleQuery,
+		"/update":           s.handleUpdate,
+		"/views":            s.handleViews,
+		"/stats":            s.handleStats,
+		"/healthz":          s.handleHealthz,
+		"/admin/checkpoint": s.handleAdminCheckpoint,
+	} {
+		s.mux.HandleFunc(api.Prefix+path, h)
+		s.mux.HandleFunc(path, deprecatedAlias(path, h))
+	}
+	// Replication endpoints exist only under /v1 — they postdate the legacy
+	// surface.
+	s.mux.HandleFunc(api.Prefix+"/wal", s.handleWALStream)
+	s.mux.HandleFunc(api.Prefix+"/checkpoint", s.handleCheckpointArchive)
+	s.mux.HandleFunc(api.Prefix+"/replica/ack", s.handleReplicaAck)
 	return s
 }
 
-// Handler returns the HTTP handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// deprecatedAlias wraps a /v1 handler for its legacy unversioned path:
+// identical behavior plus headers telling the client where to migrate.
+func deprecatedAlias(path string, h http.HandlerFunc) http.HandlerFunc {
+	successor := api.Prefix + path
+	link := fmt.Sprintf("<%s>; rel=\"successor-version\"", successor)
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(api.HeaderDeprecation, "true")
+		w.Header().Set("Link", link)
+		h(w, r)
+	}
+}
+
+// Handler returns the HTTP handler serving all endpoints. Every response is
+// stamped with the X-Sofos-Generation header (see genWriter).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.mux.ServeHTTP(&genWriter{ResponseWriter: w, srv: s}, r)
+	})
+}
+
+// genWriter stamps the catalog generation onto the response at header-flush
+// time — after the handler finished its critical section, so the advertised
+// generation is at least the one the body was computed at (the counter only
+// moves forward). It forwards Flush so the /v1/wal stream can push lines
+// through any buffering layers.
+type genWriter struct {
+	http.ResponseWriter
+	srv   *Server
+	wrote bool
+}
+
+func (w *genWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.wrote = true
+		w.Header().Set(api.HeaderGeneration,
+			strconv.FormatInt(w.srv.system().Generation(), 10))
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *genWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.WriteHeader(http.StatusOK)
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *genWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// system returns the served system. Handlers load it once per request; the
+// pointer only moves when a replica re-bootstraps (under the write lock), so
+// a handler inside a mu critical section always sees a stable system.
+func (s *Server) system() *core.System { return s.sysp.Load() }
 
 // System returns the served system (for tests and embedding callers).
-func (s *Server) System() *core.System { return s.sys }
+func (s *Server) System() *core.System { return s.system() }
+
+// Role returns RolePrimary or RoleReplica.
+func (s *Server) Role() string { return s.role }
 
 // prefixState is one memoized cache-key prefix (see Server.keyPrefix).
 type prefixState struct {
@@ -170,78 +308,65 @@ type prefixState struct {
 // view-set hash must belong to the same state the answer is computed in —
 // which also means the generation cannot move mid-call, so concurrent
 // readers memoizing the same prefix store identical values.
-func (s *Server) cacheKey(norm string) string {
-	gen := s.sys.Generation()
+func (s *Server) cacheKey(sys *core.System, norm string) string {
+	gen := sys.Generation()
 	if p, ok := s.keyPrefix.Load().(prefixState); ok && p.generation == gen {
 		return p.prefix + norm
 	}
 	prefix := strconv.FormatInt(gen, 10) + "|" +
-		strconv.FormatUint(s.sys.ViewSetHash(), 16) + "|"
+		strconv.FormatUint(sys.ViewSetHash(), 16) + "|"
 	s.keyPrefix.Store(prefixState{generation: gen, prefix: prefix})
 	return prefix + norm
 }
 
-// queryRequest is the /query request body. GET requests pass the query in
-// the "q" parameter and workers in "workers" instead.
-type queryRequest struct {
-	Query   string `json:"query"`
-	Workers int    `json:"workers,omitempty"` // intra-query parallelism cap
-}
-
-// queryResponse is the /query response body. Rows are rendered terms in
-// SELECT order. Cached responses re-serve a previous execution's rows;
-// ElapsedUS then reports the original execution time.
-type queryResponse struct {
-	Vars       []string   `json:"vars"`
-	Rows       [][]string `json:"rows"`
-	Via        string     `json:"via"`              // answering view ID or "base"
-	Reason     string     `json:"reason,omitempty"` // base fallback reason
-	Generation int64      `json:"generation"`       // catalog generation answered at
-	Cached     bool       `json:"cached"`
-	ElapsedUS  int64      `json:"elapsed_us"`
-}
-
 // handleQuery answers one analytical query, consulting the result cache
 // first. Admission: cache hits bypass the semaphore (they execute nothing);
-// misses wait for an execution slot.
+// misses wait for an execution slot. On a replica, a request whose
+// X-Sofos-Min-Generation is ahead of the applied state first waits briefly
+// for the replication stream and then redirects to the primary, preserving
+// read-your-writes for clients that funnel writes there.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req queryRequest
+	var req api.QueryRequest
 	switch r.Method {
 	case http.MethodGet:
 		req.Query = r.URL.Query().Get("q")
 		if ws := r.URL.Query().Get("workers"); ws != "" {
 			n, err := strconv.Atoi(ws)
 			if err != nil {
-				httpError(w, http.StatusBadRequest, "bad workers parameter %q", ws)
+				httpError(w, http.StatusBadRequest, api.CodeBadRequest, "bad workers parameter %q", ws)
 				return
 			}
 			req.Workers = n
 		}
 	case http.MethodPost:
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+			httpError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "use GET ?q= or POST a JSON body")
+		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "use GET ?q= or POST a JSON body")
 		return
 	}
 	if req.Query == "" {
-		httpError(w, http.StatusBadRequest, "empty query")
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "empty query")
 		return
 	}
 	q, err := sparql.Parse(req.Query)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "parse error: %v", err)
+		httpError(w, http.StatusBadRequest, api.CodeParseError, "parse error: %v", err)
 		return
 	}
 	norm := rewrite.CacheKey(q)
+
+	if s.role == RoleReplica && !s.gateMinGeneration(w, r) {
+		return
+	}
 
 	// Fast path: serve from the cache under the read lock (the key must be
 	// computed in the same state the entry was stored under).
 	if s.cache != nil {
 		s.mu.RLock()
-		body, ok := s.cache.get(s.cacheKey(norm))
+		body, ok := s.cache.get(s.cacheKey(s.system(), norm))
 		s.mu.RUnlock()
 		if ok {
 			s.queries.Add(1)
@@ -256,7 +381,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
-		httpError(w, http.StatusServiceUnavailable, "request canceled while queued")
+		httpError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "request canceled while queued")
 		return
 	}
 
@@ -267,26 +392,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	sys := s.system()
 	var key string
 	if s.cache != nil {
-		key = s.cacheKey(norm) // state may have advanced since the fast path
+		key = s.cacheKey(sys, norm) // state may have advanced since the fast path
 		if body, ok := s.cache.recheck(key); ok {
 			s.queries.Add(1)
 			writeCachedBody(w, body)
 			return
 		}
 	}
-	ans, err := s.sys.AnswerWithWorkers(q, workers)
+	ans, err := sys.AnswerWithWorkers(q, workers)
 	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, "execution error: %v", err)
+		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "execution error: %v", err)
 		return
 	}
-	resp := &queryResponse{
+	resp := &api.QueryResponse{
 		Vars:       ans.Result.Vars,
 		Rows:       renderRows(ans),
 		Via:        ans.ViaLabel(),
 		Reason:     ans.Reason,
-		Generation: s.sys.Generation(),
+		Generation: sys.Generation(),
 		ElapsedUS:  ans.Elapsed.Microseconds(),
 	}
 	if s.cache != nil {
@@ -300,6 +426,37 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.queries.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// gateMinGeneration enforces X-Sofos-Min-Generation on a replica: wait up to
+// cfg.ReadWait for the apply loop to reach the requested generation, then
+// redirect to the primary. Reports whether the request may proceed locally
+// (on failure the response has been written).
+func (s *Server) gateMinGeneration(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get(api.HeaderMinGeneration)
+	if h == "" {
+		return true
+	}
+	minGen, err := strconv.ParseInt(h, 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"bad %s header %q", api.HeaderMinGeneration, h)
+		return false
+	}
+	if minGen <= 0 || s.waitForGeneration(r.Context(), minGen, s.cfg.ReadWait) {
+		return true
+	}
+	// Still behind: route the read to the primary, which by construction has
+	// every generation it ever advertised.
+	if primary := s.repl.primaryURL(); primary != "" {
+		http.Redirect(w, r, strings.TrimSuffix(primary, "/")+r.URL.RequestURI(),
+			http.StatusTemporaryRedirect)
+		return false
+	}
+	httpError(w, http.StatusServiceUnavailable, api.CodeStaleReplica,
+		"replica is at generation %d, behind the requested %d",
+		s.system().Generation(), minGen)
+	return false
 }
 
 // renderRows renders result values as strings in SELECT order.
@@ -322,13 +479,13 @@ func writeCachedBody(w http.ResponseWriter, body []byte) {
 	_, _ = w.Write(body)
 }
 
-// errorResponse is the JSON body of every non-200 response.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func httpError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// httpError writes the uniform error envelope: a stable machine-readable
+// code plus a human-readable message.
+func httpError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, api.ErrorResponse{Error: api.Error{
+		Code:    code,
+		Message: fmt.Sprintf(format, args...),
+	}})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"sofos/internal/api"
 	"sofos/internal/core"
 	"sofos/internal/facet"
 	"sofos/internal/rdf"
@@ -128,10 +129,10 @@ func getJSON(t testing.TB, url string, out any) int {
 }
 
 // query posts a query and requires a 200 answer.
-func query(t testing.TB, ts *httptest.Server, q string) queryResponse {
+func query(t testing.TB, ts *httptest.Server, q string) api.QueryResponse {
 	t.Helper()
-	var out queryResponse
-	if code := postJSON(t, ts.URL+"/query", queryRequest{Query: q}, &out); code != http.StatusOK {
+	var out api.QueryResponse
+	if code := postJSON(t, ts.URL+"/query", api.QueryRequest{Query: q}, &out); code != http.StatusOK {
 		t.Fatalf("query returned status %d", code)
 	}
 	return out
@@ -182,7 +183,7 @@ func TestQueryGetAndPost(t *testing.T) {
 	if len(post.Rows) != 4 {
 		t.Fatalf("expected 4 country rows, got %d", len(post.Rows))
 	}
-	var get queryResponse
+	var get api.QueryResponse
 	u := ts.URL + "/query?q=" + strings.ReplaceAll(strings.ReplaceAll(countryQuery, "\n", "%0A"), " ", "+")
 	if code := getJSON(t, u, &get); code != http.StatusOK {
 		t.Fatalf("GET query returned status %d", code)
@@ -198,14 +199,14 @@ func TestQueryGetAndPost(t *testing.T) {
 
 func TestQueryErrors(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var e errorResponse
-	if code := postJSON(t, ts.URL+"/query", queryRequest{Query: "SELECT nonsense"}, &e); code != http.StatusBadRequest {
+	var e api.ErrorResponse
+	if code := postJSON(t, ts.URL+"/query", api.QueryRequest{Query: "SELECT nonsense"}, &e); code != http.StatusBadRequest {
 		t.Errorf("parse error: expected 400, got %d", code)
 	}
-	if e.Error == "" {
+	if e.Error.Message == "" || e.Error.Code == "" {
 		t.Error("parse error: expected an error message")
 	}
-	if code := postJSON(t, ts.URL+"/query", queryRequest{}, nil); code != http.StatusBadRequest {
+	if code := postJSON(t, ts.URL+"/query", api.QueryRequest{}, nil); code != http.StatusBadRequest {
 		t.Errorf("empty query: expected 400, got %d", code)
 	}
 	resp, err := http.Post(ts.URL+"/update", "application/json", strings.NewReader("{}"))
@@ -233,8 +234,8 @@ func TestCacheFreshnessAfterUpdate(t *testing.T) {
 	}
 	sum0 := numCell(t, first.Rows[0][0])
 
-	var up updateResponse
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("fresh1", 1000)}, &up); code != http.StatusOK {
+	var up api.UpdateResponse
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("fresh1", 1000)}, &up); code != http.StatusOK {
 		t.Fatalf("update returned status %d", code)
 	}
 	if up.Inserted != 4 {
@@ -266,8 +267,8 @@ func TestCacheFreshnessAfterUpdate(t *testing.T) {
 
 func TestViewsLifecycle(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", View: "country"}, &act); code != http.StatusOK {
 		t.Fatalf("materialize returned status %d", code)
 	}
 	if len(act.Views) != 1 || act.Views[0] != "country" {
@@ -279,10 +280,10 @@ func TestViewsLifecycle(t *testing.T) {
 		t.Fatalf("expected the country view to answer, got %q (reason %q)", ans.Via, ans.Reason)
 	}
 
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Insert: obsTriples("fresh2", 50)}, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: obsTriples("fresh2", 50)}, nil); code != http.StatusOK {
 		t.Fatalf("update returned status %d", code)
 	}
-	var list viewsResponse
+	var list api.ViewsResponse
 	if code := getJSON(t, ts.URL+"/views", &list); code != http.StatusOK {
 		t.Fatalf("list returned status %d", code)
 	}
@@ -290,7 +291,7 @@ func TestViewsLifecycle(t *testing.T) {
 		t.Fatalf("expected one stale view, got %+v", list.Materialized)
 	}
 
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "refresh"}, &act); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "refresh"}, &act); code != http.StatusOK {
 		t.Fatalf("refresh returned status %d", code)
 	}
 	if act.Refreshed != 1 {
@@ -302,27 +303,27 @@ func TestViewsLifecycle(t *testing.T) {
 		t.Fatalf("expected the refreshed view to answer, got %q", ans.Via)
 	}
 
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "drop", View: "country"}, &act); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "drop", View: "country"}, &act); code != http.StatusOK {
 		t.Fatalf("drop returned status %d", code)
 	}
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "drop", View: "country"}, nil); code != http.StatusNotFound {
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "drop", View: "country"}, nil); code != http.StatusNotFound {
 		t.Fatalf("double drop: expected 404, got %d", code)
 	}
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "reset"}, &act); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "reset"}, &act); code != http.StatusOK {
 		t.Fatalf("reset returned status %d", code)
 	}
 }
 
 func TestMaterializeBySelection(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
-	var act viewsActionResponse
-	if code := postJSON(t, ts.URL+"/views", viewsRequest{Action: "materialize", Model: "aggvalues", K: 2}, &act); code != http.StatusOK {
+	var act api.ViewsActionResponse
+	if code := postJSON(t, ts.URL+"/views", api.ViewsRequest{Action: "materialize", Model: "aggvalues", K: 2}, &act); code != http.StatusOK {
 		t.Fatalf("materialize by model returned status %d", code)
 	}
 	if len(act.Views) == 0 {
 		t.Fatal("expected the selection to materialize at least one view")
 	}
-	var list viewsResponse
+	var list api.ViewsResponse
 	getJSON(t, ts.URL+"/views", &list)
 	if len(list.Materialized) != len(act.Views) {
 		t.Fatalf("listed %d views, acted on %d", len(list.Materialized), len(act.Views))
@@ -333,7 +334,7 @@ func TestStatsEndpoint(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	query(t, ts, apexQuery)
 	query(t, ts, apexQuery)
-	var st statsResponse
+	var st api.StatsResponse
 	if code := getJSON(t, ts.URL+"/stats", &st); code != http.StatusOK {
 		t.Fatalf("stats returned status %d", code)
 	}
@@ -346,9 +347,12 @@ func TestStatsEndpoint(t *testing.T) {
 	if st.Cache.Hits != 1 || st.Cache.Misses != 1 {
 		t.Errorf("cache stats = %+v, want 1 hit / 1 miss", st.Cache)
 	}
-	var h map[string]bool
-	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || !h["ok"] {
-		t.Errorf("healthz = %v (status %d)", h, code)
+	var h api.HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || !h.OK {
+		t.Errorf("healthz = %+v (status %d)", h, code)
+	}
+	if h.Role != RolePrimary || h.Generation != st.Generation {
+		t.Errorf("healthz role/generation = %+v, want primary at generation %d", h, st.Generation)
 	}
 }
 
@@ -356,12 +360,12 @@ func TestUpdateDelete(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	before := numCell(t, query(t, ts, apexQuery).Rows[0][0])
 	block := obsTriples("fresh3", 77)
-	var up updateResponse
-	postJSON(t, ts.URL+"/update", updateRequest{Insert: block}, &up)
+	var up api.UpdateResponse
+	postJSON(t, ts.URL+"/update", api.UpdateRequest{Insert: block}, &up)
 	if got := numCell(t, query(t, ts, apexQuery).Rows[0][0]); got != before+77 {
 		t.Fatalf("after insert sum = %v, want %v", got, before+77)
 	}
-	if code := postJSON(t, ts.URL+"/update", updateRequest{Delete: block}, &up); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/update", api.UpdateRequest{Delete: block}, &up); code != http.StatusOK {
 		t.Fatalf("delete returned status %d", code)
 	}
 	if up.Deleted != 4 {
@@ -379,24 +383,24 @@ func TestUpdateDelete(t *testing.T) {
 func TestUpdateAtomicOnError(t *testing.T) {
 	srv, ts := newTestServer(t, Config{})
 	before := query(t, ts, apexQuery)
-	gen0 := srv.sys.Generation()
-	triples0 := srv.sys.Graph.Len()
+	gen0 := srv.System().Generation()
+	triples0 := srv.System().Graph.Len()
 
-	var e errorResponse
-	code := postJSON(t, ts.URL+"/update", updateRequest{
+	var e api.ErrorResponse
+	code := postJSON(t, ts.URL+"/update", api.UpdateRequest{
 		Insert: obsTriples("freshAtomic", 500),
 		Delete: "<http://ex.org/x> <http://ex.org/y> not-a-term",
 	}, &e)
 	if code != http.StatusBadRequest {
 		t.Fatalf("bad batch: expected 400, got %d", code)
 	}
-	if e.Error == "" {
+	if e.Error.Message == "" || e.Error.Code == "" {
 		t.Error("bad batch: expected an error message")
 	}
-	if got := srv.sys.Graph.Len(); got != triples0 {
+	if got := srv.System().Graph.Len(); got != triples0 {
 		t.Errorf("failed batch mutated the graph: %d -> %d triples", triples0, got)
 	}
-	if got := srv.sys.Generation(); got != gen0 {
+	if got := srv.System().Generation(); got != gen0 {
 		t.Errorf("failed batch advanced the generation: %d -> %d", gen0, got)
 	}
 	after := query(t, ts, apexQuery)

@@ -1,23 +1,25 @@
 package workload
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"net/http"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"sofos/internal/api"
 	"sofos/internal/benchkit"
+	"sofos/internal/client"
 )
 
 // HTTP replay: load generation against a running sofos-serve instance. The
 // in-process replay path (core.RunWorkloadParallel) measures the engine;
-// this client measures the whole serving stack — admission control, the
-// result cache, JSON rendering — from the network side.
+// this replayer measures the whole serving stack — admission control, the
+// result cache, JSON rendering — from the network side, through the shared
+// typed client (internal/client). One client is shared across all requester
+// goroutines, so its generation ratchet spans the run: replaying against a
+// replica is read-your-writes with respect to everything the run has seen.
 
 // HTTPConfig configures an HTTP replay run.
 type HTTPConfig struct {
@@ -36,9 +38,6 @@ type HTTPConfig struct {
 func (c HTTPConfig) withDefaults() HTTPConfig {
 	if c.Clients < 1 {
 		c.Clients = 1
-	}
-	if c.Client == nil {
-		c.Client = http.DefaultClient
 	}
 	if c.Rounds < 1 {
 		c.Rounds = 1
@@ -79,21 +78,13 @@ func (r *HTTPReport) CacheHitRate() float64 {
 	return float64(r.CacheHits) / float64(len(r.PerQuery))
 }
 
-// httpAnswer is the subset of the server's /query response the client reads.
-type httpAnswer struct {
-	Rows   [][]string `json:"rows"`
-	Via    string     `json:"via"`
-	Cached bool       `json:"cached"`
-	Error  string     `json:"error"`
-}
-
 // ReplayHTTP replays the workload's queries against a server, cfg.Clients
 // at a time, repeating for cfg.Rounds. Outcomes are in replay order
 // (workload order within each round). The first transport error or non-200
 // aborts the run: in-flight requests finish, queued ones are skipped.
 func ReplayHTTP(cfg HTTPConfig, w *Workload) (*HTTPReport, error) {
 	cfg = cfg.withDefaults()
-	url := strings.TrimRight(cfg.BaseURL, "/") + "/query"
+	cl := client.New(cfg.BaseURL, cfg.Client)
 	total := len(w.Queries) * cfg.Rounds
 	outcomes := make([]HTTPOutcome, total)
 	errs := make([]error, total)
@@ -108,7 +99,7 @@ func ReplayHTTP(cfg HTTPConfig, w *Workload) (*HTTPReport, error) {
 				if failed.Load() {
 					continue // drain without issuing further requests
 				}
-				outcomes[i], errs[i] = replayOne(cfg.Client, url, w.Queries[i%len(w.Queries)].Text, i)
+				outcomes[i], errs[i] = replayOne(cl, w.Queries[i%len(w.Queries)].Text, i)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -138,30 +129,12 @@ func ReplayHTTP(cfg HTTPConfig, w *Workload) (*HTTPReport, error) {
 	return rep, nil
 }
 
-// replayOne issues one /query request and parses the answer.
-func replayOne(client *http.Client, url, text string, index int) (HTTPOutcome, error) {
-	body, err := json.Marshal(map[string]string{"query": text})
-	if err != nil {
-		return HTTPOutcome{}, err
-	}
+// replayOne issues one query through the shared client.
+func replayOne(cl *client.Client, text string, index int) (HTTPOutcome, error) {
 	start := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	ans, err := cl.Query(context.Background(), api.QueryRequest{Query: text})
 	if err != nil {
 		return HTTPOutcome{}, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		// The body may be the server's {"error": ...} or an intermediary's
-		// HTML page; report the status either way.
-		var ans httpAnswer
-		if json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&ans) == nil && ans.Error != "" {
-			return HTTPOutcome{}, fmt.Errorf("status %d: %s", resp.StatusCode, ans.Error)
-		}
-		return HTTPOutcome{}, fmt.Errorf("status %d", resp.StatusCode)
-	}
-	var ans httpAnswer
-	if err := json.NewDecoder(resp.Body).Decode(&ans); err != nil {
-		return HTTPOutcome{}, fmt.Errorf("malformed response: %w", err)
 	}
 	return HTTPOutcome{
 		Index:   index,

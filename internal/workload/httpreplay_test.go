@@ -20,15 +20,15 @@ func stubWorkload(n int) *Workload {
 	return w
 }
 
-// stubServer mimics /query: first sight of a query is uncached and "base",
-// repeats are cached and served via a view.
+// stubServer mimics /v1/query: first sight of a query is uncached and
+// "base", repeats are cached and served via a view.
 func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
 	t.Helper()
 	var hits atomic.Int64
 	seen := make(map[string]bool)
 	var mu sync.Mutex
 	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path != "/query" || r.Method != http.MethodPost {
+		if r.URL.Path != "/v1/query" || r.Method != http.MethodPost {
 			http.Error(w, `{"error":"bad route"}`, http.StatusNotFound)
 			return
 		}
