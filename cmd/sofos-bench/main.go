@@ -46,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 	maintRounds := fs.Int("maintenance-rounds", 20, "update batches to replay in the maintenance scenario")
 	maintBatch := fs.Int("maintenance-batch", 16, "triples per update batch in the maintenance scenario")
 	codecName := fs.String("codec", "block", "run storage codec: block (compressed) or flat")
+	storageName := fs.String("storage", "heap", "paged-snapshot load storage: heap or mmap (page-cache backed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,7 +54,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	st, err := store.ParseStorage(*storageName)
+	if err != nil {
+		return err
+	}
 	store.SetDefaultCodec(codec)
+	store.SetDefaultStorage(st)
 	start := time.Now()
 	var tables []*benchkit.Table
 	if *maintenance {

@@ -46,6 +46,7 @@ type commonFlags struct {
 	model   string
 	workers int
 	codec   string
+	storage string
 }
 
 func addCommon(fs *flag.FlagSet) *commonFlags {
@@ -57,17 +58,24 @@ func addCommon(fs *flag.FlagSet) *commonFlags {
 	fs.StringVar(&c.model, "model", "aggvalues", "cost model: random, triples, aggvalues, nodes")
 	fs.IntVar(&c.workers, "workers", 0, "parallel execution workers per query (0 = all CPUs, 1 = serial)")
 	fs.StringVar(&c.codec, "codec", "block", "run storage codec: block (compressed) or flat")
+	fs.StringVar(&c.storage, "storage", "heap", "paged-snapshot load storage: heap or mmap (page-cache backed)")
 	return c
 }
 
-// applyCodec validates the -codec flag and installs it as the process-wide
-// default, so every graph the subcommand builds or loads uses it.
+// applyCodec validates the -codec and -storage flags and installs them as the
+// process-wide defaults, so every graph the subcommand builds or loads uses
+// them.
 func (c *commonFlags) applyCodec() error {
 	codec, err := store.ParseCodec(c.codec)
 	if err != nil {
 		return err
 	}
+	st, err := store.ParseStorage(c.storage)
+	if err != nil {
+		return err
+	}
 	store.SetDefaultCodec(codec)
+	store.SetDefaultStorage(st)
 	return nil
 }
 

@@ -41,14 +41,12 @@ func Restore(dir *persist.Dir, f *facet.Facet, opts Options) (*System, *Recovery
 	}
 
 	// Snapshot load: the base graph, with its saved version counter
-	// reinstated so WAL version intervals line up across the restart.
+	// reinstated so WAL version intervals line up across the restart. Paged
+	// (v3) snapshots load in O(open) — directory validation only, no payload
+	// reads — and under mmap storage the run pages stay on disk until
+	// queries fault them in; v1/v2 snapshots stream-load as before.
 	loadStart := time.Now()
-	gr, err := cp.OpenGraph()
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: opening graph snapshot: %w", err)
-	}
-	g, err := store.Load(gr)
-	gr.Close()
+	g, err := store.LoadFile(cp.GraphPath())
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: loading graph snapshot: %w", err)
 	}

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -11,6 +14,7 @@ import (
 	"sofos/internal/persist"
 	"sofos/internal/rdf"
 	"sofos/internal/sparql"
+	"sofos/internal/store"
 )
 
 const dbp = "http://dbpedia.org/property/"
@@ -202,6 +206,164 @@ func mustFacet(t *testing.T) *facet.Facet {
 		t.Fatal(err)
 	}
 	return f
+}
+
+// TestRestoreAfterCheckpointKillPoints drives a full Restore — snapshot load,
+// catalog rebuild, WAL replay — over every crash phase of a second checkpoint
+// write, for both storage backends. Whatever instant the fake kill lands on
+// (torn graph stream, hard-linked graph with a torn catalog, a complete but
+// unpublished directory, a torn CURRENT.tmp, and finally the repointed
+// CURRENT), the restored system must answer exactly like the live one: the
+// checkpoint write is invisible until its single commit point and lossless
+// after it. The byte-granular sweep of the same write lives in
+// internal/persist; this test checks the phase boundaries end to end.
+func TestRestoreAfterCheckpointKillPoints(t *testing.T) {
+	live := sys(t)
+	if _, err := live.Catalog.Materialize(live.Facet.View(live.Facet.FullMask())); err != nil {
+		t.Fatal(err)
+	}
+	dir, err := persist.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := persist.OpenLog(dir.WALDir(), persist.SyncNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyLogged(t, live, l, obsBatch("pre", 100), nil, true)
+	checkpointSystem(t, dir, l, live)
+	cp1, err := dir.LatestCheckpoint()
+	if err != nil || cp1 == nil {
+		t.Fatalf("checkpoint 1 missing: %v", err)
+	}
+	applyLogged(t, live, l, obsBatch("s1", 11), nil, true)
+	applyLogged(t, live, l, obsBatch("s2", 22), nil, false)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := mustAnswer(t, live, restoreQuery)
+
+	// The exact files the interrupted checkpoint 2 would have written.
+	var gbuf, cbuf bytes.Buffer
+	if err := live.Graph.Save(&gbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Catalog.SaveState(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	m2 := persist.Manifest{
+		Format: 1, Sequence: 2, Dataset: "dbpedia", Scale: 15, Seed: 5,
+		GraphVersion: live.GraphVersion(), Generation: live.Generation(),
+		WALSeq: 1, BaseTriples: live.Graph.Len(), Views: len(live.Catalog.Materialized()),
+	}
+	m2raw, err := json.MarshalIndent(&m2, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2raw = append(m2raw, '\n')
+
+	// On-disk checkpoint layout, as documented in internal/persist.
+	base := dir.Path()
+	cp2name := fmt.Sprintf("checkpoint-%016x", 2)
+	writeCp2 := func(dst string, files map[string][]byte) {
+		t.Helper()
+		if err := os.MkdirAll(dst, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range files {
+			if err := os.WriteFile(filepath.Join(dst, name), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	complete := map[string][]byte{
+		"graph.snap": gbuf.Bytes(), "catalog.bin": cbuf.Bytes(), "MANIFEST.json": m2raw,
+	}
+	phases := []struct {
+		name  string
+		build func(t *testing.T)
+	}{
+		{"torn graph stream in tmp", func(t *testing.T) {
+			writeCp2(filepath.Join(base, cp2name+".tmp"),
+				map[string][]byte{"graph.snap": gbuf.Bytes()[:gbuf.Len()/2]})
+		}},
+		{"hard-linked graph, torn catalog", func(t *testing.T) {
+			tmp := filepath.Join(base, cp2name+".tmp")
+			writeCp2(tmp, map[string][]byte{"catalog.bin": cbuf.Bytes()[:2]})
+			if err := os.Link(cp1.GraphPath(), filepath.Join(tmp, "graph.snap")); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"complete tmp, never renamed", func(t *testing.T) {
+			writeCp2(filepath.Join(base, cp2name+".tmp"), complete)
+		}},
+		{"renamed, CURRENT stale", func(t *testing.T) {
+			writeCp2(filepath.Join(base, cp2name), complete)
+		}},
+		{"torn CURRENT.tmp", func(t *testing.T) {
+			writeCp2(filepath.Join(base, cp2name), complete)
+			if err := os.WriteFile(filepath.Join(base, "CURRENT.tmp"), []byte("checkpo"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+
+	defer store.SetDefaultStorage(store.StorageHeap)
+	for _, st := range []store.Storage{store.StorageHeap, store.StorageMmap} {
+		store.SetDefaultStorage(st)
+		for _, ph := range phases {
+			t.Run(fmt.Sprintf("%s/%s", st, ph.name), func(t *testing.T) {
+				for _, debris := range []string{cp2name, cp2name + ".tmp", "CURRENT.tmp"} {
+					if err := os.RemoveAll(filepath.Join(base, debris)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				ph.build(t)
+				restored, rec, err := Restore(dir, mustFacet(t), Options{})
+				if err != nil {
+					t.Fatalf("restore: %v", err)
+				}
+				if rec.CheckpointSeq != 1 {
+					t.Fatalf("restored from checkpoint %d, want the previous one", rec.CheckpointSeq)
+				}
+				if rec.ReplayedBatches != 2 {
+					t.Fatalf("replayed %d batches, want 2", rec.ReplayedBatches)
+				}
+				if restored.Generation() != live.Generation() {
+					t.Fatalf("generation = %d, want %d", restored.Generation(), live.Generation())
+				}
+				if got := mustAnswer(t, restored, restoreQuery); !reflect.DeepEqual(got, want) {
+					t.Fatalf("answers differ after crash-phase restore:\n got %v\nwant %v", got, want)
+				}
+			})
+		}
+		// Past the commit point: CURRENT names checkpoint 2, replay skips the
+		// batches the snapshot already contains, the answers do not move.
+		t.Run(fmt.Sprintf("%s/CURRENT repointed", st), func(t *testing.T) {
+			writeCp2(filepath.Join(base, cp2name), complete)
+			if err := os.WriteFile(filepath.Join(base, "CURRENT.tmp"), []byte(cp2name+"\n"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Rename(filepath.Join(base, "CURRENT.tmp"), filepath.Join(base, "CURRENT")); err != nil {
+				t.Fatal(err)
+			}
+			restored, rec, err := Restore(dir, mustFacet(t), Options{})
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			if rec.CheckpointSeq != 2 || rec.ReplayedBatches != 0 {
+				t.Fatalf("recovery = %+v, want checkpoint 2 with nothing to replay", rec)
+			}
+			if got := mustAnswer(t, restored, restoreQuery); !reflect.DeepEqual(got, want) {
+				t.Fatalf("answers differ after committed checkpoint:\n got %v\nwant %v", got, want)
+			}
+			// Reset to checkpoint 1 for the next storage backend's sweep.
+			if err := os.WriteFile(filepath.Join(base, "CURRENT"),
+				[]byte(fmt.Sprintf("checkpoint-%016x\n", 1)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
 }
 
 func TestRestoreTornTailLandsOnCommittedState(t *testing.T) {

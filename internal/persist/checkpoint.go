@@ -106,6 +106,10 @@ func (c *Checkpoint) OpenGraph() (io.ReadCloser, error) {
 	return os.Open(filepath.Join(c.dir, graphFile))
 }
 
+// GraphPath returns the path of the checkpoint's graph snapshot file, for
+// loaders that map the snapshot (store.LoadFile) instead of streaming it.
+func (c *Checkpoint) GraphPath() string { return filepath.Join(c.dir, graphFile) }
+
 // OpenCatalog opens the checkpoint's catalog state for reading.
 func (c *Checkpoint) OpenCatalog() (io.ReadCloser, error) {
 	return os.Open(filepath.Join(c.dir, catalogFile))
@@ -140,12 +144,31 @@ func (d *Dir) LatestCheckpoint() (*Checkpoint, error) {
 	return &Checkpoint{Manifest: m, dir: dir}, nil
 }
 
+// SnapshotSource describes how a checkpoint obtains its graph snapshot.
+// Write streams a fresh serialization and must always be set. LinkPath, when
+// non-empty, names an existing durable snapshot file whose logical content is
+// current (store.Graph.PagedSource): the checkpoint then hard-links it —
+// sharing the inode, so the bytes survive the old checkpoint directory's
+// removal — and falls back to a plain file copy, then to Write, if linking is
+// not possible. Either shortcut skips re-serializing the runs, which is what
+// keeps periodic checkpoints of a read-mostly graph O(1) in the data size.
+type SnapshotSource struct {
+	Write    func(io.Writer) error
+	LinkPath string
+}
+
 // WriteCheckpoint durably writes a new checkpoint. The manifest's Sequence
 // and CreatedUnix are stamped here (one past the latest checkpoint); the
 // caller fills everything else and supplies writers for the graph snapshot
 // and catalog state. The checkpoint is complete — CURRENT repointed — only
 // when this returns nil.
 func (d *Dir) WriteCheckpoint(m Manifest, writeGraph, writeCatalog func(io.Writer) error) (*Checkpoint, error) {
+	return d.WriteCheckpointFrom(m, SnapshotSource{Write: writeGraph}, writeCatalog)
+}
+
+// WriteCheckpointFrom is WriteCheckpoint with a graph SnapshotSource that can
+// hard-link an existing paged snapshot instead of streaming a new one.
+func (d *Dir) WriteCheckpointFrom(m Manifest, graph SnapshotSource, writeCatalog func(io.Writer) error) (*Checkpoint, error) {
 	prev, err := d.LatestCheckpoint()
 	if err != nil {
 		return nil, err
@@ -171,7 +194,7 @@ func (d *Dir) WriteCheckpoint(m Manifest, writeGraph, writeCatalog func(io.Write
 	if err := os.MkdirAll(tmp, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating checkpoint dir: %w", err)
 	}
-	if err := writeFileSynced(filepath.Join(tmp, graphFile), writeGraph); err != nil {
+	if err := materializeGraphSnapshot(filepath.Join(tmp, graphFile), graph); err != nil {
 		return nil, fmt.Errorf("persist: writing graph snapshot: %w", err)
 	}
 	if err := writeFileSynced(filepath.Join(tmp, catalogFile), writeCatalog); err != nil {
@@ -186,6 +209,11 @@ func (d *Dir) WriteCheckpoint(m Manifest, writeGraph, writeCatalog func(io.Write
 		return err
 	}); err != nil {
 		return nil, fmt.Errorf("persist: writing manifest: %w", err)
+	}
+	// Sync the checkpoint directory itself so its entries (including any
+	// hard link created above) are durable before the rename publishes it.
+	if err := syncDir(tmp); err != nil {
+		return nil, err
 	}
 	if err := os.Rename(tmp, final); err != nil {
 		return nil, fmt.Errorf("persist: publishing checkpoint: %w", err)
@@ -212,6 +240,38 @@ func (d *Dir) WriteCheckpoint(m Manifest, writeGraph, writeCatalog func(io.Write
 		_ = os.RemoveAll(filepath.Join(d.path, prevName))
 	}
 	return &Checkpoint{Manifest: m, dir: final}, nil
+}
+
+// materializeGraphSnapshot produces the checkpoint's graph snapshot file at
+// path from the source: hard link when possible, file copy when linking fails
+// (e.g. a cross-filesystem LinkPath), streamed serialization otherwise. The
+// linked source was fsynced when it was originally checkpointed and snapshot
+// files are never modified in place, so a link needs no data sync of its own
+// — only the directory entry, which the caller syncs.
+func materializeGraphSnapshot(path string, graph SnapshotSource) error {
+	if graph.LinkPath != "" {
+		if err := os.Link(graph.LinkPath, path); err == nil {
+			return nil
+		}
+		if err := copyFileSynced(graph.LinkPath, path); err == nil {
+			return nil
+		}
+		// Fall through: the source file may have vanished; serialize fresh.
+	}
+	return writeFileSynced(path, graph.Write)
+}
+
+// copyFileSynced copies src to dst and fsyncs dst.
+func copyFileSynced(src, dst string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	return writeFileSynced(dst, func(w io.Writer) error {
+		_, err := io.Copy(w, in)
+		return err
+	})
 }
 
 // writeFileSynced writes path via the callback and fsyncs it before closing.

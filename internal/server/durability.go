@@ -65,7 +65,12 @@ func (s *Server) checkpointLocked() (*persist.Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	cp, err := s.dur.Dir.WriteCheckpoint(persist.Manifest{
+	// When the graph still matches the paged snapshot it was restored from
+	// (read-mostly serving between checkpoints), the checkpoint hard-links
+	// that file instead of re-serializing every run.
+	src := persist.SnapshotSource{Write: sys.Graph.Save}
+	src.LinkPath, _ = sys.Graph.PagedSource()
+	cp, err := s.dur.Dir.WriteCheckpointFrom(persist.Manifest{
 		Dataset:      s.dur.Dataset,
 		Scale:        s.dur.Scale,
 		Seed:         s.dur.Seed,
@@ -75,9 +80,17 @@ func (s *Server) checkpointLocked() (*persist.Manifest, error) {
 		BaseTriples:  sys.Graph.Len(),
 		Views:        len(sys.Catalog.Materialized()),
 		CreatedUnix:  time.Now().Unix(),
-	}, sys.Graph.Save, sys.Catalog.SaveState)
+	}, src, sys.Catalog.SaveState)
 	if err != nil {
 		return nil, err
+	}
+	// The freshly published snapshot is a faithful paged image of the current
+	// content; future unchanged checkpoints can link it in turn. (When the
+	// graph was serialized with a non-block codec the file is v1 and linking
+	// never applies — AdoptPagedSource is still harmless, PagedSource only
+	// matters for files Save wrote in paged form.)
+	if sys.Graph.CodecName() == "block" {
+		sys.Graph.AdoptPagedSource(cp.GraphPath())
 	}
 	if _, err := s.dur.Log.TruncateBefore(seq); err != nil {
 		// The checkpoint is complete and correct; stale segments only cost

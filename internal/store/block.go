@@ -3,8 +3,10 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sofos/internal/rdf"
 )
@@ -40,8 +42,12 @@ const maxBlockCount = 1 << 16
 
 // blockMeta is one block's fence entry: where its payload lives, how many
 // keys it holds, which global position it starts at, and its first/last key.
+// Payload extent is explicit (off, plen) rather than derived from the next
+// block's offset, because paged snapshots leave alignment padding between
+// payloads.
 type blockMeta struct {
 	off      uint32 // payload start offset in blockRun.data
+	plen     uint32 // payload length in bytes
 	count    uint32 // keys in the block (1..blockSize; snapshots up to maxBlockCount)
 	start    int    // global position of the block's first key
 	min, max rdf.EncodedTriple
@@ -52,10 +58,22 @@ type blockRun struct {
 	meta []blockMeta
 	// max0 mirrors meta[i].max[0] as a flat array: fence searches narrow by
 	// the leading component through this cache-dense slice before touching
-	// the 56-byte-stride meta entries.
+	// the 64-byte-stride meta entries.
 	max0 []rdf.ID
 	data []byte
 	n    int // total keys
+
+	// crcs, when non-nil, holds each block's payload CRC32 from a paged
+	// snapshot directory, checked lazily on a block's first decode; verified
+	// is the matching atomic "already checked" bitset. Lazy checking is what
+	// lets an mmap-backed load finish without touching payload pages — the
+	// first read of a corrupted block then fails loudly (see checkCRC).
+	crcs     []uint32
+	verified []uint32
+
+	// mapped marks data as a view into an mmap'd file region rather than the
+	// Go heap, so memory accounting reports it as mapped, not resident.
+	mapped bool
 }
 
 // fenceInit (re)builds the max0 fence mirror from meta; called after a run is
@@ -104,14 +122,16 @@ func (b *blockBuilder) flush() {
 		return
 	}
 	keys := b.pend
+	off := len(b.r.data)
+	b.r.data = appendBlockPayload(b.r.data, keys)
 	b.r.meta = append(b.r.meta, blockMeta{
-		off:   uint32(len(b.r.data)),
+		off:   uint32(off),
+		plen:  uint32(len(b.r.data) - off),
 		count: uint32(len(keys)),
 		start: b.r.n,
 		min:   keys[0],
 		max:   keys[len(keys)-1],
 	})
-	b.r.data = appendBlockPayload(b.r.data, keys)
 	b.r.n += len(keys)
 	b.pend = b.pend[:0]
 }
@@ -143,10 +163,32 @@ func appendBlockPayload(dst []byte, keys []rdf.EncodedTriple) []byte {
 
 // payloadEnd returns the end offset of block bi's payload.
 func (r *blockRun) payloadEnd(bi int) int {
-	if bi+1 < len(r.meta) {
-		return int(r.meta[bi+1].off)
+	m := &r.meta[bi]
+	return int(m.off) + int(m.plen)
+}
+
+// checkCRC verifies block bi's payload against its snapshot CRC the first
+// time the block is decoded. The bitset is updated with a CAS loop so
+// concurrent readers verify at most a handful of times and never block.
+func (r *blockRun) checkCRC(bi int) error {
+	if r.crcs == nil {
+		return nil
 	}
-	return len(r.data)
+	w := &r.verified[bi>>5]
+	bit := uint32(1) << (bi & 31)
+	if atomic.LoadUint32(w)&bit != 0 {
+		return nil
+	}
+	m := &r.meta[bi]
+	if crc32.ChecksumIEEE(r.data[m.off:int(m.off)+int(m.plen)]) != r.crcs[bi] {
+		return fmt.Errorf("block %d: payload CRC mismatch", bi)
+	}
+	for {
+		old := atomic.LoadUint32(w)
+		if old&bit != 0 || atomic.CompareAndSwapUint32(w, old, old|bit) {
+			return nil
+		}
+	}
 }
 
 // decodeBlock expands block bi into the three column slices (each at least
@@ -157,8 +199,11 @@ func (r *blockRun) payloadEnd(bi int) int {
 // blocks built by blockBuilder always decode cleanly.
 func (r *blockRun) decodeBlock(bi int, c0, c1, c2 []rdf.ID) error {
 	m := &r.meta[bi]
-	if int(m.off) > len(r.data) || r.payloadEnd(bi) < int(m.off) {
+	if int(m.off) > len(r.data) || r.payloadEnd(bi) > len(r.data) {
 		return fmt.Errorf("block %d: payload offsets out of range", bi)
+	}
+	if err := r.checkCRC(bi); err != nil {
+		return err
 	}
 	p := r.data[m.off:r.payloadEnd(bi)]
 	cnt := int(m.count)
@@ -262,9 +307,23 @@ func (r *blockRun) blockOf(pos int) int {
 func (r *blockRun) size() int { return r.n }
 
 func (r *blockRun) memBytes() int64 {
-	// Fence entries are 40 bytes (4+4+8 header fields + two 12-byte keys)
-	// plus the 4-byte max0 mirror.
-	return int64(len(r.data)) + int64(len(r.meta))*44
+	// Fence entries are 44 bytes (4+4+4+8 header fields + two 12-byte keys)
+	// plus the 4-byte max0 mirror and any CRC side arrays. Mapped payloads
+	// live in the OS page cache, not the heap, so they are excluded here and
+	// reported through mappedBytes instead.
+	b := int64(len(r.meta))*48 + int64(len(r.crcs))*4 + int64(len(r.verified))*4
+	if !r.mapped {
+		b += int64(len(r.data))
+	}
+	return b
+}
+
+// mappedBytes returns the bytes of the run backed by an mmap'd file region.
+func (r *blockRun) mappedBytes() int64 {
+	if r.mapped {
+		return int64(len(r.data))
+	}
+	return 0
 }
 
 func (r *blockRun) numBlocks() int { return len(r.meta) }
@@ -578,6 +637,8 @@ func (r *blockRun) alignSplit(pos int) int {
 }
 
 func (r *blockRun) clone() run {
+	// The copy is trusted in-process heap memory, so snapshot CRCs (verified
+	// or not once the bytes are re-read here) are dropped rather than carried.
 	c := &blockRun{n: r.n}
 	c.meta = append([]blockMeta(nil), r.meta...)
 	c.data = append([]byte(nil), r.data...)

@@ -124,7 +124,7 @@ func blockSnapshotBytes(t testing.TB, n int) []byte {
 		g.MustAdd(tr("extra"+itoa(i), "pextra", "oextra"))
 	}
 	var buf bytes.Buffer
-	if err := g.Save(&buf); err != nil {
+	if err := g.saveV2(&buf); err != nil {
 		t.Fatal(err)
 	}
 	if string(buf.Bytes()[:8]) != snapshotMagicV2 {
@@ -224,6 +224,7 @@ func FuzzBlockDecode(f *testing.F) {
 		r := &blockRun{
 			meta: []blockMeta{{
 				off:   0,
+				plen:  uint32(len(payload)),
 				count: uint32(count),
 				min:   rdf.EncodedTriple{rdf.ID(min0), rdf.ID(min1), rdf.ID(min2)},
 				max:   rdf.EncodedTriple{^rdf.ID(0), ^rdf.ID(0), ^rdf.ID(0)},
@@ -251,7 +252,7 @@ func FuzzSnapshotLoadV2(f *testing.F) {
 	f.Add([]byte(snapshotMagicV2))
 	f.Add(blockSnapshotBytes(f, 120))
 	var empty bytes.Buffer
-	if err := NewGraphWithCodec(CodecBlock).Save(&empty); err != nil {
+	if err := NewGraphWithCodec(CodecBlock).saveV2(&empty); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(empty.Bytes())

@@ -197,7 +197,7 @@ func TestSnapshotCrossCodec(t *testing.T) {
 		}
 		wantMagic := snapshotMagic
 		if src == CodecBlock {
-			wantMagic = snapshotMagicV2
+			wantMagic = snapshotMagicV3
 		}
 		if got := string(buf.Bytes()[:8]); got != wantMagic {
 			t.Fatalf("%v snapshot wrote magic %q, want %q", src, got, wantMagic)

@@ -56,6 +56,21 @@ type Graph struct {
 	countS map[rdf.ID]int
 	countP map[rdf.ID]int
 	countO map[rdf.ID]int
+
+	// storage records how this graph's runs are resident (heap or mmap) and
+	// pages holds the paged snapshot image the runs slice into, when the graph
+	// was loaded from a v3 snapshot. Both are nil/zero for built graphs.
+	storage Storage
+	pages   pageStore
+
+	// pagedPath is the on-disk v3 snapshot this graph was loaded from (or last
+	// checkpointed to), and pagedDirty records whether the graph has logically
+	// diverged from it. While clean, a checkpoint can hard-link the file
+	// instead of re-serializing the runs; any successful mutation dirties it.
+	// Compaction alone does not: it changes the physical layout, not the
+	// triple set, and checkpoints capture logical content.
+	pagedPath  string
+	pagedDirty bool
 }
 
 // Version returns a counter that increases on every successful mutation.
@@ -178,6 +193,7 @@ func (g *Graph) addEncodedLocked(s, p, o rdf.ID) bool {
 	}
 	g.n++
 	g.version++
+	g.pagedDirty = true
 	g.countS[s]++
 	g.countP[p]++
 	g.countO[o]++
@@ -228,6 +244,7 @@ func (g *Graph) deleteLocked(s, p, o rdf.ID) bool {
 	}
 	g.n--
 	g.version++
+	g.pagedDirty = true
 	decOrDelete(g.countS, s)
 	decOrDelete(g.countP, p)
 	decOrDelete(g.countO, o)
@@ -445,22 +462,22 @@ func (g *Graph) SortedTriples() []rdf.Triple {
 	return ts
 }
 
-// Clone returns a deep, independent copy of the graph, including its
-// dictionary. The columnar runs copy with three memcpys (flat) or a meta +
-// payload copy per run (block), so cloning is near-O(n) with no per-triple
-// allocation; materialization clones the base graph to build the expanded
-// graph G+ without mutating G.
+// Clone returns an independent copy of the graph, including its dictionary.
+// The immutable columnar runs are shared by pointer — compaction replaces
+// runs wholesale and never mutates them in place, so sharing is safe and
+// keeps cloning O(overlay + dictionary) instead of O(data). That matters for
+// mmap-backed graphs, where deep-copying the runs would pull the whole file
+// resident; materialization clones the base graph to build the expanded graph
+// G+ without mutating G.
 func (g *Graph) Clone() *Graph {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	c := NewGraph()
 	c.dict = g.dict.Clone()
 	c.codec = g.codec
-	for k := range g.runs {
-		if g.runs[k] != nil {
-			c.runs[k] = g.runs[k].clone()
-		}
-	}
+	c.runs = g.runs
+	c.storage = g.storage
+	c.pages = g.pages
 	maps.Copy(c.adds, g.adds)
 	maps.Copy(c.dels, g.dels)
 	maps.Copy(c.countS, g.countS)
@@ -562,7 +579,30 @@ func (g *Graph) loadEncodedLocked(ts []rdf.EncodedTriple) int {
 	}
 	g.n += len(fresh)
 	g.version += int64(len(fresh))
+	g.pagedDirty = true
 	return len(fresh)
+}
+
+// PagedSource returns the path of the on-disk paged (v3) snapshot whose
+// logical content this graph still matches, if any. The persistence layer
+// uses it to hard-link checkpoints instead of re-serializing unchanged runs.
+func (g *Graph) PagedSource() (string, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if g.pagedPath == "" || g.pagedDirty {
+		return "", false
+	}
+	return g.pagedPath, true
+}
+
+// AdoptPagedSource records that the file at path is a paged snapshot of the
+// graph's current logical content. The loader and the checkpoint writer call
+// it; the path stays valid until the next mutation.
+func (g *Graph) AdoptPagedSource(path string) {
+	g.mu.Lock()
+	g.pagedPath = path
+	g.pagedDirty = false
+	g.mu.Unlock()
 }
 
 // RemoveTriples deletes every listed triple in one batch under a single lock

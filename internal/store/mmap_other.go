@@ -1,0 +1,17 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile is unavailable off unix; LoadFileWith reports the error to the
+// caller, which should fall back to -storage=heap.
+func mmapFile(f *os.File) ([]byte, error) {
+	return nil, fmt.Errorf("store: mmap storage is not supported on this platform")
+}
+
+// munmapFile matches the unix cleanup hook; nothing was ever mapped here.
+func munmapFile(data []byte) {}

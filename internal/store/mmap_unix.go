@@ -1,0 +1,41 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the open file read-only in its entirety. The mapping is
+// shared (file-backed, never written), so every process mapping the same
+// snapshot shares one copy in the page cache.
+func mmapFile(f *os.File) ([]byte, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat snapshot: %w", err)
+	}
+	size := st.Size()
+	if size == 0 {
+		return []byte{}, nil
+	}
+	if size < 0 || size > math.MaxInt {
+		return nil, fmt.Errorf("store: snapshot size %d not mappable", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("store: mmap snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// munmapFile releases a mapping from mmapFile. Only called when a load fails
+// validation — a successfully loaded graph keeps its mapping for the process
+// lifetime (live iterators may reference it indefinitely).
+func munmapFile(data []byte) {
+	if len(data) > 0 {
+		_ = syscall.Munmap(data)
+	}
+}

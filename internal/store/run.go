@@ -20,6 +20,10 @@ type run interface {
 	// (excluding the dictionary), for memory accounting.
 	memBytes() int64
 
+	// mappedBytes returns the bytes of the representation backed by an
+	// mmap'd snapshot region rather than the heap (0 for heap-resident runs).
+	mappedBytes() int64
+
 	// numBlocks returns the number of fixed-size blocks (0 for flat runs).
 	numBlocks() int
 
@@ -145,9 +149,10 @@ func (b *flatBuilder) finish() run { return flatRun(b.keys) }
 // flatRun stores keys as a plain sorted slice.
 type flatRun []rdf.EncodedTriple
 
-func (r flatRun) size() int       { return len(r) }
-func (r flatRun) memBytes() int64 { return int64(len(r)) * int64(3*4) }
-func (r flatRun) numBlocks() int  { return 0 }
+func (r flatRun) size() int          { return len(r) }
+func (r flatRun) memBytes() int64    { return int64(len(r)) * int64(3*4) }
+func (r flatRun) mappedBytes() int64 { return 0 }
+func (r flatRun) numBlocks() int     { return 0 }
 
 func (r flatRun) search(from int, key rdf.EncodedTriple, depth int, upper bool) int {
 	return searchPrefix(r, from, key, depth, upper)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"sofos/internal/rdf"
@@ -36,36 +37,69 @@ import (
 //	  blockCount
 //	    per block: count, min (3 ints), max (3 ints), payloadLen, payload
 //
-// Load sniffs the magic, so either version loads under either process codec:
-// v1 data is re-encoded through the target codec's builder, v2 block data is
-// installed verbatim (block target) or decoded to flat (flat target). Every
-// v2 block is fully decode-validated before the graph is returned — see
+// Load sniffs the magic, so every version loads under either process codec:
+// v1 data is re-encoded through the target codec's builder, v2/v3 block data
+// is installed verbatim (block target) or decoded to flat (flat target).
+// Every v2 block is fully decode-validated before the graph is returned — see
 // blockRun.validate — and the three permutations are cross-checked with an
 // order-independent hash, so a corrupt snapshot fails loudly instead of
-// serving garbage.
+// serving garbage. v3 — the paged, mmap-able layout block graphs save as —
+// lives in paged.go; Save stopped emitting v2 when v3 landed, but v2 inputs
+// load forever.
 const (
 	snapshotMagic   = "SOFOSGR1"
 	snapshotMagicV2 = "SOFOSGR2"
+	snapshotMagicV3 = "SOFOSGR3"
 )
 
-// snapshotWriter bundles the varint helpers Save's sections share.
+// snapshotWriter bundles the varint helpers Save's sections share. When
+// track is set (the v3 writer), every write also advances off and folds into
+// crc, which v3 uses for page alignment and its directory checksum.
 type snapshotWriter struct {
-	bw  *bufio.Writer
-	buf [binary.MaxVarintLen64]byte
+	bw    *bufio.Writer
+	buf   [binary.MaxVarintLen64]byte
+	sbuf  []byte
+	off   int64
+	crc   uint32
+	track bool
+}
+
+func (w *snapshotWriter) writeRaw(p []byte) error {
+	if w.track {
+		w.crc = crc32.Update(w.crc, crc32.IEEETable, p)
+		w.off += int64(len(p))
+	}
+	_, err := w.bw.Write(p)
+	return err
+}
+
+func (w *snapshotWriter) writeByte(b byte) error {
+	if w.track {
+		w.buf[0] = b
+		return w.writeRaw(w.buf[:1])
+	}
+	return w.bw.WriteByte(b)
+}
+
+func (w *snapshotWriter) writeString(s string) error {
+	if w.track {
+		w.sbuf = append(w.sbuf[:0], s...)
+		return w.writeRaw(w.sbuf)
+	}
+	_, err := w.bw.WriteString(s)
+	return err
 }
 
 func (w *snapshotWriter) uvarint(v uint64) error {
 	n := binary.PutUvarint(w.buf[:], v)
-	_, err := w.bw.Write(w.buf[:n])
-	return err
+	return w.writeRaw(w.buf[:n])
 }
 
 func (w *snapshotWriter) str(s string) error {
 	if err := w.uvarint(uint64(len(s))); err != nil {
 		return err
 	}
-	_, err := w.bw.WriteString(s)
-	return err
+	return w.writeString(s)
 }
 
 func (w *snapshotWriter) key(t rdf.EncodedTriple) error {
@@ -84,7 +118,7 @@ func (g *Graph) writeTerms(w *snapshotWriter) error {
 	}
 	var werr error
 	g.dict.EachTerm(func(_ rdf.ID, t rdf.Term) bool {
-		if err := w.bw.WriteByte(byte(t.Kind)); err != nil {
+		if err := w.writeByte(byte(t.Kind)); err != nil {
 			werr = err
 			return false
 		}
@@ -102,20 +136,29 @@ func (g *Graph) writeTerms(w *snapshotWriter) error {
 	return nil
 }
 
-// Save writes the graph snapshot to w: v1 for flat graphs, v2 for block
-// graphs (blocks persisted verbatim).
+// Save writes the graph snapshot to w: v1 for flat graphs, v3 (the paged,
+// mmap-able layout, blocks persisted verbatim) for block graphs.
 func (g *Graph) Save(w io.Writer) error {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	sw := &snapshotWriter{bw: bufio.NewWriterSize(w, 1<<16)}
 	if g.codec.name() == "block" {
-		return g.saveV2Locked(sw)
+		return g.savePagedLocked(w, defaultPageSize)
 	}
+	sw := &snapshotWriter{bw: bufio.NewWriterSize(w, 1<<16)}
 	return g.saveV1Locked(sw)
 }
 
+// saveV2 writes the legacy v2 snapshot. Nothing emits v2 anymore; it exists
+// so compatibility tests can produce v2 inputs against the live writer
+// instead of frozen fixture bytes.
+func (g *Graph) saveV2(w io.Writer) error {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.saveV2Locked(&snapshotWriter{bw: bufio.NewWriterSize(w, 1<<16)})
+}
+
 func (g *Graph) saveV1Locked(w *snapshotWriter) error {
-	if _, err := w.bw.WriteString(snapshotMagic); err != nil {
+	if err := w.writeString(snapshotMagic); err != nil {
 		return fmt.Errorf("store: writing snapshot header: %w", err)
 	}
 	if err := g.writeTerms(w); err != nil {
@@ -134,19 +177,9 @@ func (g *Graph) saveV1Locked(w *snapshotWriter) error {
 	return w.bw.Flush()
 }
 
-func (g *Graph) saveV2Locked(w *snapshotWriter) error {
-	if _, err := w.bw.WriteString(snapshotMagicV2); err != nil {
-		return fmt.Errorf("store: writing snapshot header: %w", err)
-	}
-	if err := w.bw.WriteByte(1); err != nil {
-		return fmt.Errorf("store: writing codec: %w", err)
-	}
-	if err := w.uvarint(blockSize); err != nil {
-		return fmt.Errorf("store: writing block size: %w", err)
-	}
-	if err := g.writeTerms(w); err != nil {
-		return err
-	}
+// writeOverlays writes the delta-overlay sections (adds then dels),
+// SPO-sorted, shared by the v2 and v3 writers.
+func (g *Graph) writeOverlays(w *snapshotWriter) error {
 	for _, overlay := range []map[rdf.EncodedTriple]struct{}{g.adds, g.dels} {
 		keys := make([]rdf.EncodedTriple, 0, len(overlay))
 		for t := range overlay {
@@ -162,17 +195,51 @@ func (g *Graph) saveV2Locked(w *snapshotWriter) error {
 			}
 		}
 	}
+	return nil
+}
+
+// blockRunsLocked returns the graph's permutation runs as blockRuns, with
+// empty stand-ins for never-written indexes, erroring if the graph holds a
+// different run representation.
+func (g *Graph) blockRunsLocked() ([numPerms]*blockRun, error) {
+	var brs [numPerms]*blockRun
 	for k := permKind(0); k < numPerms; k++ {
-		var br *blockRun
 		if g.runs[k] != nil {
-			var ok bool
-			if br, ok = g.runs[k].(*blockRun); !ok {
-				return fmt.Errorf("store: block-codec graph holds a %T run", g.runs[k])
+			br, ok := g.runs[k].(*blockRun)
+			if !ok {
+				return brs, fmt.Errorf("store: block-codec graph holds a %T run", g.runs[k])
 			}
+			brs[k] = br
 		}
-		if br == nil {
-			br = &blockRun{}
+		if brs[k] == nil {
+			brs[k] = &blockRun{}
 		}
+	}
+	return brs, nil
+}
+
+func (g *Graph) saveV2Locked(w *snapshotWriter) error {
+	if err := w.writeString(snapshotMagicV2); err != nil {
+		return fmt.Errorf("store: writing snapshot header: %w", err)
+	}
+	if err := w.writeByte(1); err != nil {
+		return fmt.Errorf("store: writing codec: %w", err)
+	}
+	if err := w.uvarint(blockSize); err != nil {
+		return fmt.Errorf("store: writing block size: %w", err)
+	}
+	if err := g.writeTerms(w); err != nil {
+		return err
+	}
+	if err := g.writeOverlays(w); err != nil {
+		return err
+	}
+	brs, err := g.blockRunsLocked()
+	if err != nil {
+		return err
+	}
+	for k := permKind(0); k < numPerms; k++ {
+		br := brs[k]
 		if err := w.uvarint(uint64(br.n)); err != nil {
 			return fmt.Errorf("store: writing run size: %w", err)
 		}
@@ -193,7 +260,7 @@ func (g *Graph) saveV2Locked(w *snapshotWriter) error {
 			if err := w.uvarint(uint64(len(payload))); err != nil {
 				return fmt.Errorf("store: writing block payload length: %w", err)
 			}
-			if _, err := w.bw.Write(payload); err != nil {
+			if err := w.writeRaw(payload); err != nil {
 				return fmt.Errorf("store: writing block payload: %w", err)
 			}
 		}
@@ -220,13 +287,31 @@ func LoadWithCodec(r io.Reader, c Codec) (*Graph, error) {
 		return loadV1(br, c)
 	case snapshotMagicV2:
 		return loadV2(br, c)
+	case snapshotMagicV3:
+		// A v3 stream read through an io.Reader loads on the heap; LoadFile
+		// is the entry point that can mmap instead.
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading snapshot: %w", err)
+		}
+		full := make([]byte, 0, len(magic)+len(rest))
+		full = append(append(full, magic...), rest...)
+		return loadPagedBytes(full, c, StorageHeap)
 	default:
 		return nil, fmt.Errorf("store: bad snapshot magic %q", magic)
 	}
 }
 
+// byteScanner is the reader the snapshot section decoders consume: both the
+// streaming *bufio.Reader of the v1/v2 loaders and the in-memory
+// *bytes.Reader of the v3 loader satisfy it.
+type byteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
 // readSnapshotString reads one length-prefixed string with a clamped limit.
-func readSnapshotString(br *bufio.Reader) (string, error) {
+func readSnapshotString(br byteScanner) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return "", err
@@ -244,7 +329,7 @@ func readSnapshotString(br *bufio.Reader) (string, error) {
 // readTerms reads the dictionary section into the graph's dict, returning
 // the snapshot-ID -> fresh-dict-ID remap table (index 0 unused) and the term
 // count.
-func readTerms(br *bufio.Reader, g *Graph) ([]rdf.ID, uint64, error) {
+func readTerms(br byteScanner, g *Graph) ([]rdf.ID, uint64, error) {
 	termCount, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, 0, fmt.Errorf("store: reading term count: %w", err)
@@ -355,42 +440,11 @@ func loadV2(br *bufio.Reader, c Codec) (*Graph, error) {
 		}
 	}
 	maxID := rdf.ID(termCount)
-	readOverlay := func(section string) ([]rdf.EncodedTriple, error) {
-		cnt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("store: reading %s count: %w", section, err)
-		}
-		capHint := cnt
-		if capHint > 1<<20 {
-			capHint = 1 << 20
-		}
-		keys := make([]rdf.EncodedTriple, 0, capHint)
-		var prev rdf.EncodedTriple
-		for i := uint64(0); i < cnt; i++ {
-			var t rdf.EncodedTriple
-			for c := 0; c < 3; c++ {
-				v, err := binary.ReadUvarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("store: reading %s entry %d: %w", section, i, err)
-				}
-				if v == 0 || v > uint64(maxID) {
-					return nil, fmt.Errorf("store: %s entry %d references invalid term id %d", section, i, v)
-				}
-				t[c] = rdf.ID(v)
-			}
-			if i > 0 && cmpKeys(prev, t) >= 0 {
-				return nil, fmt.Errorf("store: %s entries not strictly sorted at %d", section, i)
-			}
-			prev = t
-			keys = append(keys, t)
-		}
-		return keys, nil
-	}
-	adds, err := readOverlay("overlay-add")
+	adds, err := readOverlaySection(br, "overlay-add", maxID)
 	if err != nil {
 		return nil, err
 	}
-	dels, err := readOverlay("overlay-del")
+	dels, err := readOverlaySection(br, "overlay-del", maxID)
 	if err != nil {
 		return nil, err
 	}
@@ -468,6 +522,40 @@ func loadV2(br *bufio.Reader, c Codec) (*Graph, error) {
 	return g, nil
 }
 
+// readOverlaySection reads one SPO-sorted delta-overlay section, validating
+// strict ordering and dictionary-range IDs. Shared by the v2 and v3 loaders.
+func readOverlaySection(br byteScanner, section string, maxID rdf.ID) ([]rdf.EncodedTriple, error) {
+	cnt, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s count: %w", section, err)
+	}
+	capHint := cnt
+	if capHint > 1<<20 {
+		capHint = 1 << 20
+	}
+	keys := make([]rdf.EncodedTriple, 0, capHint)
+	var prev rdf.EncodedTriple
+	for i := uint64(0); i < cnt; i++ {
+		var t rdf.EncodedTriple
+		for c := 0; c < 3; c++ {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("store: reading %s entry %d: %w", section, i, err)
+			}
+			if v == 0 || v > uint64(maxID) {
+				return nil, fmt.Errorf("store: %s entry %d references invalid term id %d", section, i, v)
+			}
+			t[c] = rdf.ID(v)
+		}
+		if i > 0 && cmpKeys(prev, t) >= 0 {
+			return nil, fmt.Errorf("store: %s entries not strictly sorted at %d", section, i)
+		}
+		prev = t
+		keys = append(keys, t)
+	}
+	return keys, nil
+}
+
 // readBlockRun reads one permutation's block list. Structural validation
 // beyond what bounds the allocations happens afterwards in
 // blockRun.validate, which fully decodes every block.
@@ -537,6 +625,7 @@ func readBlockRun(br *bufio.Reader) (*blockRun, error) {
 			return nil, fmt.Errorf("reading block %d payload: %w", bi, err)
 		}
 		r.data = r.data[:len(r.data)+int(payloadLen)]
+		m.plen = uint32(payloadLen)
 		r.meta = append(r.meta, m)
 		start += int(count)
 	}

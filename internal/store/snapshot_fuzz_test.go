@@ -9,14 +9,22 @@ import (
 	"sofos/internal/rdf"
 )
 
-// snapshotBytes serializes a small deterministic graph.
+// snapshotBytes serializes a small deterministic graph as a paged (v3)
+// snapshot. The minimum page size keeps the file a few KiB so the exhaustive
+// every-prefix and bit-flip sweeps stay fast; production-sized pages are
+// covered by the round-trip and differential tests.
 func snapshotBytes(t testing.TB) []byte {
 	t.Helper()
-	g := randomGraph(rand.New(rand.NewSource(99)), 40)
+	g := NewGraphWithCodec(CodecBlock)
+	base := randomGraph(rand.New(rand.NewSource(99)), 40).Triples()
+	if _, err := g.LoadTriples(base); err != nil {
+		t.Fatal(err)
+	}
 	g.MustAdd(rdf.Triple{S: iri("s"), P: iri("p"), O: rdf.NewLangLiteral("héllo", "fr")})
 	g.MustAdd(rdf.Triple{S: rdf.NewBlank("b"), P: iri("p"), O: rdf.NewTypedLiteral("2.5", rdf.XSDDouble)})
+	g.Remove(base[0]) // one run tombstone, so every overlay section is non-empty
 	var buf bytes.Buffer
-	if err := g.Save(&buf); err != nil {
+	if err := g.SavePaged(&buf, minPageSize); err != nil {
 		t.Fatal(err)
 	}
 	return buf.Bytes()
@@ -94,7 +102,7 @@ func FuzzSnapshotLoad(f *testing.F) {
 	f.Add([]byte(snapshotMagic))
 	f.Add(snapshotBytes(f))
 	var empty bytes.Buffer
-	if err := NewGraph().Save(&empty); err != nil {
+	if err := NewGraphWithCodec(CodecBlock).SavePaged(&empty, minPageSize); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(empty.Bytes())

@@ -140,9 +140,10 @@ func (g *Graph) EstimatedBytes() int64 {
 
 // IndexMemStats is the resident footprint of one permutation index.
 type IndexMemStats struct {
-	Keys   int   `json:"keys"`             // triples stored in the run
-	Blocks int   `json:"blocks,omitempty"` // compressed blocks (0 for flat)
-	Bytes  int64 `json:"bytes"`            // resident bytes of the run encoding
+	Keys   int   `json:"keys"`                   // triples stored in the run
+	Blocks int   `json:"blocks,omitempty"`       // compressed blocks (0 for flat)
+	Bytes  int64 `json:"bytes"`                  // heap-resident bytes of the run encoding
+	Mapped int64 `json:"mapped_bytes,omitempty"` // mmap-backed payload bytes
 }
 
 // MemStats reports the actual resident bytes of the graph's storage, broken
@@ -152,15 +153,19 @@ type IndexMemStats struct {
 // encoding, so the block codec's compression win is observable in /stats.
 type MemStats struct {
 	Codec       string        `json:"codec"`
+	Storage     string        `json:"storage"` // heap | mmap
 	Triples     int           `json:"triples"`
+	Pages       int           `json:"pages,omitempty"`     // paged-snapshot pages backing the runs
+	PageSize    int           `json:"page_size,omitempty"` // bytes per page
 	SPO         IndexMemStats `json:"spo"`
 	POS         IndexMemStats `json:"pos"`
 	OSP         IndexMemStats `json:"osp"`
 	OverlayAdds int           `json:"overlay_adds"`
 	OverlayDels int           `json:"overlay_dels"`
 	DictBytes   int64         `json:"dict_bytes"`
-	IndexBytes  int64         `json:"index_bytes"` // SPO+POS+OSP+overlay
-	TotalBytes  int64         `json:"total_bytes"` // IndexBytes + DictBytes
+	IndexBytes  int64         `json:"index_bytes"`  // SPO+POS+OSP+overlay, heap-resident
+	MappedBytes int64         `json:"mapped_bytes"` // mmap-backed snapshot bytes (not heap)
+	TotalBytes  int64         `json:"total_bytes"`  // IndexBytes + DictBytes
 }
 
 // MemStats measures the graph's current resident storage footprint.
@@ -169,9 +174,15 @@ func (g *Graph) MemStats() MemStats {
 	defer g.mu.RUnlock()
 	ms := MemStats{
 		Codec:       g.codec.name(),
+		Storage:     g.storage.String(),
 		Triples:     g.n,
 		OverlayAdds: len(g.adds),
 		OverlayDels: len(g.dels),
+	}
+	if g.pages != nil {
+		ms.Pages = g.pages.pages()
+		ms.PageSize = g.pages.pageSize()
+		ms.MappedBytes = g.pages.mappedBytes()
 	}
 	perms := [numPerms]*IndexMemStats{&ms.SPO, &ms.POS, &ms.OSP}
 	for k := permKind(0); k < numPerms; k++ {
@@ -179,6 +190,7 @@ func (g *Graph) MemStats() MemStats {
 			perms[k].Keys = r.size()
 			perms[k].Blocks = r.numBlocks()
 			perms[k].Bytes = r.memBytes()
+			perms[k].Mapped = r.mappedBytes()
 		}
 		ms.IndexBytes += perms[k].Bytes
 	}
