@@ -1,9 +1,10 @@
 // Command sofos-smoke drives a primary/replica pair through the typed Go
-// client (internal/client) for CI smoke checks. Three subcommands:
+// client (internal/client) for CI smoke checks. Four subcommands:
 //
 //	sofos-smoke write   -primary URL -n 40 [-interval 25ms]
 //	sofos-smoke rw      -primary URL -replica URL -n 20 -query-file wl.sparql
 //	sofos-smoke catchup -primary URL -replica URL -query-file wl.sparql [-timeout 30s]
+//	sofos-smoke mixed   -primary URL -replica URL -n 12 -readers 4 -max-block 100ms -query-file wl.sparql
 //
 // "write" replays a write-only workload against the primary. "rw" is the
 // read-your-writes probe: after every write it carries the writer's
@@ -11,7 +12,14 @@
 // answer older than the floor, or any answer whose rows differ from the
 // primary's at the same floor — zero staleness violations is the pass bar.
 // "catchup" waits until the replica reports the primary's exact generation
-// with zero lag, then requires bit-identical answers from both.
+// with zero lag, then requires bit-identical answers from both. "mixed" is
+// the MVCC serving probe: reader goroutines hammer the primary and the
+// replica while a writer commits multi-statement eager transactions; it
+// fails on any staleness violation (a stale view after an eager commit, a
+// generation moving backwards on either target, or a primary/replica
+// divergence once caught up) and on any read that spent longer than
+// -max-block while a refresh was in flight — published snapshots must keep
+// serving, un-stalled, mid-maintenance.
 package main
 
 import (
@@ -20,6 +28,8 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"sofos/internal/api"
@@ -39,8 +49,10 @@ type opts struct {
 	primary   string
 	replica   string
 	n         int
+	readers   int
 	interval  time.Duration
 	timeout   time.Duration
+	maxBlock  time.Duration
 	query     string
 	queryFile string
 }
@@ -55,17 +67,19 @@ func parseArgs(args []string) (*opts, error) {
 	fs.StringVar(&o.primary, "primary", "", "primary base URL (required)")
 	fs.StringVar(&o.replica, "replica", "", "replica base URL")
 	fs.IntVar(&o.n, "n", 20, "operations to run")
+	fs.IntVar(&o.readers, "readers", 4, "concurrent reader goroutines (mixed)")
 	fs.DurationVar(&o.interval, "interval", 0, "pause between writes")
 	fs.DurationVar(&o.timeout, "timeout", 30*time.Second, "catch-up deadline")
+	fs.DurationVar(&o.maxBlock, "max-block", 100*time.Millisecond, "slowest read tolerated while a refresh is in flight (mixed)")
 	fs.StringVar(&o.query, "query", "", "probe query text")
 	fs.StringVar(&o.queryFile, "query-file", "", "file holding probe queries ('---'-separated; the first is used)")
 	if err := fs.Parse(args[1:]); err != nil {
 		return nil, err
 	}
 	switch o.mode {
-	case "write", "rw", "catchup":
+	case "write", "rw", "catchup", "mixed":
 	default:
-		return nil, fmt.Errorf("unknown subcommand %q (want write, rw, or catchup)", o.mode)
+		return nil, fmt.Errorf("unknown subcommand %q (want write, rw, catchup, or mixed)", o.mode)
 	}
 	if o.primary == "" {
 		return nil, fmt.Errorf("-primary is required")
@@ -97,6 +111,8 @@ func run(args []string) error {
 		return runWrite(ctx, o)
 	case "rw":
 		return runRW(ctx, o)
+	case "mixed":
+		return runMixed(ctx, o)
 	default:
 		return runCatchup(ctx, o)
 	}
@@ -198,5 +214,167 @@ func runCatchup(ctx context.Context, o *opts) error {
 		return fmt.Errorf("answers diverge after catch-up: primary %v, replica %v", want.Rows, got.Rows)
 	}
 	fmt.Println("catchup: answers are identical")
+	return nil
+}
+
+// mixedTarget is one endpoint the mixed readers probe.
+type mixedTarget struct {
+	name string
+	cl   *client.Client
+}
+
+// runMixed storms the pair: -readers goroutines alternate between the
+// primary and the replica while the main loop commits n two-statement
+// eager transactions against the primary. Every read is timed; a read that
+// ran entirely inside a refresh-in-flight window and still took longer than
+// -max-block is a blocking violation (pre-MVCC, readers waited out the
+// whole apply+refresh under the write lock). Staleness bars: eager commits
+// must report nothing stale, observed generations must be monotone per
+// target, and once the replica catches up to the writer's final generation
+// its answer must match the primary's bit-identically.
+func runMixed(ctx context.Context, o *opts) error {
+	writer := client.New(o.primary, nil)
+	targets := []*mixedTarget{
+		{name: "primary", cl: client.New(o.primary, nil)},
+		{name: "replica", cl: client.New(o.replica, nil)},
+	}
+
+	var refreshing atomic.Bool // set around each eager update round-trip
+	var violations atomic.Int64
+	var reads atomic.Int64
+	var slowest atomic.Int64 // slowest in-flight-window read, ns
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < o.readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			// prevGen is this reader's session floor per target: each read
+			// starts after the previous response, so on a snapshot chain it
+			// must observe a generation at least as new. (A global floor
+			// would race: overlapping reads from different goroutines can
+			// legitimately complete out of generation order.)
+			prevGen := make([]int64, len(targets))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ti := (r + i) % len(targets)
+				t := targets[ti]
+				inFlight := refreshing.Load()
+				start := time.Now()
+				got, err := t.cl.Query(ctx, api.QueryRequest{Query: o.query})
+				took := time.Since(start)
+				inFlight = inFlight && refreshing.Load()
+				if err != nil {
+					violations.Add(1)
+					fmt.Printf("VIOLATION reader %d: %s read failed mid-storm: %v\n", r, t.name, err)
+					return
+				}
+				reads.Add(1)
+				if got.Generation < prevGen[ti] {
+					violations.Add(1)
+					fmt.Printf("VIOLATION reader %d: %s generation went backwards (%d after %d)\n",
+						r, t.name, got.Generation, prevGen[ti])
+				} else {
+					prevGen[ti] = got.Generation
+				}
+				if inFlight {
+					for {
+						cur := slowest.Load()
+						if int64(took) <= cur || slowest.CompareAndSwap(cur, int64(took)) {
+							break
+						}
+					}
+					if took > o.maxBlock {
+						violations.Add(1)
+						fmt.Printf("VIOLATION reader %d: %s read took %v with a refresh in flight (max %v)\n",
+							r, t.name, took, o.maxBlock)
+					}
+				}
+			}
+		}(r)
+	}
+
+	// Writer: n two-statement eager transactions — the heaviest write path
+	// (multi-batch apply plus view refresh inside one commit). The nonce
+	// keeps triples unique across smoke invocations: re-inserting an
+	// existing triple is a no-op the server (correctly) refuses to spend a
+	// generation on, which would fail the bump check below.
+	nonce := time.Now().UnixNano()
+	mixedTriple := func(i int) string {
+		return fmt.Sprintf("<http://smoke.test/mixed%d-w%d> <http://smoke.test/p> <http://smoke.test/o%d> .\n", nonce, i, i)
+	}
+	lastGen := int64(0)
+	for i := 0; i < o.n; i++ {
+		req := api.UpdateRequest{
+			Statements: []api.UpdateStatement{
+				{Insert: mixedTriple(2 * i)},
+				{Insert: mixedTriple(2*i + 1)},
+			},
+			Maintain: "eager",
+		}
+		refreshing.Store(true)
+		up, err := writer.Update(ctx, req)
+		refreshing.Store(false)
+		if err != nil {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("eager transaction %d: %w", i, err)
+		}
+		if up.Statements != 2 || up.Inserted != 2 {
+			violations.Add(1)
+			fmt.Printf("VIOLATION writer: transaction %d applied %d statements, %d inserts (want 2, 2)\n",
+				i, up.Statements, up.Inserted)
+		}
+		if up.Stale != 0 {
+			violations.Add(1)
+			fmt.Printf("VIOLATION writer: eager transaction %d left %d views stale\n", i, up.Stale)
+		}
+		if up.Generation <= lastGen {
+			violations.Add(1)
+			fmt.Printf("VIOLATION writer: transaction %d committed at generation %d, after %d\n",
+				i, up.Generation, lastGen)
+		}
+		lastGen = up.Generation
+		if o.interval > 0 {
+			time.Sleep(o.interval)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Convergence: the replica must reach the writer's final generation and
+	// then answer exactly as the primary does.
+	deadline := time.Now().Add(o.timeout)
+	for {
+		rh, err := targets[1].cl.Health(ctx)
+		if err == nil && rh.Generation >= lastGen {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica never reached generation %d", lastGen)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	want, err := targets[0].cl.Query(ctx, api.QueryRequest{Query: o.query})
+	if err != nil {
+		return fmt.Errorf("primary read after storm: %w", err)
+	}
+	got, err := targets[1].cl.Query(ctx, api.QueryRequest{Query: o.query})
+	if err != nil {
+		return fmt.Errorf("replica read after storm: %w", err)
+	}
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		violations.Add(1)
+		fmt.Printf("VIOLATION: primary and replica answers diverge after the storm\n")
+	}
+	if v := violations.Load(); v > 0 {
+		return fmt.Errorf("%d violations across %d reads", v, reads.Load())
+	}
+	fmt.Printf("mixed: %d eager transactions, %d reads across primary+replica, zero violations (slowest in-refresh read %v)\n",
+		o.n, reads.Load(), time.Duration(slowest.Load()))
 	return nil
 }

@@ -94,9 +94,15 @@ type QueryResponse struct {
 // into and delete from the base graph, the view-maintenance mode, and the
 // acknowledgement level.
 type UpdateRequest struct {
-	Insert   string `json:"insert,omitempty"`   // N-Triples text
-	Delete   string `json:"delete,omitempty"`   // N-Triples text
-	Maintain string `json:"maintain,omitempty"` // "", "lazy", or "eager"
+	Insert string `json:"insert,omitempty"` // N-Triples text
+	Delete string `json:"delete,omitempty"` // N-Triples text
+	// Statements is the multi-statement transaction form: several
+	// insert/delete batches applied in order and committed atomically —
+	// one WAL record, one generation bump, and readers observe either
+	// none or all of them. Mutually exclusive with the top-level
+	// Insert/Delete shorthand.
+	Statements []UpdateStatement `json:"statements,omitempty"`
+	Maintain   string            `json:"maintain,omitempty"` // "", "lazy", or "eager"
 	// Ack picks when the batch is acknowledged: "" or "local" acknowledges
 	// once the write-ahead log has it (fsync under -wal-sync=always);
 	// "replicas:N" additionally waits until N replicas report the batch
@@ -104,10 +110,18 @@ type UpdateRequest struct {
 	Ack string `json:"ack,omitempty"`
 }
 
+// UpdateStatement is one insert/delete batch inside a multi-statement
+// /v1/update transaction.
+type UpdateStatement struct {
+	Insert string `json:"insert,omitempty"` // N-Triples text
+	Delete string `json:"delete,omitempty"` // N-Triples text
+}
+
 // UpdateResponse reports what one batch changed.
 type UpdateResponse struct {
 	Inserted     int    `json:"inserted"`              // triples actually new
 	Deleted      int    `json:"deleted"`               // triples actually removed
+	Statements   int    `json:"statements,omitempty"`  // statements in the transaction (multi-statement form)
 	Stale        int    `json:"stale"`                 // materialized views still stale
 	Refreshed    int    `json:"refreshed,omitempty"`   // views refreshed (maintain=eager)
 	Incremental  int    `json:"incremental,omitempty"` // of those, via the delta path

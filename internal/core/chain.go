@@ -1,0 +1,132 @@
+package core
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// GenerationState is one published, immutable point in the snapshot chain:
+// a system whose catalog no writer will ever touch again, plus the identity
+// of the state memoized at publish time so the read path never recomputes
+// it. Readers load one GenerationState per request and use it throughout —
+// every field is consistent with every other by construction.
+type GenerationState struct {
+	Sys *System
+
+	// Generation and ViewSetHash identify the catalog state; CacheKeyPrefix
+	// is the "<generation>|<view-set hash>|" result-cache prefix derived from
+	// them, precomputed here so the hot read path does one pointer load and
+	// a string concat instead of hashing the view set per request.
+	Generation     int64
+	ViewSetHash    uint64
+	CacheKeyPrefix string
+}
+
+// newGenerationState snapshots a system's identity at publish time.
+func newGenerationState(sys *System) *GenerationState {
+	gen := sys.Generation()
+	vh := sys.ViewSetHash()
+	return &GenerationState{
+		Sys:            sys,
+		Generation:     gen,
+		ViewSetHash:    vh,
+		CacheKeyPrefix: strconv.FormatInt(gen, 10) + "|" + strconv.FormatUint(vh, 16) + "|",
+	}
+}
+
+// Chain is the snapshot-chain MVCC coordination point: an atomic pointer to
+// the current GenerationState that readers load wait-free, and a writer
+// mutex that serializes generation preparation. Readers never touch the
+// mutex — a reader that loaded the pointer keeps answering against its
+// snapshot even while a writer prepares and publishes the next one.
+//
+// Writer protocol: Begin forks the current state (O(overlay), sharing every
+// immutable run with the published snapshot), the caller mutates the fork —
+// applies batches, commits eager refreshes, appends to the WAL — and Commit
+// publishes it with one atomic store. Abort discards the fork; the published
+// chain never observes it. Exclusive runs a non-forking critical section
+// (checkpoints) under the same writer mutex, so snapshots and WAL rotation
+// cannot interleave with a half-prepared generation.
+type Chain struct {
+	cur atomic.Pointer[GenerationState]
+	mu  sync.Mutex // serializes writers; readers never acquire it
+}
+
+// NewChain starts a chain at sys.
+func NewChain(sys *System) *Chain {
+	c := &Chain{}
+	c.cur.Store(newGenerationState(sys))
+	return c
+}
+
+// Load returns the current published state. Wait-free; the result is
+// immutable and remains answerable forever (it pins its runs via GC).
+func (c *Chain) Load() *GenerationState { return c.cur.Load() }
+
+// Txn is one in-flight writer transaction: a private fork of the published
+// system. Mutate Sys freely, then Commit or Abort exactly once.
+type Txn struct {
+	// Sys is the pending next generation — a copy-on-write fork no reader
+	// can observe until Commit.
+	Sys *System
+
+	// Base is the state the fork was taken from (what readers currently see).
+	Base *GenerationState
+
+	chain *Chain
+	done  bool
+}
+
+// Begin locks out other writers and forks the published state. The caller
+// MUST end the transaction with Commit or Abort; until then every other
+// writer blocks (readers are unaffected).
+func (c *Chain) Begin() *Txn {
+	c.mu.Lock()
+	base := c.cur.Load()
+	return &Txn{Sys: base.Sys.Fork(), Base: base, chain: c}
+}
+
+// Commit publishes the transaction's system as the new current state and
+// releases the writer mutex. The single atomic store is the only
+// synchronization readers ever see: a request observes either the old
+// complete state or the new complete state, never a mixture.
+func (t *Txn) Commit() *GenerationState {
+	if t.done {
+		panic("core: transaction already ended")
+	}
+	t.done = true
+	st := newGenerationState(t.Sys)
+	t.chain.cur.Store(st)
+	t.chain.mu.Unlock()
+	return st
+}
+
+// Abort discards the fork and releases the writer mutex; the published
+// state is untouched (readers never saw the fork, so there is nothing to
+// roll back).
+func (t *Txn) Abort() {
+	if t.done {
+		panic("core: transaction already ended")
+	}
+	t.done = true
+	t.chain.mu.Unlock()
+}
+
+// Reset atomically replaces the chain with a freshly built system — the
+// replica re-bootstrap path, where the incoming state does not descend from
+// the published one. Serializes with writers like any other mutation.
+func (c *Chain) Reset(sys *System) {
+	c.mu.Lock()
+	c.cur.Store(newGenerationState(sys))
+	c.mu.Unlock()
+}
+
+// Exclusive runs f on the current state while holding the writer mutex —
+// no fork, no publish. Checkpoints use it: the state cannot move and the
+// WAL cannot be appended to mid-snapshot, while readers keep answering.
+func (c *Chain) Exclusive(f func(*GenerationState) error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return f(c.cur.Load())
+}

@@ -74,6 +74,33 @@ func NewWithOptions(g *store.Graph, f *facet.Facet, opts Options) (*System, erro
 	}, nil
 }
 
+// Fork returns a mutable copy-on-write copy of the system for preparing the
+// next MVCC generation off to the side. The fork shares every immutable
+// substrate with the original — sorted permutation runs, page store, and the
+// (internally synchronized, append-only) term dictionary — and copies only
+// the mutable overlays, so forking is O(delta) rather than O(graph). Mutating
+// the fork never perturbs answers computed against the original; publishing
+// it is the caller's atomic pointer swap (see Chain).
+func (s *System) Fork() *System {
+	cat := s.Catalog.Fork()
+	ns := &System{
+		Graph:    cat.Base(),
+		Facet:    s.Facet,
+		Lattice:  s.Lattice,
+		Catalog:  cat,
+		Rewriter: rewrite.New(cat),
+		Workers:  s.Workers,
+	}
+	// The lattice statistics are a function of the base graph content; carry
+	// the memo only when no writer can have changed what it describes — and
+	// since forks exist to be mutated, recomputing lazily on demand is the
+	// safe default. Carrying the pointer is still correct for read-only forks.
+	s.providerMu.Lock()
+	ns.provider = s.provider
+	s.providerMu.Unlock()
+	return ns
+}
+
 // Provider computes (once) and returns the full-lattice statistics: every
 // view's group/triple/node counts. This is the demo's "Full Lattice"
 // exploration step and the substrate of the analytic cost models.

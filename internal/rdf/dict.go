@@ -1,6 +1,9 @@
 package rdf
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ID is a dense dictionary identifier for a term. ID 0 is reserved and never
 // assigned, so it can be used as a "no term" sentinel by callers.
@@ -14,8 +17,13 @@ const NoID ID = 0
 // triple indexes and bindings operate on IDs, and terms are only materialized
 // at the edges (parsing and result rendering).
 //
-// Dict is not safe for concurrent mutation; the store serializes access.
+// Dict is safe for concurrent use. The dictionary is append-only — IDs are
+// never reassigned or removed — which lets a published graph snapshot and the
+// writable fork preparing the next generation share one dictionary: readers
+// resolving IDs of the published snapshot can never observe an inconsistent
+// entry, only interleave with the writer appending fresh terms.
 type Dict struct {
+	mu     sync.RWMutex
 	byTerm map[Term]ID
 	terms  []Term // terms[i] corresponds to ID(i+1)
 }
@@ -27,24 +35,36 @@ func NewDict() *Dict {
 
 // Intern returns the ID for the term, assigning a fresh one if needed.
 func (d *Dict) Intern(t Term) ID {
+	d.mu.RLock()
+	id, ok := d.byTerm[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if id, ok := d.byTerm[t]; ok {
 		return id
 	}
 	d.terms = append(d.terms, t)
-	id := ID(len(d.terms))
+	id = ID(len(d.terms))
 	d.byTerm[t] = id
 	return id
 }
 
 // Lookup returns the ID of a term if it has been interned.
 func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
 	id, ok := d.byTerm[t]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // Term resolves an ID back to its term. It panics on the sentinel or an
 // out-of-range ID, which always indicates a programming error.
 func (d *Dict) Term(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if id == NoID || int(id) > len(d.terms) {
 		panic(fmt.Sprintf("rdf: dictionary lookup of invalid id %d (size %d)", id, len(d.terms)))
 	}
@@ -52,11 +72,17 @@ func (d *Dict) Term(id ID) Term {
 }
 
 // Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // Clone returns an independent copy of the dictionary. The expanded graph G+
 // uses this so materialization does not mutate the base graph's dictionary.
 func (d *Dict) Clone() *Dict {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	c := &Dict{
 		byTerm: make(map[Term]ID, len(d.byTerm)),
 		terms:  make([]Term, len(d.terms)),
@@ -68,8 +94,11 @@ func (d *Dict) Clone() *Dict {
 	return c
 }
 
-// EachTerm calls fn for every interned (id, term) pair in ID order.
+// EachTerm calls fn for every interned (id, term) pair in ID order. fn must
+// not mutate the dictionary.
 func (d *Dict) EachTerm(fn func(ID, Term) bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for i, t := range d.terms {
 		if !fn(ID(i+1), t) {
 			return

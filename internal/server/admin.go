@@ -14,22 +14,25 @@ import (
 	"sofos/internal/facet"
 	"sofos/internal/persist"
 	"sofos/internal/rdf"
+	"sofos/internal/store"
 )
 
-// handleUpdate applies one batched write through the catalog so base graph
-// and G+ stay consistent, materialized views turn stale, and the batch's
-// effective delta is captured for incremental maintenance. The whole batch
-// commits under one write-lock acquisition, so concurrent queries see either
-// none or all of it. The catalog's ApplyUpdate validates the whole insert
-// batch before touching anything, so a non-200 response from the apply step
-// means nothing was applied. The one exception is maintain=eager: a refresh
-// failure returns 500 *after* the batch has committed — the error body
-// states what was applied so clients do not re-send it.
+// handleUpdate applies one write transaction through the catalog so base
+// graph and G+ stay consistent, materialized views turn stale, and each
+// statement's effective delta is captured for incremental maintenance. The
+// body is either the single-statement shorthand (top-level insert/delete) or
+// a multi-statement transaction ("statements": several batches applied in
+// order). Either way the transaction is prepared on a private fork of the
+// published state and made visible with one atomic publish: concurrent
+// queries see none or all of it — including maintain=eager refreshes, which
+// commit in the same publish. Every statement is parsed before anything is
+// applied, and any failure (parse, apply, eager refresh) aborts the fork, so
+// a non-200 response always means nothing was applied.
 //
-// Acknowledgement levels: "" or "local" acknowledges once the batch reached
-// the write-ahead log (the durability point); "replicas:N" additionally
-// waits — after releasing the write lock, so replication itself is never
-// stalled by the wait — until N replicas report the batch applied.
+// Acknowledgement levels: "" or "local" acknowledges once the transaction
+// reached the write-ahead log (the durability point); "replicas:N"
+// additionally waits — after publishing, so replication itself is never
+// stalled by the wait — until N replicas report the transaction applied.
 func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	if s.rejectReplicaWrite(w) {
 		return
@@ -53,22 +56,12 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
-	inserts, err := parseTriples(req.Insert)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, api.CodeParseError, "insert: %v", err)
-		return
-	}
-	deletes, err := parseTriples(req.Delete)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, api.CodeParseError, "delete: %v", err)
-		return
-	}
-	if len(inserts) == 0 && len(deletes) == 0 {
-		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "empty update batch")
+	stmts, ok := parseStatements(w, &req)
+	if !ok {
 		return
 	}
 
-	resp, toVersion, ok := s.commitUpdate(w, &req, inserts, deletes)
+	resp, toVersion, ok := s.commitUpdate(w, &req, stmts)
 	if !ok {
 		return
 	}
@@ -110,99 +103,194 @@ func parseAckLevel(level string) (int, error) {
 	}
 }
 
-// commitUpdate is handleUpdate's write critical section: apply the batch,
-// run eager maintenance if asked, and reach the local durability point. It
-// reports whether the caller may proceed to acknowledgement (on false the
-// error response has been written) plus the batch's end version, which is
-// what replica acknowledgements are counted against.
-func (s *Server) commitUpdate(w http.ResponseWriter, req *api.UpdateRequest, inserts, deletes []rdf.Triple) (*api.UpdateResponse, int64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	sys := s.system()
-	// An earlier batch committed in memory but never reached the WAL: until
-	// a checkpoint captures it, logging any further batch would write a
-	// version interval recovery cannot chain to (it would replay onto a
-	// graph missing the unlogged batch). Heal by checkpointing first, or
-	// refuse before applying anything.
+// updateStatement is one parsed statement of an update transaction.
+type updateStatement struct {
+	inserts, deletes []rdf.Triple
+}
+
+// parseStatements resolves an UpdateRequest body to its parsed statements —
+// the multi-statement transaction form, or the single-statement shorthand.
+// Everything is parsed before anything is applied; on false the error
+// response has been written.
+func parseStatements(w http.ResponseWriter, req *api.UpdateRequest) ([]updateStatement, bool) {
+	if len(req.Statements) > 0 {
+		if req.Insert != "" || req.Delete != "" {
+			httpError(w, http.StatusBadRequest, api.CodeBadRequest,
+				"use either the top-level insert/delete shorthand or statements, not both")
+			return nil, false
+		}
+		stmts := make([]updateStatement, 0, len(req.Statements))
+		for i, st := range req.Statements {
+			ins, err := parseTriples(st.Insert)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, api.CodeParseError, "statement %d insert: %v", i+1, err)
+				return nil, false
+			}
+			del, err := parseTriples(st.Delete)
+			if err != nil {
+				httpError(w, http.StatusBadRequest, api.CodeParseError, "statement %d delete: %v", i+1, err)
+				return nil, false
+			}
+			if len(ins) == 0 && len(del) == 0 {
+				httpError(w, http.StatusBadRequest, api.CodeBadRequest, "statement %d is empty", i+1)
+				return nil, false
+			}
+			stmts = append(stmts, updateStatement{inserts: ins, deletes: del})
+		}
+		return stmts, true
+	}
+	inserts, err := parseTriples(req.Insert)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeParseError, "insert: %v", err)
+		return nil, false
+	}
+	deletes, err := parseTriples(req.Delete)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, api.CodeParseError, "delete: %v", err)
+		return nil, false
+	}
+	if len(inserts) == 0 && len(deletes) == 0 {
+		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "empty update batch")
+		return nil, false
+	}
+	return []updateStatement{{inserts: inserts, deletes: deletes}}, true
+}
+
+// commitUpdate is handleUpdate's writer transaction: fork the published
+// state, apply every statement, run eager maintenance if asked, reach the
+// local durability point, and publish. Readers are never blocked — they keep
+// answering against the old snapshot until the atomic publish. It reports
+// whether the caller may proceed to acknowledgement (on false the error
+// response has been written and nothing was applied) plus the transaction's
+// end version, which is what replica acknowledgements are counted against.
+func (s *Server) commitUpdate(w http.ResponseWriter, req *api.UpdateRequest, stmts []updateStatement) (*api.UpdateResponse, int64, bool) {
+	// An earlier transaction committed in memory but never reached the WAL:
+	// until a checkpoint captures it, logging any further transaction would
+	// write a version interval recovery cannot chain to (it would replay
+	// onto a graph missing the unlogged one). Heal by checkpointing first,
+	// or refuse before applying anything.
 	if s.dur != nil && s.walGap.Load() {
-		if _, err := s.checkpointLocked(); err != nil {
+		err := s.chain.Exclusive(func(st *core.GenerationState) error {
+			_, cperr := s.checkpointState(st.Sys)
+			return cperr
+		})
+		if err != nil {
 			httpError(w, http.StatusServiceUnavailable, api.CodeUnavailable,
 				"write-ahead log has an unhealed gap and checkpointing failed: %v; update refused (nothing applied)", err)
 			return nil, 0, false
 		}
 		s.walGap.Store(false)
 	}
-	d, err := sys.Catalog.ApplyUpdate(inserts, deletes)
-	if err != nil {
-		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "applying batch: %v", err)
-		return nil, 0, false
+
+	txn := s.chain.Begin()
+	baseGen := txn.Base.Generation
+	resp := &api.UpdateResponse{}
+	if len(stmts) > 1 {
+		resp.Statements = len(stmts)
 	}
-	resp := &api.UpdateResponse{Inserted: len(d.Inserted), Deleted: len(d.Deleted)}
-	var refreshErr error
-	if req.Maintain == "eager" {
-		plan, err := sys.Catalog.PlanRefresh(sys.Workers)
+	// Apply statement by statement (rather than as one merged batch) so the
+	// catalog's delta log records each statement's precise effective delta —
+	// what keeps the eager refresh below on the O(|ΔG|) incremental path.
+	deltas := make([]store.Delta, 0, len(stmts))
+	for i, st := range stmts {
+		d, err := txn.Sys.Catalog.ApplyUpdate(st.inserts, st.deletes)
 		if err != nil {
-			refreshErr = fmt.Errorf(
-				"batch applied (%d inserted, %d deleted) but eager refresh failed to plan: %v",
-				resp.Inserted, resp.Deleted, err)
-		} else {
-			if plan != nil {
-				resp.Incremental = plan.Incremental()
-			}
-			n, err := sys.Catalog.CommitRefresh(plan)
-			if err != nil {
-				refreshErr = fmt.Errorf(
-					"batch applied (%d inserted, %d deleted) and %d views refreshed, then eager refresh failed: %v",
-					resp.Inserted, resp.Deleted, n, err)
+			txn.Abort()
+			if len(stmts) > 1 {
+				httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError,
+					"statement %d: applying batch: %v (transaction aborted, nothing applied)", i+1, err)
 			} else {
-				resp.Refreshed = n
+				httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "applying batch: %v", err)
 			}
+			return nil, 0, false
 		}
+		resp.Inserted += len(d.Inserted)
+		resp.Deleted += len(d.Deleted)
+		deltas = append(deltas, d)
 	}
-	// Durability point: the committed batch reaches the write-ahead log —
-	// under -wal-sync=always, stable storage — before any acknowledgement,
-	// including the post-commit refresh-failure 500s (those tell the client
-	// the batch applied, so it must survive a crash too). The recorded
-	// generation is the one the client will see; replay reinstates it
-	// exactly.
-	if s.dur != nil && d.FromVersion != d.ToVersion {
+	if req.Maintain == "eager" {
+		plan, err := txn.Sys.Catalog.PlanRefresh(txn.Sys.Workers)
+		if err != nil {
+			txn.Abort()
+			httpError(w, http.StatusInternalServerError, api.CodeInternal,
+				"eager refresh failed to plan: %v (transaction aborted, nothing applied)", err)
+			return nil, 0, false
+		}
+		if plan != nil {
+			resp.Incremental = plan.Incremental()
+		}
+		n, err := txn.Sys.Catalog.CommitRefresh(plan)
+		if err != nil {
+			txn.Abort()
+			httpError(w, http.StatusInternalServerError, api.CodeInternal,
+				"eager refresh failed after %d views: %v (transaction aborted, nothing applied)", n, err)
+			return nil, 0, false
+		}
+		resp.Refreshed = n
+	}
+	// Nothing changed (every statement was a no-op and no view refreshed):
+	// keep the published state as is — no generation bump, no WAL record.
+	if txn.Sys.Generation() == baseGen {
+		resp.Stale = len(txn.Sys.Catalog.StaleViews())
+		resp.Generation = baseGen
+		toVersion := txn.Sys.GraphVersion()
+		txn.Abort()
+		s.updates.Add(1)
+		return resp, toVersion, true
+	}
+	// One transaction, one generation: the statements and the eager refresh
+	// each moved the fork's (unpublished) counter; normalize to a single
+	// bump so clients and replicas observe exactly one new generation per
+	// committed transaction.
+	txn.Sys.Catalog.SetGeneration(baseGen + 1)
+
+	// Durability point: the transaction reaches the write-ahead log as one
+	// net record — under -wal-sync=always, stable storage — before it is
+	// published or acknowledged. The recorded generation is the one the
+	// client will see; replay reinstates it exactly.
+	net := store.ComposeDeltas(deltas)
+	if s.dur != nil && net.FromVersion != net.ToVersion {
 		rec := &persist.Record{
-			FromVersion: d.FromVersion,
-			ToVersion:   d.ToVersion,
-			Generation:  sys.Generation(),
-			Eager:       req.Maintain == "eager" && refreshErr == nil,
-			Inserts:     d.Inserted,
-			Deletes:     d.Deleted,
+			FromVersion: net.FromVersion,
+			ToVersion:   net.ToVersion,
+			Generation:  txn.Sys.Generation(),
+			Eager:       req.Maintain == "eager",
+			Inserts:     net.Inserted,
+			Deletes:     net.Deleted,
 		}
 		if err := s.dur.Log.Append(rec); err != nil {
-			// The batch is live but unlogged — a gap every later logged
-			// record would be unrecoverable across. A checkpoint heals it:
-			// the snapshot captures the batch and rotates the log past the
-			// gap, after which the batch IS durable and the ack can proceed.
-			if _, cperr := s.checkpointLocked(); cperr != nil {
+			// The prepared transaction cannot be logged — a gap every later
+			// logged record would be unrecoverable across. A checkpoint of
+			// the pending fork heals it: the snapshot captures the
+			// transaction and rotates the log past the gap, after which the
+			// transaction IS durable and publishing can proceed. If even
+			// that fails, abort: the published state never contained the
+			// transaction, so the client can simply re-send it once the gap
+			// heals.
+			if _, cperr := s.checkpointState(txn.Sys); cperr != nil {
+				txn.Abort()
 				s.walGap.Store(true)
 				httpError(w, http.StatusInternalServerError, api.CodeInternal,
-					"batch committed in memory (%d inserted, %d deleted) but failed to reach the write-ahead log (%v) and the healing checkpoint failed (%v); it will not survive a restart, and further updates are refused until a checkpoint succeeds",
-					resp.Inserted, resp.Deleted, err, cperr)
+					"transaction failed to reach the write-ahead log (%v) and the healing checkpoint failed (%v); nothing was applied, and further updates are refused until a checkpoint succeeds",
+					err, cperr)
 				return nil, 0, false
 			}
 		}
 	}
-	if refreshErr != nil {
-		httpError(w, http.StatusInternalServerError, api.CodeInternal, "%v", refreshErr)
-		return nil, 0, false
-	}
 	// A no-op delta (nothing logged) can still have eagerly refreshed views
 	// left stale by earlier lazy batches — a generation bump the WAL does
-	// not capture. Snapshot it, as manual /views refreshes do.
-	if s.dur != nil && d.FromVersion == d.ToVersion && resp.Refreshed > 0 &&
-		!s.persistViewChange(w, "eager refresh") {
+	// not capture. Snapshot the pending state before publishing it, as
+	// manual /views refreshes do.
+	if s.dur != nil && net.FromVersion == net.ToVersion && resp.Refreshed > 0 &&
+		!s.persistViewChange(w, "eager refresh", txn.Sys) {
+		txn.Abort()
 		return nil, 0, false
 	}
-	resp.Stale = len(sys.Catalog.StaleViews())
-	resp.Generation = sys.Generation()
+	resp.Stale = len(txn.Sys.Catalog.StaleViews())
+	resp.Generation = txn.Sys.Generation()
+	txn.Commit()
 	s.updates.Add(1)
-	return resp, d.ToVersion, true
+	return resp, net.ToVersion, true
 }
 
 // rejectReplicaWrite refuses mutations on a read replica, naming the
@@ -228,14 +316,14 @@ func parseTriples(text string) ([]rdf.Triple, error) {
 func (s *Server) handleViews(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		s.mu.RLock()
-		defer s.mu.RUnlock()
-		sys := s.system()
+		// One pointer load pins a consistent snapshot; no lock.
+		st := s.chain.Load()
+		sys := st.Sys
 		resp := api.ViewsResponse{
 			Facet:        sys.Facet.Name,
 			LatticeViews: sys.Lattice.Size(),
 			Materialized: []api.ViewInfo{},
-			Generation:   sys.Generation(),
+			Generation:   st.Generation,
 		}
 		for _, m := range sys.Catalog.Materialized() {
 			v := m.View()
@@ -276,29 +364,32 @@ func (s *Server) handleViewsAction(w http.ResponseWriter, req api.ViewsRequest) 
 			httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 			return
 		}
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		sys := s.system()
-		if !sys.Catalog.Drop(v) {
+		txn := s.chain.Begin()
+		if !txn.Sys.Catalog.Drop(v) {
+			txn.Abort()
 			httpError(w, http.StatusNotFound, api.CodeNotFound, "view %s is not materialized", v.ID())
 			return
 		}
-		if !s.persistViewChange(w, "drop") {
+		if !s.persistViewChange(w, "drop", txn.Sys) {
+			txn.Abort()
 			return
 		}
+		gen := txn.Sys.Generation()
+		txn.Commit()
 		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
-			Action: "drop", Views: []string{v.ID()}, Generation: sys.Generation(),
+			Action: "drop", Views: []string{v.ID()}, Generation: gen,
 		})
 	case "reset":
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		sys := s.system()
-		sys.Reset()
-		if !s.persistViewChange(w, "reset") {
+		txn := s.chain.Begin()
+		txn.Sys.Reset()
+		if !s.persistViewChange(w, "reset", txn.Sys) {
+			txn.Abort()
 			return
 		}
+		gen := txn.Sys.Generation()
+		txn.Commit()
 		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
-			Action: "reset", Generation: sys.Generation(),
+			Action: "reset", Generation: gen,
 		})
 	default:
 		httpError(w, http.StatusBadRequest, api.CodeBadRequest,
@@ -307,48 +398,62 @@ func (s *Server) handleViewsAction(w http.ResponseWriter, req api.ViewsRequest) 
 }
 
 // actionMaterialize materializes one named view, or a cost-model selection
-// when no view is named. Like refresh, the expensive read-only phases —
-// lattice statistics, selection, view-content computation — run under the
-// read lock so queries keep flowing; only the G+ encoding takes the write
-// lock (Catalog.PlanMaterialize / CommitMaterialize).
+// when no view is named. The expensive read-only phases — lattice
+// statistics, selection, view-content computation — run against the
+// published snapshot with no lock held, so queries keep flowing; only the
+// G+ encoding runs inside a writer transaction (Catalog.PlanMaterialize /
+// CommitMaterialize), and even that never blocks readers.
 func (s *Server) actionMaterialize(w http.ResponseWriter, req api.ViewsRequest) {
-	s.mu.RLock()
-	sys := s.system()
-	targets, err := s.materializeTargets(sys, req)
+	st := s.chain.Load()
+	targets, err := s.materializeTargets(st.Sys, req)
 	if err != nil {
-		s.mu.RUnlock()
 		httpError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 		return
 	}
-	plan, err := sys.Catalog.PlanMaterialize(targets, sys.Workers)
-	s.mu.RUnlock()
+	plan, err := st.Sys.Catalog.PlanMaterialize(targets, st.Sys.Workers)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "computing view contents: %v", err)
 		return
 	}
+	if plan == nil {
+		// Every target was already materialized at plan time.
+		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
+			Action: "materialize", Generation: st.Generation,
+		})
+		return
+	}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	mats, err := sys.Catalog.CommitMaterialize(plan)
+	txn := s.chain.Begin()
+	mats, err := txn.Sys.Catalog.CommitMaterialize(plan)
 	if err != nil {
+		txn.Abort()
 		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "materializing: %v", err)
 		return
 	}
-	// Report what was actually committed: targets already materialized at
-	// plan time are excluded from the plan and must not be listed as acted on.
-	resp := api.ViewsActionResponse{Action: "materialize", Generation: sys.Generation()}
+	// Report what was actually committed: targets materialized between plan
+	// and commit keep their existing record and must not be listed twice.
+	resp := api.ViewsActionResponse{Action: "materialize"}
 	for _, m := range mats {
 		resp.Views = append(resp.Views, m.View().ID())
 	}
-	if len(mats) > 0 && !s.persistViewChange(w, "materialize") {
+	if len(mats) == 0 {
+		resp.Generation = txn.Base.Generation
+		txn.Abort()
+		writeJSON(w, http.StatusOK, resp)
 		return
 	}
+	if !s.persistViewChange(w, "materialize", txn.Sys) {
+		txn.Abort()
+		return
+	}
+	resp.Generation = txn.Sys.Generation()
+	txn.Commit()
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // materializeTargets resolves a materialize request to concrete views: the
-// named view, or a cost-model selection. Read-only; callers hold the read
-// lock (System.Provider serializes its own lazy initialization).
+// named view, or a cost-model selection. Read-only against a pinned
+// snapshot (System.Provider serializes its own lazy initialization).
 func (s *Server) materializeTargets(sys *core.System, req api.ViewsRequest) ([]facet.View, error) {
 	if req.View != "" {
 		v, err := s.resolveView(req.View)
@@ -386,32 +491,51 @@ func (s *Server) materializeTargets(sys *core.System, req api.ViewsRequest) ([]f
 	return sel.Views, nil
 }
 
-// actionRefresh refreshes stale views: contents are recomputed under the
-// read lock (queries keep flowing), only the diff apply takes the write
-// lock.
+// actionRefresh refreshes stale views: contents are recomputed against the
+// published snapshot with no lock held (queries keep flowing), only the
+// diff apply runs inside a writer transaction — and readers stay wait-free
+// even through that.
 func (s *Server) actionRefresh(w http.ResponseWriter) {
-	s.mu.RLock()
-	sys := s.system()
-	plan, err := sys.Catalog.PlanRefresh(sys.Workers)
-	s.mu.RUnlock()
+	st := s.chain.Load()
+	plan, err := st.Sys.Catalog.PlanRefresh(st.Sys.Workers)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, api.CodeInternal, "recomputing stale views: %v", err)
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n, err := sys.Catalog.CommitRefresh(plan)
+	if plan == nil {
+		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
+			Action: "refresh", Refreshed: 0, Generation: st.Generation,
+		})
+		return
+	}
+	txn := s.chain.Begin()
+	n, err := txn.Sys.Catalog.CommitRefresh(plan)
 	if err != nil {
+		txn.Abort()
 		httpError(w, http.StatusInternalServerError, api.CodeInternal, "applying refresh: %v", err)
 		return
 	}
-	// A manual refresh moves the generation without a WAL record (only
-	// /update batches are logged), so snapshot the state it produced.
-	if n > 0 && !s.persistViewChange(w, "refresh") {
+	if n == 0 {
+		// Every planned view was dropped or re-recorded since planning;
+		// nothing moved, so keep the published state.
+		gen := txn.Base.Generation
+		txn.Abort()
+		writeJSON(w, http.StatusOK, api.ViewsActionResponse{
+			Action: "refresh", Refreshed: 0, Generation: gen,
+		})
 		return
 	}
+	// A manual refresh moves the generation without a WAL record (only
+	// /update transactions are logged), so snapshot the state it produced —
+	// durably, before publishing it.
+	if !s.persistViewChange(w, "refresh", txn.Sys) {
+		txn.Abort()
+		return
+	}
+	gen := txn.Sys.Generation()
+	txn.Commit()
 	writeJSON(w, http.StatusOK, api.ViewsActionResponse{
-		Action: "refresh", Refreshed: n, Generation: sys.Generation(),
+		Action: "refresh", Refreshed: n, Generation: gen,
 	})
 }
 
@@ -430,9 +554,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed, "GET only")
 		return
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sys := s.system()
+	// Pin one published snapshot; every reported number is consistent with
+	// every other, and no lock is held.
+	st := s.chain.Load()
+	sys := st.Sys
 	resp := api.StatsResponse{
 		UptimeS:         time.Since(s.started).Seconds(),
 		Role:            s.role,
@@ -445,9 +570,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		StaleViews:      len(sys.Catalog.StaleViews()),
 		Maintenance:     sys.Catalog.MaintenanceMode().String(),
 		Views:           []api.ViewMaintStats{},
-		Generation:      sys.Generation(),
+		Generation:      st.Generation,
 		GraphVersion:    sys.GraphVersion(),
-		ViewSetHash:     strconv.FormatUint(sys.ViewSetHash(), 16),
+		ViewSetHash:     strconv.FormatUint(st.ViewSetHash, 16),
 		Workers:         sys.Workers,
 		MaxConcurrent:   s.cfg.MaxConcurrent,
 		InFlight:        len(s.sem),

@@ -27,18 +27,24 @@ type Durability struct {
 	Recovery *core.RecoveryStats
 }
 
-// Checkpoint durably snapshots the current graph and catalog state, rotates
-// the WAL, and truncates segments the checkpoint made redundant. It runs on
-// the read side of the server's lock: queries keep flowing, writers stall
-// until the snapshot is on disk. Serving layers call it on the
-// -checkpoint-interval ticker; clients trigger it via POST /v1/admin/checkpoint.
+// Checkpoint durably snapshots the published graph and catalog state,
+// rotates the WAL, and truncates segments the checkpoint made redundant. It
+// holds the chain's writer mutex: queries keep flowing against the published
+// snapshot (readers never touch that mutex), writers stall until the
+// snapshot is on disk, and two checkpoints never interleave. Serving layers
+// call it on the -checkpoint-interval ticker; clients trigger it via POST
+// /v1/admin/checkpoint.
 func (s *Server) Checkpoint() (*persist.Manifest, error) {
 	if s.dur == nil {
 		return nil, errNoDurability
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.checkpointLocked()
+	var m *persist.Manifest
+	err := s.chain.Exclusive(func(st *core.GenerationState) error {
+		var cperr error
+		m, cperr = s.checkpointState(st.Sys)
+		return cperr
+	})
+	return m, err
 }
 
 // errNoDurability distinguishes "not configured" from checkpoint failures.
@@ -50,17 +56,17 @@ func (*noDurabilityError) Error() string {
 	return "server is memory-only: no data directory configured"
 }
 
-// checkpointLocked is Checkpoint under an already-held s.mu (either side —
-// what matters is that no writer can move the state mid-snapshot). cpMu
-// additionally serializes checkpoint writers against each other: two
-// read-side callers (interval ticker, /admin/checkpoint) would otherwise
-// race WriteCheckpoint's sequence numbering and tmp-dir paths. Rotating the
-// WAL first lets the manifest record exactly where replay resumes: every
-// record in older segments is covered by the snapshot being written.
-func (s *Server) checkpointLocked() (*persist.Manifest, error) {
-	s.cpMu.Lock()
-	defer s.cpMu.Unlock()
-	sys := s.system()
+// checkpointState is Checkpoint under an already-held chain writer mutex:
+// callers either run inside Chain.Exclusive (interval ticker,
+// /admin/checkpoint) or inside an open writer transaction (the update path's
+// healing and view-change checkpoints, which snapshot the pending fork
+// before publishing it — durable before visible). Holding the writer mutex
+// is what makes the snapshot sound: no writer can move the state or append
+// to the WAL mid-checkpoint, while readers keep answering against the
+// published pointer. Rotating the WAL first lets the manifest record exactly
+// where replay resumes: every record in older segments is covered by the
+// snapshot being written.
+func (s *Server) checkpointState(sys *core.System) (*persist.Manifest, error) {
 	seq, err := s.dur.Log.Rotate()
 	if err != nil {
 		return nil, err
@@ -102,21 +108,23 @@ func (s *Server) checkpointLocked() (*persist.Manifest, error) {
 	return &cp.Manifest, nil
 }
 
-// persistViewChange checkpoints after a committed catalog mutation that the
-// WAL does not capture — view-set changes and manual refreshes. Updates are
-// replayed from the log; everything else becomes durable by snapshotting the
-// state it produced, so a crash at any point recovers a state the client was
-// actually told about. Callers hold the write lock. It reports whether the
-// caller may acknowledge; on failure it has already written the error
-// response (the mutation is committed in memory but would not survive a
-// restart — the client must know).
-func (s *Server) persistViewChange(w http.ResponseWriter, action string) bool {
+// persistViewChange checkpoints a catalog mutation that the WAL does not
+// capture — view-set changes and manual refreshes — before it is published.
+// Updates are replayed from the log; everything else becomes durable by
+// snapshotting the pending state inside the writer transaction that produced
+// it, so a crash at any point recovers a state the client was actually told
+// about, and a state that failed to persist is never published at all. It
+// reports whether the caller may publish and acknowledge; on failure it has
+// already written the error response, and the caller aborts the transaction
+// (nothing applied — the snapshot-chain advantage over the in-place model,
+// which could only warn that the live change would not survive a restart).
+func (s *Server) persistViewChange(w http.ResponseWriter, action string, sys *core.System) bool {
 	if s.dur == nil {
 		return true
 	}
-	if _, err := s.checkpointLocked(); err != nil {
+	if _, err := s.checkpointState(sys); err != nil {
 		httpError(w, http.StatusInternalServerError, api.CodeInternal,
-			"%s applied but checkpointing it failed: %v; the change is live but will not survive a restart until a checkpoint succeeds",
+			"%s failed to reach a checkpoint: %v; the change was rolled back (nothing applied)",
 			action, err)
 		return false
 	}

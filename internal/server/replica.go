@@ -265,12 +265,15 @@ func (s *Server) tailPrimary(ctx context.Context) (int, error) {
 		if err != nil {
 			return fmt.Errorf("decoding streamed record (segment %d): %w", ev.Seq, err)
 		}
-		s.mu.Lock()
-		err = core.ReplayRecord(s.system(), rec, nil)
-		s.mu.Unlock()
-		if err != nil {
+		// Apply the record as one chain transaction: fork, replay, publish.
+		// Replica reads stay wait-free through every apply, exactly as on
+		// the primary.
+		txn := s.chain.Begin()
+		if err = core.ReplayRecord(txn.Sys, rec, nil); err != nil {
+			txn.Abort()
 			return &divergenceError{err}
 		}
+		txn.Commit()
 		s.repl.primaryGen.Store(rec.Generation)
 		s.repl.primaryVer.Store(rec.ToVersion)
 		s.repl.applied.Add(1)
@@ -300,7 +303,7 @@ func (s *Server) ackProgress(ctx context.Context) {
 }
 
 // rebootstrap replaces the served system with a freshly bootstrapped one.
-// The swap happens under the write lock, so every query sees either the old
+// The chain reset is one atomic publish, so every query sees either the old
 // complete state or the new one; the result cache needs no flush because its
 // keys embed the generation, which only moved forward.
 func (s *Server) rebootstrap(ctx context.Context) error {
@@ -308,9 +311,7 @@ func (s *Server) rebootstrap(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
-	s.mu.Lock()
-	s.sysp.Store(sys)
-	s.mu.Unlock()
+	s.chain.Reset(sys)
 	s.repl.bootstraps.Add(1)
 	s.repl.notifyProgress()
 	s.ackProgress(ctx)

@@ -11,17 +11,21 @@
 // X-Sofos-Generation header so clients can track the catalog generation they
 // have observed.
 //
-// Concurrency model: queries share the read side of one RWMutex and execute
-// against the store's lock-free snapshot iterators, so readers never block
-// each other; all catalog mutations (updates, materialize/drop/reset,
-// refresh commits) serialize on the write side, so every answer is
-// consistent with exactly one catalog generation. View refresh recomputes
-// contents on the read side (PlanRefresh) and only takes the write lock for
-// the short diff-apply step (CommitRefresh), keeping the service available
-// during maintenance. A global semaphore bounds concurrently executing
-// queries (admission control), and a sharded LRU result cache keyed on
-// (normalized query, catalog generation, view-set hash) serves repeated
-// queries without re-execution while never returning a stale answer.
+// Concurrency model (snapshot-chain MVCC): the server publishes immutable
+// generations through core.Chain — an atomic pointer to a
+// {system, generation, view-set hash, cache-key prefix} snapshot. A query
+// loads the pointer once and answers entirely against that snapshot, so
+// readers are wait-free: they never take a lock, never block each other,
+// and never block behind a writer, even mid-refresh. Writers (updates,
+// materialize/drop/reset, refresh commits, replica apply) serialize on the
+// chain's writer mutex — which readers never touch — prepare the next
+// generation on a copy-on-write fork sharing every immutable run with the
+// published snapshot, and publish it with a single atomic store. Every
+// answer is therefore consistent with exactly one committed generation.
+// A global semaphore bounds concurrently executing queries (admission
+// control), and a sharded LRU result cache keyed on (normalized query,
+// catalog generation, view-set hash) serves repeated queries without
+// re-execution while never returning a stale answer.
 //
 // Durability (optional, Config.Durability): committed /v1/update batches are
 // appended to a write-ahead log inside the write critical section before
@@ -45,7 +49,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -142,27 +145,18 @@ func (c Config) withDefaults(sys *core.System) Config {
 // Server serves one SOFOS system over HTTP. Create with New, mount via
 // Handler.
 type Server struct {
-	// sysp is the served system. An atomic pointer rather than a plain field
-	// because a replica that fell behind the primary's log swaps in a freshly
-	// bootstrapped system (see rebootstrap); handlers load it once per
-	// request and the generation header reads it without any lock.
-	sysp atomic.Pointer[core.System]
-	cfg  Config
-	role string
-
-	// mu orders queries against catalog mutations: every answer is computed
-	// entirely within one read-side critical section, so it reflects exactly
-	// one catalog generation; every mutation holds the write side. On a
-	// replica the apply loop is the only writer.
-	mu sync.RWMutex
+	// chain is the MVCC snapshot chain. Handlers load the published
+	// generation once per request and answer against it without any lock;
+	// mutations run as chain transactions (fork, mutate, publish) under the
+	// chain's writer mutex, which readers never acquire. On a replica the
+	// apply loop is the only writer, and a re-bootstrap resets the chain to
+	// the freshly restored system.
+	chain *core.Chain
+	cfg   Config
+	role  string
 
 	cache *resultCache  // nil when disabled
 	sem   chan struct{} // admission semaphore, capacity MaxConcurrent
-
-	// keyPrefix memoizes the "<generation>|<view-set hash>|" cache-key
-	// prefix so the hot read path does not rebuild the view-set hash on
-	// every request; it is recomputed only after the generation moves.
-	keyPrefix atomic.Value // of prefixState
 
 	mux     *http.ServeMux
 	started time.Time
@@ -173,14 +167,13 @@ type Server struct {
 	// dur is the durability wiring (nil = memory-only); lastCheckpoint and
 	// checkpoints track checkpoint activity for /stats. Atomics because the
 	// interval checkpointer and /admin/checkpoint can both write them.
-	// cpMu serializes checkpoint writers against each other: checkpoints run
-	// on the read side of mu, so the interval ticker and /admin/checkpoint
-	// could otherwise interleave inside one checkpoint sequence number.
+	// Checkpoint writers serialize on the chain's writer mutex (see
+	// Checkpoint), so two checkpoints never interleave inside one sequence
+	// number and a snapshot never races a WAL append.
 	// walGap records that a committed batch failed to reach the WAL and no
 	// healing checkpoint has succeeded yet; further updates are refused
-	// until one does (see handleUpdate).
+	// until one does (see commitUpdate).
 	dur            *Durability
-	cpMu           sync.Mutex
 	lastCheckpoint atomic.Pointer[persist.Manifest]
 	checkpoints    atomic.Int64
 	walGap         atomic.Bool
@@ -195,13 +188,13 @@ type Server struct {
 func New(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults(sys)
 	s := &Server{
+		chain:   core.NewChain(sys),
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 		dur:     cfg.Durability,
 	}
-	s.sysp.Store(sys)
 	if cfg.Replica != nil {
 		s.role = RoleReplica
 		s.repl = newReplicaRuntime(cfg.Replica)
@@ -268,7 +261,7 @@ func (w *genWriter) WriteHeader(status int) {
 	if !w.wrote {
 		w.wrote = true
 		w.Header().Set(api.HeaderGeneration,
-			strconv.FormatInt(w.srv.system().Generation(), 10))
+			strconv.FormatInt(w.srv.chain.Load().Generation, 10))
 	}
 	w.ResponseWriter.WriteHeader(status)
 }
@@ -286,38 +279,20 @@ func (w *genWriter) Flush() {
 	}
 }
 
-// system returns the served system. Handlers load it once per request; the
-// pointer only moves when a replica re-bootstraps (under the write lock), so
-// a handler inside a mu critical section always sees a stable system.
-func (s *Server) system() *core.System { return s.sysp.Load() }
+// system returns the currently published system. Handlers that need a
+// single consistent state pin s.chain.Load() once instead and use its Sys
+// throughout; this accessor is for one-shot reads (progress reports,
+// liveness) where the freshest published pointer is what's wanted.
+func (s *Server) system() *core.System { return s.chain.Load().Sys }
 
 // System returns the served system (for tests and embedding callers).
 func (s *Server) System() *core.System { return s.system() }
 
+// Chain exposes the MVCC snapshot chain (for tests and embedding callers).
+func (s *Server) Chain() *core.Chain { return s.chain }
+
 // Role returns RolePrimary or RoleReplica.
 func (s *Server) Role() string { return s.role }
-
-// prefixState is one memoized cache-key prefix (see Server.keyPrefix).
-type prefixState struct {
-	generation int64
-	prefix     string
-}
-
-// cacheKey builds the result-cache key for a query under the current
-// catalog state. Callers must hold s.mu (either side): the generation and
-// view-set hash must belong to the same state the answer is computed in —
-// which also means the generation cannot move mid-call, so concurrent
-// readers memoizing the same prefix store identical values.
-func (s *Server) cacheKey(sys *core.System, norm string) string {
-	gen := sys.Generation()
-	if p, ok := s.keyPrefix.Load().(prefixState); ok && p.generation == gen {
-		return p.prefix + norm
-	}
-	prefix := strconv.FormatInt(gen, 10) + "|" +
-		strconv.FormatUint(sys.ViewSetHash(), 16) + "|"
-	s.keyPrefix.Store(prefixState{generation: gen, prefix: prefix})
-	return prefix + norm
-}
 
 // handleQuery answers one analytical query, consulting the result cache
 // first. Admission: cache hits bypass the semaphore (they execute nothing);
@@ -362,13 +337,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Fast path: serve from the cache under the read lock (the key must be
-	// computed in the same state the entry was stored under).
+	// Fast path: serve from the cache against the published generation. The
+	// key embeds the generation and view-set hash, so an entry stored under
+	// an older state simply misses — no lock needed for correctness.
 	if s.cache != nil {
-		s.mu.RLock()
-		body, ok := s.cache.get(s.cacheKey(s.system(), norm))
-		s.mu.RUnlock()
-		if ok {
+		st := s.chain.Load()
+		if body, ok := s.cache.get(st.CacheKeyPrefix + norm); ok {
 			s.queries.Add(1)
 			writeCachedBody(w, body)
 			return
@@ -390,19 +364,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		workers = s.cfg.MaxWorkers
 	}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sys := s.system()
+	// Pin one published generation and answer entirely against it: the
+	// snapshot is immutable, so no lock is held while executing, and a
+	// writer publishing mid-query never perturbs this answer.
+	st := s.chain.Load()
 	var key string
 	if s.cache != nil {
-		key = s.cacheKey(sys, norm) // state may have advanced since the fast path
+		key = st.CacheKeyPrefix + norm // state may have advanced since the fast path
 		if body, ok := s.cache.recheck(key); ok {
 			s.queries.Add(1)
 			writeCachedBody(w, body)
 			return
 		}
 	}
-	ans, err := sys.AnswerWithWorkers(q, workers)
+	ans, err := st.Sys.AnswerWithWorkers(q, workers)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "execution error: %v", err)
 		return
@@ -412,7 +387,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Rows:       renderRows(ans),
 		Via:        ans.ViaLabel(),
 		Reason:     ans.Reason,
-		Generation: sys.Generation(),
+		Generation: st.Generation,
 		ElapsedUS:  ans.Elapsed.Microseconds(),
 	}
 	if s.cache != nil {

@@ -74,6 +74,12 @@ type blockRun struct {
 	// mapped marks data as a view into an mmap'd file region rather than the
 	// Go heap, so memory accounting reports it as mapped, not resident.
 	mapped bool
+
+	// psz is the page size the run's payload region is packed with when it
+	// was loaded from a paged (v3) snapshot, 0 otherwise. alignSplit uses it
+	// to round partition cuts down to page-run boundaries, so parallel scan
+	// workers touch disjoint pages.
+	psz int
 }
 
 // fenceInit (re)builds the max0 fence mirror from meta; called after a run is
@@ -629,11 +635,23 @@ func (r *blockRun) fill(a *spanArena, lo, hi int) {
 	}
 }
 
+// alignSplit rounds a tentative partition cut down to a block boundary — and,
+// for paged snapshots, further down to the first block of the page holding
+// that block, so partitioned parallel scans hand each worker a disjoint set
+// of pages (no two workers fault or prefetch the same page). Greedy page
+// packing guarantees each page's first block starts at page offset 0, so the
+// walk back is bounded by the blocks of one page.
 func (r *blockRun) alignSplit(pos int) int {
 	if pos >= r.n {
 		return r.n
 	}
-	return r.meta[r.blockOf(pos)].start
+	bi := r.blockOf(pos)
+	if r.psz > 0 {
+		for bi > 0 && int(r.meta[bi].off)%r.psz != 0 {
+			bi--
+		}
+	}
+	return r.meta[bi].start
 }
 
 func (r *blockRun) clone() run {

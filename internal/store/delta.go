@@ -99,6 +99,48 @@ func (g *Graph) Apply(inserts, deletes []rdf.Triple) (Delta, error) {
 	return d, nil
 }
 
+// ComposeDeltas flattens a sequence of consecutively committed deltas into
+// one net delta spanning the whole interval: a triple inserted by one
+// statement and deleted by a later one (or vice versa) cancels out entirely,
+// exactly as if the statements had been one batch. Multi-statement /update
+// transactions use it to log a single WAL record for the transaction. The
+// input deltas must chain (each FromVersion equal to the previous ToVersion);
+// surviving triples keep first-touch order.
+func ComposeDeltas(ds []Delta) Delta {
+	if len(ds) == 0 {
+		return Delta{}
+	}
+	if len(ds) == 1 {
+		return ds[0]
+	}
+	net := Delta{FromVersion: ds[0].FromVersion, ToVersion: ds[len(ds)-1].ToVersion}
+	sign := make(map[rdf.Triple]int8)
+	var order []rdf.Triple
+	for _, d := range ds {
+		for _, t := range d.Inserted {
+			if _, seen := sign[t]; !seen {
+				order = append(order, t)
+			}
+			sign[t]++
+		}
+		for _, t := range d.Deleted {
+			if _, seen := sign[t]; !seen {
+				order = append(order, t)
+			}
+			sign[t]--
+		}
+	}
+	for _, t := range order {
+		switch {
+		case sign[t] > 0:
+			net.Inserted = append(net.Inserted, t)
+		case sign[t] < 0:
+			net.Deleted = append(net.Deleted, t)
+		}
+	}
+	return net
+}
+
 // OverlayWith returns a read-only union of the graph and the extra triples,
 // sharing the receiver's immutable sorted runs and its term dictionary: the
 // cost is O(|delta overlay| + |extra|), never O(|G|). Incremental view

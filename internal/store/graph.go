@@ -362,6 +362,11 @@ func (g *Graph) scanPermLocked(kind permKind, key rdf.EncodedTriple, depth int) 
 // segment found by binary search plus copies of the in-range delta entries.
 // It builds in place so the hot path copies no Iterator values.
 func (g *Graph) scanPermInto(it *Iterator, kind permKind, key rdf.EncodedTriple, depth int) {
+	if depth == 0 && g.pages != nil {
+		// A full scan over a paged snapshot touches every payload page in
+		// offset order; tell the kernel so readahead runs ahead of the scan.
+		g.pages.adviseSequential()
+	}
 	lo, hi := rangeOf(g.runs[kind], key, depth)
 	it.kind = kind
 	it.base = g.runs[kind]
@@ -485,6 +490,38 @@ func (g *Graph) Clone() *Graph {
 	maps.Copy(c.countO, g.countO)
 	c.n = g.n
 	c.version = g.version
+	return c
+}
+
+// Fork returns a writable copy-on-write successor of the graph for MVCC
+// commit chains: the term dictionary is shared by pointer (it is append-only
+// and internally synchronized, so readers of the published snapshot and the
+// writer preparing the next generation interleave safely), the immutable runs
+// and any paged snapshot image are shared, and only the delta overlay and
+// component counts are copied — O(overlay), never O(data) or O(dictionary).
+// Unlike Clone, Fork carries the paged-snapshot provenance (pagedPath and
+// dirtiness) so hard-link checkpoints keep working across generations.
+//
+// The receiver must be treated as frozen once it has been published: the fork
+// is where all further mutation happens.
+func (g *Graph) Fork() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	c := NewGraph()
+	c.dict = g.dict
+	c.codec = g.codec
+	c.runs = g.runs
+	c.storage = g.storage
+	c.pages = g.pages
+	maps.Copy(c.adds, g.adds)
+	maps.Copy(c.dels, g.dels)
+	maps.Copy(c.countS, g.countS)
+	maps.Copy(c.countP, g.countP)
+	maps.Copy(c.countO, g.countO)
+	c.n = g.n
+	c.version = g.version
+	c.pagedPath = g.pagedPath
+	c.pagedDirty = g.pagedDirty
 	return c
 }
 

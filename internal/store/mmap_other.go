@@ -15,3 +15,6 @@ func mmapFile(f *os.File) ([]byte, error) {
 
 // munmapFile matches the unix cleanup hook; nothing was ever mapped here.
 func munmapFile(data []byte) {}
+
+// madviseSequential matches the unix readahead hint; a no-op off unix.
+func madviseSequential(data []byte) {}

@@ -31,6 +31,14 @@ func mmapFile(f *os.File) ([]byte, error) {
 	return data, nil
 }
 
+// madviseSequential hints that the mapping will be read front to back, so
+// the kernel runs readahead ahead of a full scan. The address is the mmap
+// base (page-aligned by construction); failure is ignored — the hint is an
+// optimization, never a correctness requirement.
+func madviseSequential(data []byte) {
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+}
+
 // munmapFile releases a mapping from mmapFile. Only called when a load fails
 // validation — a successfully loaded graph keeps its mapping for the process
 // lifetime (live iterators may reference it indefinitely).

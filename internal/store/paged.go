@@ -320,6 +320,7 @@ func readPagedRun(r byteScanner, pageSize int, maxID rdf.ID) (*blockRun, int, er
 		meta: make([]blockMeta, 0, metaCap),
 		crcs: make([]uint32, 0, metaCap),
 		n:    int(keyCount),
+		psz:  pageSize,
 	}
 	start := 0
 	var crcb [4]byte

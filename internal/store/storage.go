@@ -67,6 +67,10 @@ type pageStore interface {
 	storage() Storage
 	// mappedBytes returns the bytes held in an mmap rather than the heap.
 	mappedBytes() int64
+	// adviseSequential hints that the region is about to be read front to
+	// back (a full scan), so the kernel can read ahead aggressively. A no-op
+	// for heap-resident regions and on platforms without madvise.
+	adviseSequential()
 }
 
 // heapPages is the heap-resident pageStore: the snapshot image is a plain
@@ -83,6 +87,7 @@ func (h *heapPages) pages() int         { return h.n }
 func (h *heapPages) pageSize() int      { return h.psz }
 func (h *heapPages) storage() Storage   { return StorageHeap }
 func (h *heapPages) mappedBytes() int64 { return 0 }
+func (h *heapPages) adviseSequential()  {}
 
 // mmapPages is the mmap-backed pageStore: the snapshot image is a read-only
 // mapping of the snapshot file. The mapping is held for the life of the
@@ -93,6 +98,12 @@ type mmapPages struct {
 	data []byte
 	n    int
 	psz  int
+
+	// advised latches the one-shot MADV_SEQUENTIAL hint: full scans dominate
+	// the workloads that benefit, the hint is sticky per mapping, and the
+	// mapping is shared by every graph generation forked off this snapshot,
+	// so one syscall per mapping per process is all that is ever needed.
+	advised atomic.Bool
 }
 
 func (m *mmapPages) bytes() []byte      { return m.data }
@@ -100,3 +111,9 @@ func (m *mmapPages) pages() int         { return m.n }
 func (m *mmapPages) pageSize() int      { return m.psz }
 func (m *mmapPages) storage() Storage   { return StorageMmap }
 func (m *mmapPages) mappedBytes() int64 { return int64(len(m.data)) }
+
+func (m *mmapPages) adviseSequential() {
+	if len(m.data) > 0 && m.advised.CompareAndSwap(false, true) {
+		madviseSequential(m.data)
+	}
+}

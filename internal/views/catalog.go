@@ -4,6 +4,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash/fnv"
+	"maps"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -146,6 +147,34 @@ func NewCatalogWithOptions(base *store.Graph, f *facet.Facet, opts engine.Option
 		mats:      make(map[facet.Mask]*Materialized),
 		maintMode: maintenanceMode(f),
 	}
+}
+
+// Fork returns a writable copy-on-write successor of the catalog for MVCC
+// commit chains: both graphs are forked (immutable runs and dictionaries
+// shared, delta overlays copied), the materialization records are carried by
+// pointer — they are immutable once committed and replaced wholesale on
+// refresh, which also preserves the pointer-identity stale-plan check in
+// CommitRefresh across the fork — and the delta log is copied so the fork's
+// maintenance window evolves independently. The receiver must be treated as
+// frozen once published; all further mutation happens on the fork.
+func (c *Catalog) Fork() *Catalog {
+	nb := c.base.Fork()
+	ne := c.expanded.Fork()
+	nc := &Catalog{
+		facet:         c.facet,
+		base:          nb,
+		expanded:      ne,
+		baseEng:       engine.NewWithOptions(nb, c.engOpts),
+		expEng:        engine.NewWithOptions(ne, c.engOpts),
+		engOpts:       c.engOpts,
+		mats:          make(map[facet.Mask]*Materialized, len(c.mats)),
+		log:           c.log.fork(),
+		maintMode:     c.maintMode,
+		noIncremental: c.noIncremental,
+	}
+	maps.Copy(nc.mats, c.mats)
+	nc.generation.Store(c.generation.Load())
+	return nc
 }
 
 // Facet returns the catalog's facet.

@@ -146,6 +146,13 @@ func (l *deltaLog) record(d store.Delta) {
 	l.triples += d.Len()
 }
 
+// fork returns an independent copy of the log for a forked catalog. The
+// segment slice is copied; the Delta values inside are immutable after
+// record (refreshes only read them), so their triple slices are shared.
+func (l *deltaLog) fork() deltaLog {
+	return deltaLog{segs: append([]store.Delta(nil), l.segs...), triples: l.triples}
+}
+
 // prune drops segments no materialized view needs anymore (ToVersion ≤
 // minVersion) and enforces the size cap from the oldest end.
 func (l *deltaLog) prune(minVersion int64) {

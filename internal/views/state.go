@@ -383,8 +383,14 @@ func readGroup(r *stateReader, dims int) (Group, error) {
 	return g, nil
 }
 
-// SetGeneration forwards the mutation counter — the restore hook WAL replay
-// uses after re-applying a durably logged batch, so recovered state reports
-// the exact generation the batch was acknowledged at. Never lower the counter
-// on a live catalog: result caches key on it never repeating.
-func (c *Catalog) SetGeneration(gen int64) { c.generation.Store(gen) }
+// SetGeneration forwards the mutation counter — WAL replay uses it after
+// re-applying a durably logged batch, and an MVCC writer transaction uses it
+// to normalize its fork's intermediate bumps to the single published
+// generation. Never lower the counter on a live (published) catalog: result
+// caches key on it never repeating. The stale memo is dropped because its
+// key embeds the generation: a rewind on an unpublished fork could otherwise
+// collide with a memo taken at an intermediate state under the same number.
+func (c *Catalog) SetGeneration(gen int64) {
+	c.generation.Store(gen)
+	c.staleMemo.Store(nil)
+}
