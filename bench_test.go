@@ -1036,6 +1036,39 @@ func BenchmarkServerRepeatedWorkload(b *testing.B) {
 	})
 }
 
+// BenchmarkTracedQueryOverhead measures the observability tax on the hottest
+// serving path — a fully cached repeated workload — instrumented (the
+// default) vs -obs=off. The acceptance bar is a ≤5% regression: per request
+// the instrumented hot path costs one pooled trace, two pooled spans, a
+// counter increment, a histogram observation, and a ring insert.
+func BenchmarkTracedQueryOverhead(b *testing.B) {
+	round := func(b *testing.B, h http.Handler, wl *workload.Workload) {
+		for _, q := range wl.Queries {
+			body, _ := json.Marshal(map[string]string{"query": q.Text})
+			req := httptest.NewRequest("POST", "/query", bytes.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				b.Fatalf("query status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	}
+	for _, v := range []struct {
+		name string
+		off  bool
+	}{{"obs-on", false}, {"obs-off", true}} {
+		b.Run(v.name, func(b *testing.B) {
+			e := env(b, "dbpedia", 150, 20)
+			h := server.New(e.System, server.Config{ObsOff: v.off}).Handler()
+			round(b, h, e.Workload) // warm the cache: timed rounds are pure hits
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				round(b, h, e.Workload)
+			}
+		})
+	}
+}
+
 // --- Durability: WAL append and crash recovery ---
 
 // walBenchRecord builds a representative /update batch record: six triples,

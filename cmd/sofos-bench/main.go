@@ -17,13 +17,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"time"
 
 	"sofos/internal/benchkit"
 	"sofos/internal/core"
 	"sofos/internal/experiments"
+	"sofos/internal/server"
 	"sofos/internal/store"
+	"sofos/internal/workload"
 )
 
 func main() {
@@ -47,6 +51,7 @@ func run(args []string, stdout io.Writer) error {
 	maintBatch := fs.Int("maintenance-batch", 16, "triples per update batch in the maintenance scenario")
 	codecName := fs.String("codec", "block", "run storage codec: block (compressed) or flat")
 	storageName := fs.String("storage", "heap", "paged-snapshot load storage: heap or mmap (page-cache backed)")
+	reportMetrics := fs.String("report-metrics", "", "replay the workload against an in-process server and write its final /v1/metrics scrape to this file (a metric-shape fixture)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,5 +111,45 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	fmt.Fprintf(w, "total experiment time: %s\n", time.Since(start).Round(time.Millisecond))
+	if *reportMetrics != "" {
+		if err := dumpMetrics(*reportMetrics, *seed, *workload, *workers, *quick); err != nil {
+			return fmt.Errorf("writing metrics fixture: %w", err)
+		}
+		fmt.Fprintf(w, "wrote /v1/metrics fixture to %s\n", *reportMetrics)
+	}
 	return nil
+}
+
+// dumpMetrics replays a generated workload against an in-process server and
+// writes the server's final /v1/metrics scrape to path, so bench runs double
+// as metric-shape fixtures: the exposition comes from exactly the code path
+// production serving uses, after real queries populated every family.
+func dumpMetrics(path string, seed int64, size, workers int, quick bool) error {
+	scale := 150
+	if quick {
+		scale = 40
+	}
+	env, err := experiments.NewEnvWithOptions("dbpedia", scale, seed, size, core.Options{Workers: workers})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(server.New(env.System, server.Config{}).Handler())
+	defer ts.Close()
+	// Two rounds so the scrape shows both executed and cache-served queries.
+	if _, err := workload.ReplayHTTP(workload.HTTPConfig{BaseURL: ts.URL, Rounds: 2}, env.Workload); err != nil {
+		return err
+	}
+	resp, err := http.Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scraping /v1/metrics: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, body, 0o644)
 }

@@ -41,9 +41,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -83,6 +84,10 @@ type config struct {
 	replicaID          string
 	ackTimeout         time.Duration
 	readWait           time.Duration
+	obsMode            string
+	slowQueryMS        int
+	traceRing          int
+	debugAddr          string
 }
 
 // parseFlags parses the command line into a config.
@@ -108,8 +113,15 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&c.replicaID, "replica-id", "", "replica identity in progress reports and the primary's /v1/stats (default replica-<pid>)")
 	fs.DurationVar(&c.ackTimeout, "ack-timeout", 0, `how long an update with "ack":"replicas:N" waits for N replica acknowledgements (0 = 10s)`)
 	fs.DurationVar(&c.readWait, "read-wait", 0, "how long a replica holds a read ahead of its applied state before redirecting to the primary (0 = 2s)")
+	fs.StringVar(&c.obsMode, "obs", "on", "observability: on (tracing, /v1/metrics, /v1/debug/queries) or off")
+	fs.IntVar(&c.slowQueryMS, "slow-query-ms", 0, "promote queries at least this slow to the structured log (0 = 500, negative = disabled)")
+	fs.IntVar(&c.traceRing, "trace-ring", 0, "recent-query trace ring capacity behind /v1/debug/queries (0 = 256)")
+	fs.StringVar(&c.debugAddr, "debug-addr", "", "serve net/http/pprof profiling on this address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
+	}
+	if c.obsMode != "on" && c.obsMode != "off" {
+		return nil, fmt.Errorf("bad -obs value %q (use on or off)", c.obsMode)
 	}
 	if c.replica != "" && c.dataDir != "" {
 		return nil, fmt.Errorf("-replica and -data-dir are mutually exclusive: replicas keep no durable state")
@@ -209,6 +221,9 @@ func buildServer(c *config) (*server.Server, error) {
 		SelectionSeed: c.seed,
 		Durability:    dur,
 		AckTimeout:    c.ackTimeout,
+		ObsOff:        c.obsMode == "off",
+		SlowQueryMS:   c.slowQueryMS,
+		TraceRing:     c.traceRing,
 	})
 	// Every durable boot checkpoints immediately. Fresh boots need a
 	// snapshot on disk before the first update can be acknowledged
@@ -220,8 +235,9 @@ func buildServer(c *config) (*server.Server, error) {
 		if err != nil {
 			return nil, fmt.Errorf("writing boot checkpoint: %w", err)
 		}
-		log.Printf("wrote boot checkpoint %d (%d triples, %d views, generation %d) to %s",
-			m.Sequence, m.BaseTriples, m.Views, m.Generation, c.dataDir)
+		slog.Info("wrote boot checkpoint", "checkpoint_seq", m.Sequence,
+			"triples", m.BaseTriples, "views", m.Views,
+			"generation", m.Generation, "data_dir", c.dataDir)
 	}
 	return srv, nil
 }
@@ -235,8 +251,9 @@ func buildReplica(c *config) (*server.Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bootstrapping from %s: %w", c.replica, err)
 	}
-	log.Printf("bootstrapped replica from %s: %s scale %d seed %d, generation %d",
-		c.replica, man.Dataset, man.Scale, man.Seed, man.Generation)
+	slog.Info("bootstrapped replica", "primary", c.replica,
+		"dataset", man.Dataset, "scale", man.Scale, "seed", man.Seed,
+		"generation", man.Generation)
 	return server.New(sys, server.Config{
 		MaxConcurrent: c.maxConcurrent,
 		CacheEntries:  c.cacheEntries,
@@ -244,6 +261,9 @@ func buildReplica(c *config) (*server.Server, error) {
 		SelectionSeed: c.seed,
 		ReadWait:      c.readWait,
 		Replica:       &opts,
+		ObsOff:        c.obsMode == "off",
+		SlowQueryMS:   c.slowQueryMS,
+		TraceRing:     c.traceRing,
 	}), nil
 }
 
@@ -284,7 +304,7 @@ func buildFresh(c *config) (*core.System, error) {
 		for _, v := range sel.Views {
 			ids = append(ids, v.ID())
 		}
-		log.Printf("materialized %d views under %s: %v", len(ids), c.model, ids)
+		slog.Info("materialized initial views", "model", c.model, "k", len(ids), "views", ids)
 	}
 	return sys, nil
 }
@@ -299,14 +319,30 @@ func checkpointLoop(srv *server.Server, every time.Duration, stop <-chan struct{
 		select {
 		case <-t.C:
 			if m, err := srv.Checkpoint(); err != nil {
-				log.Printf("interval checkpoint failed: %v", err)
+				slog.Error("interval checkpoint failed", "err", err)
 			} else {
-				log.Printf("checkpoint %d written (generation %d, wal from segment %d)",
-					m.Sequence, m.Generation, m.WALSeq)
+				slog.Info("interval checkpoint written", "checkpoint_seq", m.Sequence,
+					"generation", m.Generation, "wal_from_segment", m.WALSeq)
 			}
 		case <-stop:
 			return
 		}
+	}
+}
+
+// serveDebug exposes net/http/pprof on its own listener — separate from the
+// public API address so profiling is never reachable through the service
+// port. Failures are logged, not fatal: profiling is an operator aid.
+func serveDebug(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	slog.Info("profiling listener up", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		slog.Error("profiling listener failed", "addr", addr, "err", err)
 	}
 }
 
@@ -335,9 +371,12 @@ func run(args []string) error {
 			return err
 		}
 	}
+	if c.debugAddr != "" {
+		go serveDebug(c.debugAddr)
+	}
 	sys := srv.System()
-	log.Printf("serving facet %s (%d triples, %d workers, role %s) on %s",
-		sys.Facet.Name, sys.Graph.Len(), sys.Workers, srv.Role(), ln.Addr())
+	slog.Info("serving", "facet", sys.Facet.Name, "triples", sys.Graph.Len(),
+		"workers", sys.Workers, "role", srv.Role(), "addr", ln.Addr().String())
 	// No WriteTimeout: analytical queries can legitimately run long, and the
 	// admission semaphore already bounds concurrent execution. The header and
 	// idle timeouts stop slow or stalled clients from pinning connections and

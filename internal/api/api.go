@@ -38,6 +38,11 @@ const (
 	// HeaderDeprecation marks responses served via a legacy unversioned
 	// alias; the Link header names the /v1 successor.
 	HeaderDeprecation = "Deprecation"
+	// HeaderTraceID carries the per-request trace identifier. Clients may
+	// supply one (any non-empty token) to correlate traces across primary
+	// and replica; the server generates one otherwise and echoes it on the
+	// response, where it keys /v1/debug/queries lookups.
+	HeaderTraceID = "X-Sofos-Trace-Id"
 )
 
 // Error codes used in the uniform envelope. Codes are stable API; messages
@@ -85,9 +90,57 @@ type QueryResponse struct {
 	Rows       [][]string `json:"rows"`
 	Via        string     `json:"via"`              // answering view ID or "base"
 	Reason     string     `json:"reason,omitempty"` // base fallback reason
-	Generation int64      `json:"generation"`       // catalog generation answered at
+	Outcome    string     `json:"outcome,omitempty"`
+	Generation int64      `json:"generation"` // catalog generation answered at
 	Cached     bool       `json:"cached"`
 	ElapsedUS  int64      `json:"elapsed_us"`
+	// Trace is the span tree of this execution, populated when the request
+	// asked for it with ?trace=1. TraceID matches the X-Sofos-Trace-Id
+	// response header.
+	TraceID string      `json:"trace_id,omitempty"`
+	Trace   []TraceSpan `json:"trace,omitempty"`
+}
+
+// TraceAttr is one key/value annotation on a trace span.
+type TraceAttr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// TraceSpan is one timed step of a query lifecycle as rendered on the wire.
+// Parent indexes into the span list (-1 for roots); offsets and durations
+// are microseconds from the trace's monotonic start.
+type TraceSpan struct {
+	Name    string      `json:"name"`
+	Parent  int         `json:"parent"`
+	StartUS int64       `json:"start_us"`
+	DurUS   int64       `json:"dur_us"`
+	Attrs   []TraceAttr `json:"attrs,omitempty"`
+}
+
+// QueryLogEntry is one retained query in the GET /v1/debug/queries ring:
+// what was asked, how the rewriter answered it, and what it cost — the
+// observation stream a future online view-selection loop consumes.
+type QueryLogEntry struct {
+	TraceID     string      `json:"trace_id"`
+	Query       string      `json:"query"`
+	Outcome     string      `json:"outcome"` // cache_hit, view_hit, partial_rollup, full_scan, error
+	View        string      `json:"view,omitempty"`
+	Reason      string      `json:"reason,omitempty"`
+	Generation  int64       `json:"generation"`
+	StartUnixUS int64       `json:"start_unix_us"`
+	ElapsedUS   int64       `json:"elapsed_us"`
+	Rows        int         `json:"rows"`
+	Slow        bool        `json:"slow,omitempty"` // exceeded -slow-query-ms
+	Error       string      `json:"error,omitempty"`
+	Spans       []TraceSpan `json:"spans,omitempty"`
+}
+
+// DebugQueriesResponse is the GET /v1/debug/queries body. Total counts
+// every query ever recorded, including ones the bounded ring has evicted.
+type DebugQueriesResponse struct {
+	Total   uint64          `json:"total"`
+	Entries []QueryLogEntry `json:"entries"`
 }
 
 // UpdateRequest is the POST /v1/update body: N-Triples text blocks to insert
@@ -259,6 +312,12 @@ type HealthResponse struct {
 	Generation int64  `json:"generation"`  // applied catalog generation
 	WALVersion int64  `json:"wal_version"` // applied base-graph version
 	ReplicaLag int64  `json:"replica_lag"` // generations behind the primary (0 on a primary)
+	// CheckpointAgeS is seconds since the last durable checkpoint (-1 when
+	// memory-only or no checkpoint yet); WALBytes is the appended byte size
+	// of the live WAL suffix. Together they let an operator alert on stale
+	// checkpoints without parsing /v1/stats.
+	CheckpointAgeS float64 `json:"checkpoint_age_s"`
+	WALBytes       int64   `json:"wal_bytes"`
 }
 
 // CheckpointResponse is the POST /v1/admin/checkpoint response body.

@@ -23,7 +23,24 @@ import (
 	"sync/atomic"
 
 	"sofos/internal/api"
+	"sofos/internal/obs"
 )
+
+// traceIDKey carries a caller-supplied trace id through a context.
+type traceIDKey struct{}
+
+// WithTraceID returns a context whose requests carry the given
+// X-Sofos-Trace-Id instead of a freshly generated one — how a driver
+// correlates one logical operation across primary and replica requests.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceIDFrom returns the trace id attached by WithTraceID, if any.
+func TraceIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
 
 // Client talks to one sofos-serve instance. Safe for concurrent use; share
 // one instance across goroutines so the generation ratchet spans them.
@@ -147,6 +164,7 @@ func (c *Client) FetchCheckpoint(ctx context.Context) (io.ReadCloser, error) {
 	if err != nil {
 		return nil, err
 	}
+	req.Header.Set(api.HeaderTraceID, traceID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -172,6 +190,7 @@ func (c *Client) StreamWAL(ctx context.Context, from int64, fn func(*api.WALEven
 	if err != nil {
 		return err
 	}
+	req.Header.Set(api.HeaderTraceID, traceID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -222,6 +241,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if g := c.gen.Load(); g > 0 {
 		req.Header.Set(api.HeaderMinGeneration, strconv.FormatInt(g, 10))
 	}
+	req.Header.Set(api.HeaderTraceID, traceID(ctx))
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -239,6 +259,15 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("client: malformed %s response: %w", path, err)
 	}
 	return nil
+}
+
+// traceID resolves the X-Sofos-Trace-Id for one request: the caller's id
+// from WithTraceID, or a fresh one per request.
+func traceID(ctx context.Context) string {
+	if id := TraceIDFrom(ctx); id != "" {
+		return id
+	}
+	return obs.NewTraceID()
 }
 
 // decodeError turns a non-200 response into an *APIError when the body is

@@ -9,6 +9,7 @@ import (
 	"sofos/internal/cost"
 	"sofos/internal/engine"
 	"sofos/internal/facet"
+	"sofos/internal/obs"
 	"sofos/internal/rdf"
 	"sofos/internal/rewrite"
 	"sofos/internal/selection"
@@ -203,10 +204,17 @@ func (s *System) Answer(q *sparql.Query) (*rewrite.Answer, error) {
 // bound, overriding the system default. 0 falls back to the system's
 // workers; the serving layer uses this for per-request admission control.
 func (s *System) AnswerWithWorkers(q *sparql.Query, workers int) (*rewrite.Answer, error) {
+	return s.AnswerObserved(q, workers, obs.SpanHandle{})
+}
+
+// AnswerObserved is AnswerWithWorkers with a parent trace span: the rewrite
+// decision, engine partitions, and aggregate merge record themselves under
+// sp. The zero handle disables tracing.
+func (s *System) AnswerObserved(q *sparql.Query, workers int, sp obs.SpanHandle) (*rewrite.Answer, error) {
 	if workers <= 0 {
 		workers = s.Workers
 	}
-	return s.Rewriter.AnswerWith(q, engine.Options{Workers: workers})
+	return s.Rewriter.AnswerWith(q, engine.Options{Workers: workers, Span: sp})
 }
 
 // Generation returns the catalog mutation counter: it increases on every

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sofos/internal/algebra"
+	"sofos/internal/obs"
 	"sofos/internal/rdf"
 	"sofos/internal/sparql"
 	"sofos/internal/store"
@@ -35,6 +36,11 @@ type Options struct {
 	// are identical at every setting — partitions are contiguous and merged
 	// in partition order.
 	Workers int
+
+	// Span, when non-zero, parents trace spans recorded during execution:
+	// compile, per-worker partitions, and the parallel aggregate merge. The
+	// zero handle disables tracing at no cost beyond a nil check.
+	Span obs.SpanHandle
 }
 
 // EffectiveWorkers resolves Workers: 0 means one worker per logical CPU.
@@ -106,16 +112,28 @@ func (r *Result) Sorted() []string {
 // Execute parses nothing: it runs an already-parsed query.
 func (e *Engine) Execute(q *sparql.Query) (*Result, error) {
 	start := time.Now()
+	execSp := e.opts.Span.Child("engine.execute")
+	compileSp := execSp.Child("engine.compile")
 	plan, err := compile(e.graph, q, e.opts)
+	compileSp.End()
 	if err != nil {
+		execSp.End()
 		return nil, err
 	}
+	plan.span = execSp
 	res, err := e.run(plan)
 	if err != nil {
+		execSp.End()
 		return nil, err
 	}
 	res.Stats.Elapsed = time.Since(start)
 	res.Stats.ResultRows = len(res.Rows)
+	execSp.AttrInt("workers", int64(res.Stats.Workers))
+	execSp.AttrInt("partitions", int64(res.Stats.Partitions))
+	execSp.AttrInt("pattern_scans", int64(res.Stats.PatternScans))
+	execSp.AttrInt("intermediate_rows", res.Stats.IntermediateRows)
+	execSp.AttrInt("result_rows", int64(res.Stats.ResultRows))
+	execSp.End()
 	return res, nil
 }
 
@@ -669,7 +687,7 @@ func (e *Engine) finishAggregate(rows []binding, p *Plan, res *Result, stats *Ex
 			aggSlots[i] = s
 		}
 	}
-	state := e.aggregateRows(rows, groupSlots, aggSlots, aggItems, stats)
+	state := e.aggregateRows(rows, groupSlots, aggSlots, aggItems, stats, p.span)
 
 	// Aggregates without GROUP BY over an empty input yield a single group.
 	if len(rows) == 0 && len(q.GroupBy) == 0 {

@@ -3,6 +3,7 @@ package engine
 import (
 	"sync"
 
+	"sofos/internal/obs"
 	"sofos/internal/sparql"
 	"sofos/internal/store"
 )
@@ -50,7 +51,11 @@ func (e *Engine) runPartitioned(n int, p *Plan, stats *ExecStats, cap int,
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sp := p.span.Child("engine.partition")
+			sp.AttrInt("worker", int64(i))
 			outs[i], errs[i] = part(i, &ctxs[i])
+			sp.AttrInt("rows_out", int64(len(outs[i])))
+			sp.End()
 		}(i)
 	}
 	wg.Wait()
@@ -120,12 +125,16 @@ func (e *Engine) runLeadingPartition(part store.Iterator, row binding, p *Plan, 
 // concurrently, then the partial states fold left-to-right so group order and
 // accumulator inputs match a serial pass. A parallel pass counts toward
 // stats.Partitions like the join-phase fan-outs.
-func (e *Engine) aggregateRows(rows []binding, groupSlots, aggSlots []int, aggItems []sparql.SelectItem, stats *ExecStats) *aggState {
+func (e *Engine) aggregateRows(rows []binding, groupSlots, aggSlots []int, aggItems []sparql.SelectItem, stats *ExecStats, span obs.SpanHandle) *aggState {
 	workers := stats.Workers
 	if workers <= 1 || len(rows) < workers*aggMinRowsPerWorker {
 		return e.buildAggState(rows, groupSlots, aggSlots, aggItems)
 	}
 	stats.Partitions += workers
+	sp := span.Child("engine.aggregate_merge")
+	sp.AttrInt("rows", int64(len(rows)))
+	sp.AttrInt("partitions", int64(workers))
+	defer sp.End()
 	parts := make([]*aggState, workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"sofos/internal/obs"
 	"sofos/internal/rdf"
 	"sofos/internal/sparql"
 	"sofos/internal/store"
@@ -43,7 +44,8 @@ type Plan struct {
 	main   branchPlan   // the conjunctive plan for non-UNION queries
 	unions []branchPlan // set for UNION queries; main unused
 	query  *sparql.Query
-	empty  bool // a constant is missing from the graph: zero results
+	span   obs.SpanHandle // parent span for partition traces (zero = off)
+	empty  bool           // a constant is missing from the graph: zero results
 }
 
 // optionalPlan is a compiled OPTIONAL block.

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Rewrite outcomes. Every answered query is classified with exactly one:
+// the result cache served a rendered body (cache_hit), a materialized view
+// matched the query's facet mask exactly (view_hit), a finer view was
+// re-aggregated (partial_rollup), the base graph was scanned (full_scan),
+// or the query failed (error). The same strings label the
+// sofos_query_total metric and the Outcome field of ring records, so trace
+// counts and counters reconcile exactly.
+const (
+	OutcomeCacheHit      = "cache_hit"
+	OutcomeViewHit       = "view_hit"
+	OutcomePartialRollup = "partial_rollup"
+	OutcomeFullScan      = "full_scan"
+	OutcomeError         = "error"
+)
+
+// QueryRecord is one completed query as retained in the debug ring —
+// deliberately shaped as the observation stream the online view-selection
+// loop will consume: what was asked, how it was answered, and what it cost.
+type QueryRecord struct {
+	TraceID    string
+	Query      string
+	Outcome    string // one of the Outcome* constants
+	View       string // chosen view ID, if a view answered
+	Reason     string // rewriter reason (why base, why this view)
+	Generation int64  // catalog generation pinned for the answer
+	Start      time.Time
+	Elapsed    time.Duration
+	Rows       int
+	Slow       bool
+	Err        string
+	Spans      []Span
+}
+
+// Ring is a bounded, mutex-protected buffer of recent query records.
+// Add overwrites the oldest entry once full; Snapshot copies out without
+// blocking writers for longer than the copy. A nil *Ring drops records.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []QueryRecord
+	next  int
+	size  int
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity records (default 256 when
+// capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Ring{buf: make([]QueryRecord, capacity)}
+}
+
+// Add appends one record, evicting the oldest when full.
+func (r *Ring) Add(rec QueryRecord) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % len(r.buf)
+	if r.size < len(r.buf) {
+		r.size++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns up to limit records, newest first (limit <= 0 means
+// all retained).
+func (r *Ring) Snapshot(limit int) []QueryRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.size
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]QueryRecord, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(r.next-1-i+len(r.buf))%len(r.buf)]
+	}
+	return out
+}
+
+// Total returns the number of records ever added (including evicted ones).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

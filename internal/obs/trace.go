@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one timed step of a query lifecycle. Start and End are monotonic
+// offsets from the trace start; Parent is the index of the enclosing span
+// in the trace's span list, or -1 for roots. End is -1 while the span is
+// open.
+type Span struct {
+	Name   string
+	Parent int
+	Start  time.Duration
+	End    time.Duration
+	Attrs  []Attr
+}
+
+// Trace collects the span tree of one query. Spans append under a mutex
+// because execution partitions record from multiple goroutines; the buffer
+// is pooled so the steady-state hot path allocates nothing for the spans
+// themselves. All methods are nil-receiver safe — a nil *Trace is the
+// disabled-tracing fast path.
+type Trace struct {
+	id    string
+	start time.Time
+	mu    sync.Mutex
+	spans []Span
+}
+
+var tracePool = sync.Pool{
+	New: func() any { return &Trace{spans: make([]Span, 0, 32)} },
+}
+
+// NewTrace takes a trace from the pool, stamped with id and a monotonic
+// start clock. Pair with Finish to return the buffer.
+func NewTrace(id string) *Trace {
+	t := tracePool.Get().(*Trace)
+	t.id = id
+	t.start = time.Now()
+	t.spans = t.spans[:0]
+	return t
+}
+
+// NewTraceID returns a 16-hex-digit random trace identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace identifier.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start returns the wall-clock instant the trace began.
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.start
+}
+
+// Finish copies the recorded spans out and returns the trace to the pool.
+// The caller must not use t afterwards.
+func (t *Trace) Finish() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	tracePool.Put(t)
+	return out
+}
+
+func (t *Trace) newSpan(name string, parent int) SpanHandle {
+	if t == nil {
+		return SpanHandle{}
+	}
+	off := time.Since(t.start)
+	t.mu.Lock()
+	i := len(t.spans)
+	t.spans = append(t.spans, Span{Name: name, Parent: parent, Start: off, End: -1})
+	t.mu.Unlock()
+	return SpanHandle{t: t, i: i}
+}
+
+// Span opens a root-level span.
+func (t *Trace) Span(name string) SpanHandle { return t.newSpan(name, -1) }
+
+// SpanHandle addresses one span in a trace. The zero value is a no-op
+// handle, so code holding a handle never needs to check for disabled
+// tracing.
+type SpanHandle struct {
+	t *Trace
+	i int
+}
+
+// Child opens a span nested under h.
+func (h SpanHandle) Child(name string) SpanHandle {
+	if h.t == nil {
+		return SpanHandle{}
+	}
+	return h.t.newSpan(name, h.i)
+}
+
+// End closes the span at the current monotonic offset.
+func (h SpanHandle) End() {
+	if h.t == nil {
+		return
+	}
+	off := time.Since(h.t.start)
+	h.t.mu.Lock()
+	h.t.spans[h.i].End = off
+	h.t.mu.Unlock()
+}
+
+// Attr annotates the span with a key/value pair.
+func (h SpanHandle) Attr(key, value string) {
+	if h.t == nil {
+		return
+	}
+	h.t.mu.Lock()
+	sp := &h.t.spans[h.i]
+	sp.Attrs = append(sp.Attrs, Attr{Key: key, Value: value})
+	h.t.mu.Unlock()
+}
+
+// AttrInt annotates the span with an integer value.
+func (h SpanHandle) AttrInt(key string, v int64) {
+	h.Attr(key, strconv.FormatInt(v, 10))
+}

@@ -1,7 +1,7 @@
 package persist
 
 import (
-	"log"
+	"log/slog"
 	"time"
 )
 
@@ -37,11 +37,18 @@ type RecoveryStats struct {
 	ElapsedUS      int64 `json:"elapsed_us"`
 }
 
-// LogRecovery writes a one-line replay summary to the standard logger — the
-// boot-time progress line sofos-serve emits.
+// LogRecovery writes a one-line replay summary to the structured logger —
+// the boot-time progress line sofos-serve emits.
 func (r *RecoveryStats) LogRecovery() {
-	log.Printf("recovered checkpoint %d (gen %d, %d triples, %d views) + %d wal batches (%d triples, %d skipped, torn tail %v) in %s (snapshot %s)",
-		r.CheckpointSeq, r.Generation, r.RestoredTriples, r.RestoredViews,
-		r.ReplayedBatches, r.ReplayedTriples, r.SkippedBatches, r.TornTail,
-		r.Elapsed.Round(time.Millisecond), r.SnapshotLoad.Round(time.Millisecond))
+	slog.Info("recovered checkpoint",
+		"checkpoint_seq", r.CheckpointSeq,
+		"generation", r.Generation,
+		"triples", r.RestoredTriples,
+		"views", r.RestoredViews,
+		"wal_batches", r.ReplayedBatches,
+		"wal_triples", r.ReplayedTriples,
+		"wal_skipped", r.SkippedBatches,
+		"torn_tail", r.TornTail,
+		"elapsed", r.Elapsed.Round(time.Millisecond),
+		"snapshot_load", r.SnapshotLoad.Round(time.Millisecond))
 }

@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -15,6 +15,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"sofos/internal/obs"
 )
 
 // Write-ahead log: every committed /update batch is appended as one
@@ -94,6 +96,13 @@ func (p SyncPolicy) String() string {
 type Log struct {
 	dir    string
 	policy SyncPolicy
+
+	// AppendHist and FsyncCounter are optional observability hooks the
+	// serving layer sets right after open (before traffic): per-record
+	// append latency in seconds, and fsyncs issued (foreground and
+	// background). Both are nil-safe no-ops when unset.
+	AppendHist   *obs.Histogram
+	FsyncCounter *obs.Counter
 
 	mu       sync.Mutex
 	f        *os.File
@@ -238,6 +247,7 @@ func (l *Log) syncLoop() {
 				// retries, and Close reports the terminal error.
 				if l.f.Sync() == nil {
 					l.dirty = false
+					l.FsyncCounter.Inc()
 				}
 			}
 			l.mu.Unlock()
@@ -251,6 +261,7 @@ func (l *Log) syncLoop() {
 // the sync policy. When it returns under SyncAlways, the record is on stable
 // storage; the serving layer calls it before acknowledging the batch.
 func (l *Log) Append(rec *Record) error {
+	start := time.Now()
 	payload := rec.encode()
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -280,11 +291,13 @@ func (l *Log) Append(rec *Record) error {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("persist: syncing wal record: %w", err)
 		}
+		l.FsyncCounter.Inc()
 	case SyncInterval:
 		l.dirty = true
 	}
 	l.appended++
 	l.bytes += int64(n + 4 + len(payload))
+	l.AppendHist.ObserveSince(start)
 	return nil
 }
 
@@ -315,13 +328,15 @@ func (l *Log) Rotate() (uint64, error) {
 // checkpoint) fail forever.
 func (l *Log) closeSegmentLocked() error {
 	if err := l.bw.Flush(); err != nil {
-		log.Printf("persist: dropping unflushable tail of wal segment %d (never acknowledged): %v", l.seq, err)
+		slog.Warn("persist: dropping unflushable wal segment tail (never acknowledged)",
+			"segment", l.seq, "err", err)
 	}
 	if l.policy != SyncNone {
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("persist: syncing wal segment %d: %w", l.seq, err)
 		}
 		l.dirty = false
+		l.FsyncCounter.Inc()
 	}
 	if err := l.f.Close(); err != nil {
 		return fmt.Errorf("persist: closing wal segment %d: %w", l.seq, err)

@@ -14,6 +14,7 @@ import (
 	"sofos/internal/algebra"
 	"sofos/internal/engine"
 	"sofos/internal/facet"
+	"sofos/internal/obs"
 	"sofos/internal/rdf"
 	"sofos/internal/sparql"
 	"sofos/internal/views"
@@ -34,7 +35,12 @@ type Answer struct {
 	Via       *views.Materialized // nil when answered from the base graph
 	Rewritten *sparql.Query       // the translated query, nil for base answers
 	Reason    string              // why the base graph was used, "" otherwise
-	Elapsed   time.Duration       // total answering time including rewriting
+	// Outcome classifies how the answer was produced: obs.OutcomeViewHit
+	// (the chosen view's granularity equals the query's GROUP BY, stored
+	// groups are the answer), obs.OutcomePartialRollup (a finer view was
+	// re-aggregated), or obs.OutcomeFullScan (base graph).
+	Outcome string
+	Elapsed time.Duration // total answering time including rewriting
 }
 
 // UsedView reports whether a materialized view served the answer.
@@ -142,13 +148,25 @@ func samePattern(q, f *sparql.GroupPattern) bool {
 // needing the given dimensions: the usable view with the fewest groups
 // (the "smallest possible view" rule of §3). ok is false when none usable.
 func (r *Rewriter) ChooseView(required facet.Mask) (*views.Materialized, bool) {
+	return r.chooseView(required, obs.SpanHandle{})
+}
+
+// chooseView is ChooseView recording every candidate considered — and why
+// the losers lost — as attributes on the given span.
+func (r *Rewriter) chooseView(required facet.Mask, sp obs.SpanHandle) (*views.Materialized, bool) {
 	var best *views.Materialized
 	for _, m := range r.catalog.Materialized() {
 		if !required.Subset(m.View().Mask) {
+			sp.Attr("rejected:"+m.View().ID(), "does not cover the required dimensions")
 			continue
 		}
 		if best == nil || m.Data.NumGroups() < best.Data.NumGroups() {
+			if best != nil {
+				sp.Attr("rejected:"+best.View().ID(), "usable, but more groups than a finer candidate")
+			}
 			best = m
+		} else {
+			sp.Attr("rejected:"+m.View().ID(), "usable, but more groups than a finer candidate")
 		}
 	}
 	return best, best != nil
@@ -157,7 +175,7 @@ func (r *Rewriter) ChooseView(required facet.Mask) (*views.Materialized, bool) {
 // Answer answers q, preferring materialized views, with the catalog's
 // default engine options.
 func (r *Rewriter) Answer(q *sparql.Query) (*Answer, error) {
-	return r.answer(q, r.catalog.BaseEngine(), r.catalog.ExpandedEngine())
+	return r.answer(q, r.catalog.BaseEngine(), r.catalog.ExpandedEngine(), obs.SpanHandle{})
 }
 
 // AnswerWith is Answer with an explicit worker bound, so a serving layer
@@ -168,23 +186,43 @@ func (r *Rewriter) Answer(q *sparql.Query) (*Answer, error) {
 func (r *Rewriter) AnswerWith(q *sparql.Query, opts engine.Options) (*Answer, error) {
 	merged := r.catalog.EngineOptions()
 	merged.Workers = opts.Workers
+	merged.Span = opts.Span
 	return r.answer(q,
 		engine.NewWithOptions(r.catalog.Base(), merged),
-		engine.NewWithOptions(r.catalog.Expanded(), merged))
+		engine.NewWithOptions(r.catalog.Expanded(), merged),
+		opts.Span)
 }
 
-// answer runs the rewriting pipeline against the given base/expanded engines.
-func (r *Rewriter) answer(q *sparql.Query, baseEng, expEng *engine.Engine) (*Answer, error) {
+// answer runs the rewriting pipeline against the given base/expanded engines,
+// recording the rewrite decision on sp (zero handle = tracing off).
+func (r *Rewriter) answer(q *sparql.Query, baseEng, expEng *engine.Engine, sp obs.SpanHandle) (*Answer, error) {
 	start := time.Now()
+	anSp := sp.Child("rewrite.analyze")
 	an := r.analyze(q)
 	if an.reason != "" {
-		return r.answerBase(q, an.reason, start, baseEng)
+		anSp.Attr("reason", an.reason)
+		anSp.End()
+		return r.answerBase(q, an.reason, start, baseEng, sp)
 	}
-	mat, ok := r.ChooseView(an.groupMask | an.filterMask)
+	anSp.End()
+	chSp := sp.Child("rewrite.choose_view")
+	mat, ok := r.chooseView(an.groupMask|an.filterMask, chSp)
 	if !ok {
-		return r.answerBase(q, "no materialized view covers the query dimensions", start, baseEng)
+		chSp.Attr("chosen", "none")
+		chSp.End()
+		return r.answerBase(q, "no materialized view covers the query dimensions", start, baseEng, sp)
 	}
+	outcome := obs.OutcomePartialRollup
+	if mat.View().Mask == an.groupMask {
+		outcome = obs.OutcomeViewHit
+	}
+	chSp.Attr("chosen", mat.View().ID())
+	chSp.AttrInt("groups", int64(mat.Data.NumGroups()))
+	chSp.Attr("outcome", outcome)
+	chSp.End()
+	trSp := sp.Child("rewrite.translate")
 	rq, err := r.translate(q, an, mat)
+	trSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("rewrite: translating %s: %w", mat.View(), err)
 	}
@@ -192,7 +230,9 @@ func (r *Rewriter) answer(q *sparql.Query, baseEng, expEng *engine.Engine) (*Ans
 	if err != nil {
 		return nil, fmt.Errorf("rewrite: executing rewritten query: %w", err)
 	}
+	ppSp := sp.Child("rewrite.post_process")
 	final, err := postProcess(q, an, res)
+	ppSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -200,17 +240,21 @@ func (r *Rewriter) answer(q *sparql.Query, baseEng, expEng *engine.Engine) (*Ans
 		Result:    final,
 		Via:       mat,
 		Rewritten: rq,
+		Outcome:   outcome,
 		Elapsed:   time.Since(start),
 	}, nil
 }
 
 // answerBase executes q on the base graph G.
-func (r *Rewriter) answerBase(q *sparql.Query, reason string, start time.Time, baseEng *engine.Engine) (*Answer, error) {
+func (r *Rewriter) answerBase(q *sparql.Query, reason string, start time.Time, baseEng *engine.Engine, sp obs.SpanHandle) (*Answer, error) {
+	bSp := sp.Child("rewrite.base_scan")
+	bSp.Attr("reason", reason)
 	res, err := baseEng.Execute(q)
+	bSp.End()
 	if err != nil {
 		return nil, fmt.Errorf("rewrite: base execution: %w", err)
 	}
-	return &Answer{Result: res, Reason: reason, Elapsed: time.Since(start)}, nil
+	return &Answer{Result: res, Reason: reason, Outcome: obs.OutcomeFullScan, Elapsed: time.Since(start)}, nil
 }
 
 // CacheKey returns a canonical, prefix-independent text of q, suitable as

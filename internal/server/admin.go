@@ -604,11 +604,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 // around a lagging replica without parsing full stats.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	sys := s.system()
-	writeJSON(w, http.StatusOK, api.HealthResponse{
-		OK:         true,
-		Role:       s.role,
-		Generation: sys.Generation(),
-		WALVersion: sys.GraphVersion(),
-		ReplicaLag: s.replicaLag(sys),
-	})
+	resp := api.HealthResponse{
+		OK:             true,
+		Role:           s.role,
+		Generation:     sys.Generation(),
+		WALVersion:     sys.GraphVersion(),
+		ReplicaLag:     s.replicaLag(sys),
+		CheckpointAgeS: s.checkpointAge(),
+	}
+	if s.dur != nil {
+		resp.WALBytes = s.dur.Log.Stats().Bytes
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,7 +1,7 @@
 package server
 
 import (
-	"log"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -101,7 +101,8 @@ func (s *Server) checkpointState(sys *core.System) (*persist.Manifest, error) {
 	if _, err := s.dur.Log.TruncateBefore(seq); err != nil {
 		// The checkpoint is complete and correct; stale segments only cost
 		// disk until the next truncation succeeds.
-		log.Printf("sofos-serve: checkpoint %d written but wal truncation failed: %v", cp.Manifest.Sequence, err)
+		slog.Warn("checkpoint written but wal truncation failed",
+			"checkpoint_seq", cp.Manifest.Sequence, "err", err)
 	}
 	s.lastCheckpoint.Store(&cp.Manifest)
 	s.checkpoints.Add(1)

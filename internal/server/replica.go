@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -205,15 +205,15 @@ func (s *Server) replicationLoop(ctx context.Context) {
 			backoff = replicaRetryMin
 		}
 		if needsBootstrap(err) {
-			log.Printf("sofos replica: behind the primary's log (%v); re-bootstrapping", err)
+			slog.Warn("replica behind the primary's log; re-bootstrapping", "err", err)
 			if berr := s.rebootstrap(ctx); berr != nil {
-				log.Printf("sofos replica: re-bootstrap failed: %v", berr)
+				slog.Error("replica re-bootstrap failed", "err", berr)
 			} else {
 				backoff = replicaRetryMin
 				continue
 			}
 		} else if err != nil {
-			log.Printf("sofos replica: wal stream interrupted: %v", err)
+			slog.Warn("replica wal stream interrupted", "err", err)
 		}
 		select {
 		case <-ctx.Done():
@@ -298,7 +298,7 @@ func (s *Server) ackProgress(ctx context.Context) {
 		Generation: sys.Generation(),
 	})
 	if err != nil && ctx.Err() == nil {
-		log.Printf("sofos replica: progress report failed: %v", err)
+		slog.Warn("replica progress report failed", "err", err)
 	}
 }
 

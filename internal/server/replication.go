@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"sort"
@@ -255,7 +255,7 @@ func (s *Server) handleWALStream(w http.ResponseWriter, r *http.Request) {
 			flush()
 			return
 		default:
-			log.Printf("sofos-serve: wal stream failed: %v", err)
+			slog.Warn("wal stream to replica failed", "err", err)
 			_ = enc.Encode(api.WALEvent{Error: &api.Error{Code: api.CodeInternal, Message: err.Error()}})
 			flush()
 			return
@@ -306,7 +306,7 @@ func (s *Server) handleCheckpointArchive(w http.ResponseWriter, r *http.Request)
 		if cw.n == 0 {
 			httpError(w, http.StatusInternalServerError, api.CodeInternal, "archiving checkpoint: %v", err)
 		} else {
-			log.Printf("sofos-serve: checkpoint archive truncated mid-stream: %v", err)
+			slog.Warn("checkpoint archive truncated mid-stream", "err", err)
 		}
 		return
 	}

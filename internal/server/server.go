@@ -54,6 +54,7 @@ import (
 
 	"sofos/internal/api"
 	"sofos/internal/core"
+	"sofos/internal/obs"
 	"sofos/internal/persist"
 	"sofos/internal/rewrite"
 	"sofos/internal/sparql"
@@ -112,6 +113,21 @@ type Config struct {
 	// and reports applied progress back. Durability is ignored for replicas —
 	// they re-bootstrap from the primary's checkpoint instead of local disk.
 	Replica *ReplicaOptions
+
+	// ObsOff disables observability entirely: no tracing, no metrics, no
+	// query ring; /v1/metrics and /v1/debug/queries answer 503. The default
+	// (false) keeps it on — the instrumented hot path is within noise of
+	// off (see BenchmarkTracedQueryOverhead).
+	ObsOff bool
+
+	// SlowQueryMS promotes queries at least this slow to the structured log
+	// (and marks them in /v1/debug/queries). 0 means 500ms; negative
+	// disables promotion while keeping tracing on.
+	SlowQueryMS int
+
+	// TraceRing is the capacity of the recent-query ring behind
+	// /v1/debug/queries. 0 means 256.
+	TraceRing int
 }
 
 // withDefaults resolves zero fields.
@@ -133,6 +149,9 @@ func (c Config) withDefaults(sys *core.System) Config {
 	}
 	if c.ReadWait <= 0 {
 		c.ReadWait = 2 * time.Second
+	}
+	if c.SlowQueryMS == 0 {
+		c.SlowQueryMS = 500
 	}
 	if c.Replica != nil {
 		// Replicas hold no local durable state: their data directory is the
@@ -182,6 +201,10 @@ type Server struct {
 	// repl is the apply-loop state on a replica (nil on primaries).
 	tracker *replicaTracker
 	repl    *replicaRuntime
+
+	// obs is the observability state (metrics registry, trace ring, slow
+	// threshold); nil when Config.ObsOff.
+	obs *serverObs
 }
 
 // New wraps a system in a server with the given configuration.
@@ -205,8 +228,13 @@ func New(sys *core.System, cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = newResultCache(cfg.CacheEntries, cfg.CacheBytes)
 	}
+	if !cfg.ObsOff {
+		s.obs = newServerObs(s, cfg)
+	}
 	// The versioned route tree, with the legacy unversioned paths kept as
-	// thin deprecated aliases onto the same handlers.
+	// thin deprecated aliases onto the same handlers. Both spellings share
+	// one instrumented handler, so the endpoint metric label is always the
+	// canonical path.
 	for path, h := range map[string]http.HandlerFunc{
 		"/query":            s.handleQuery,
 		"/update":           s.handleUpdate,
@@ -215,14 +243,17 @@ func New(sys *core.System, cfg Config) *Server {
 		"/healthz":          s.handleHealthz,
 		"/admin/checkpoint": s.handleAdminCheckpoint,
 	} {
+		h = s.instrument(path, h)
 		s.mux.HandleFunc(api.Prefix+path, h)
 		s.mux.HandleFunc(path, deprecatedAlias(path, h))
 	}
-	// Replication endpoints exist only under /v1 — they postdate the legacy
-	// surface.
-	s.mux.HandleFunc(api.Prefix+"/wal", s.handleWALStream)
-	s.mux.HandleFunc(api.Prefix+"/checkpoint", s.handleCheckpointArchive)
-	s.mux.HandleFunc(api.Prefix+"/replica/ack", s.handleReplicaAck)
+	// Replication and observability endpoints exist only under /v1 — they
+	// postdate the legacy surface.
+	s.mux.HandleFunc(api.Prefix+"/wal", s.instrument("/wal", s.handleWALStream))
+	s.mux.HandleFunc(api.Prefix+"/checkpoint", s.instrument("/checkpoint", s.handleCheckpointArchive))
+	s.mux.HandleFunc(api.Prefix+"/replica/ack", s.instrument("/replica/ack", s.handleReplicaAck))
+	s.mux.HandleFunc(api.Prefix+"/metrics", s.instrument("/metrics", s.handleMetrics))
+	s.mux.HandleFunc(api.Prefix+"/debug/queries", s.instrument("/debug/queries", s.handleDebugQueries))
 	return s
 }
 
@@ -337,13 +368,47 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Tracing: every query gets a trace id — caller-supplied via the
+	// X-Sofos-Trace-Id header or freshly generated — echoed back on the
+	// response so clients correlate across primary and replica. ?trace=1
+	// additionally returns the span tree in the body; such a request
+	// bypasses the cache entirely (cached bodies carry no spans, and a
+	// traced body must not be served to untraced requests).
+	var (
+		tr        *obs.Trace
+		root      obs.SpanHandle
+		wantTrace bool
+	)
+	if s.obs != nil {
+		id := r.Header.Get(api.HeaderTraceID)
+		if id == "" {
+			id = obs.NewTraceID()
+		}
+		w.Header().Set(api.HeaderTraceID, id)
+		wantTrace = r.URL.Query().Get("trace") == "1"
+		tr = obs.NewTrace(id)
+		root = tr.Span("query")
+	}
+
 	// Fast path: serve from the cache against the published generation. The
 	// key embeds the generation and view-set hash, so an entry stored under
 	// an older state simply misses — no lock needed for correctness.
-	if s.cache != nil {
+	if s.cache != nil && !wantTrace {
 		st := s.chain.Load()
-		if body, ok := s.cache.get(st.CacheKeyPrefix + norm); ok {
+		probe := root.Child("cache.probe")
+		body, ok := s.cache.get(st.CacheKeyPrefix + norm)
+		probe.Attr("result", cacheResult(ok))
+		probe.End()
+		if ok {
 			s.queries.Add(1)
+			if s.obs != nil {
+				s.obs.finishQuery(tr, root, obs.QueryRecord{
+					TraceID:    tr.ID(),
+					Query:      req.Query,
+					Outcome:    obs.OutcomeCacheHit,
+					Generation: st.Generation,
+				}, false)
+			}
 			writeCachedBody(w, body)
 			return
 		}
@@ -351,10 +416,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Admission control: occupy an execution slot before taking the read
 	// lock, so queued queries do not hold the lock and block writers.
+	admit := root.Child("admission.wait")
 	select {
 	case s.sem <- struct{}{}:
+		admit.End()
 		defer func() { <-s.sem }()
 	case <-r.Context().Done():
+		admit.End()
+		if s.obs != nil {
+			s.obs.finishQuery(tr, root, obs.QueryRecord{
+				TraceID: tr.ID(),
+				Query:   req.Query,
+				Outcome: obs.OutcomeError,
+				Err:     "request canceled while queued",
+			}, false)
+		}
 		httpError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "request canceled while queued")
 		return
 	}
@@ -368,39 +444,95 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// snapshot is immutable, so no lock is held while executing, and a
 	// writer publishing mid-query never perturbs this answer.
 	st := s.chain.Load()
+	root.AttrInt("generation", st.Generation)
 	var key string
-	if s.cache != nil {
+	if s.cache != nil && !wantTrace {
 		key = st.CacheKeyPrefix + norm // state may have advanced since the fast path
-		if body, ok := s.cache.recheck(key); ok {
+		recheck := root.Child("cache.recheck")
+		body, ok := s.cache.recheck(key)
+		recheck.Attr("result", cacheResult(ok))
+		recheck.End()
+		if ok {
 			s.queries.Add(1)
+			if s.obs != nil {
+				s.obs.finishQuery(tr, root, obs.QueryRecord{
+					TraceID:    tr.ID(),
+					Query:      req.Query,
+					Outcome:    obs.OutcomeCacheHit,
+					Generation: st.Generation,
+				}, false)
+			}
 			writeCachedBody(w, body)
 			return
 		}
 	}
-	ans, err := st.Sys.AnswerWithWorkers(q, workers)
+	ans, err := st.Sys.AnswerObserved(q, workers, root)
 	if err != nil {
+		if s.obs != nil {
+			s.obs.finishQuery(tr, root, obs.QueryRecord{
+				TraceID:    tr.ID(),
+				Query:      req.Query,
+				Outcome:    obs.OutcomeError,
+				Generation: st.Generation,
+				Err:        err.Error(),
+			}, false)
+		}
 		httpError(w, http.StatusUnprocessableEntity, api.CodeExecutionError, "execution error: %v", err)
 		return
 	}
+	render := root.Child("render")
 	resp := &api.QueryResponse{
 		Vars:       ans.Result.Vars,
 		Rows:       renderRows(ans),
 		Via:        ans.ViaLabel(),
 		Reason:     ans.Reason,
+		Outcome:    ans.Outcome,
 		Generation: st.Generation,
 		ElapsedUS:  ans.Elapsed.Microseconds(),
 	}
-	if s.cache != nil {
+	render.AttrInt("rows", int64(len(resp.Rows)))
+	render.End()
+	if s.cache != nil && !wantTrace {
 		// Render the cached variant once at insert time; hits serve the
-		// bytes verbatim instead of re-encoding the rows per request.
+		// bytes verbatim instead of re-encoding the rows per request. The
+		// body is cached before any trace fields are attached: the trace id
+		// header is the canonical per-request carrier, and span trees are
+		// never shared across requests.
 		resp.Cached = true
 		if body, err := json.Marshal(resp); err == nil {
 			s.cache.put(key, body)
 		}
 		resp.Cached = false
 	}
+	if s.obs != nil {
+		view := ""
+		if ans.Via != nil {
+			view = ans.Via.View().ID()
+		}
+		spans := s.obs.finishQuery(tr, root, obs.QueryRecord{
+			TraceID:    tr.ID(),
+			Query:      req.Query,
+			Outcome:    ans.Outcome,
+			View:       view,
+			Reason:     ans.Reason,
+			Generation: st.Generation,
+			Rows:       len(resp.Rows),
+		}, wantTrace)
+		if wantTrace {
+			resp.TraceID = tr.ID()
+			resp.Trace = spans
+		}
+	}
 	s.queries.Add(1)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// cacheResult labels a cache probe span's outcome.
+func cacheResult(ok bool) string {
+	if ok {
+		return "hit"
+	}
+	return "miss"
 }
 
 // gateMinGeneration enforces X-Sofos-Min-Generation on a replica: wait up to

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"math"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -333,6 +334,20 @@ func (r *blockRun) mappedBytes() int64 {
 }
 
 func (r *blockRun) numBlocks() int { return len(r.meta) }
+
+// verifiedBlocks counts blocks whose payload CRC has been checked. Runs
+// without lazy snapshot CRCs are trusted in-process memory, so every block
+// counts; mmap-backed runs popcount the lazy-verification bitset.
+func (r *blockRun) verifiedBlocks() int {
+	if r.crcs == nil {
+		return len(r.meta)
+	}
+	n := 0
+	for i := range r.verified {
+		n += bits.OnesCount32(atomic.LoadUint32(&r.verified[i]))
+	}
+	return n
+}
 
 // passes reports whether a key satisfies the search bound: prefix > key for
 // upper bounds, prefix ≥ key for lower bounds.

@@ -140,10 +140,11 @@ func (g *Graph) EstimatedBytes() int64 {
 
 // IndexMemStats is the resident footprint of one permutation index.
 type IndexMemStats struct {
-	Keys   int   `json:"keys"`                   // triples stored in the run
-	Blocks int   `json:"blocks,omitempty"`       // compressed blocks (0 for flat)
-	Bytes  int64 `json:"bytes"`                  // heap-resident bytes of the run encoding
-	Mapped int64 `json:"mapped_bytes,omitempty"` // mmap-backed payload bytes
+	Keys     int   `json:"keys"`                      // triples stored in the run
+	Blocks   int   `json:"blocks,omitempty"`          // compressed blocks (0 for flat)
+	Verified int   `json:"verified_blocks,omitempty"` // blocks with their payload CRC checked
+	Bytes    int64 `json:"bytes"`                     // heap-resident bytes of the run encoding
+	Mapped   int64 `json:"mapped_bytes,omitempty"`    // mmap-backed payload bytes
 }
 
 // MemStats reports the actual resident bytes of the graph's storage, broken
@@ -189,6 +190,7 @@ func (g *Graph) MemStats() MemStats {
 		if r := g.runs[k]; r != nil {
 			perms[k].Keys = r.size()
 			perms[k].Blocks = r.numBlocks()
+			perms[k].Verified = r.verifiedBlocks()
 			perms[k].Bytes = r.memBytes()
 			perms[k].Mapped = r.mappedBytes()
 		}

@@ -89,6 +89,11 @@ func (m *Materialized) groupIndex() map[string]int {
 // View is a convenience accessor.
 func (m *Materialized) View() facet.View { return m.Data.View }
 
+// BaseVersion returns the base graph's version at the view's last
+// (re)materialization — the anchor for measuring staleness distance
+// (current graph version minus BaseVersion) in stats and metrics.
+func (m *Materialized) BaseVersion() int64 { return m.baseVersion }
+
 // Catalog manages the expanded graph G+ for one facet: the base graph plus
 // the encodings of every currently materialized view. It implements the
 // offline module's "view materialization" half.
